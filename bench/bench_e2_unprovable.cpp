@@ -1,0 +1,113 @@
+// Experiment E2 (Sec. V): the property the paper could NOT prove.
+//
+// Paper claim: "under the current setup, it is still impossible to prove
+// intriguing properties such as 'impossibility to suggest steering
+// straight, when the road image is bending to the right'. We suspect
+// that the main reason is due to the inherent limitation of the neural
+// network under analysis." The paper further suggests constructing a
+// concrete counterexample "by capturing more data or by using
+// adversarial perturbation techniques".
+//
+// This bench runs that exact query, prints the abstract counterexample
+// the MILP returns, and then attempts to concretize it back to an input
+// image with the gradient-based search (the adversarial-technique arm).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/experiment_setup.hpp"
+#include "train/adversarial.hpp"
+
+namespace {
+
+using namespace dpv;
+
+verify::RiskSpec steer_straight() {
+  verify::RiskSpec risk("steer-straight (|heading| <= 0.05)");
+  risk.output_in_range(1, 2, -0.05, 0.05);
+  return risk;
+}
+
+void print_report() {
+  const bench::Testbed& tb = bench::testbed();
+  const bench::VerificationSetup& setup = bench::verification_setup();
+  const verify::RiskSpec risk = steer_straight();
+
+  std::printf("\n=== E2: phi = road-bends-right-strong, psi = steer-straight ===\n");
+  std::printf("%-42s | %-8s | %8s | %10s\n", "bounds source", "verdict", "nodes", "seconds");
+  std::printf("-------------------------------------------+----------+----------+-----------\n");
+
+  verify::VerificationResult diff_result;
+  for (const bench::BoundsKind kind :
+       {bench::BoundsKind::kMonitorBox, bench::BoundsKind::kMonitorBoxDiff}) {
+    const verify::VerificationResult r =
+        verify::TailVerifier().verify(bench::make_query(setup, risk, kind));
+    std::printf("%-42s | %-8s | %8zu | %10.3f\n", bench::bounds_kind_name(kind),
+                verify::verdict_name(r.verdict), r.milp_nodes, r.solve_seconds);
+    if (kind == bench::BoundsKind::kMonitorBoxDiff) diff_result = r;
+  }
+
+  if (diff_result.verdict == verify::Verdict::kUnsafe) {
+    std::printf("\nabstract counterexample n^l (validated: %s):\n ",
+                diff_result.counterexample_validated ? "yes" : "no");
+    for (std::size_t i = 0; i < diff_result.counterexample_activation.numel(); ++i)
+      std::printf(" %.4f", diff_result.counterexample_activation[i]);
+    std::printf("\ntail output on it: waypoint %.4f, heading %.4f; characterizer logit %.4f\n",
+                diff_result.counterexample_output[0], diff_result.counterexample_output[1],
+                diff_result.characterizer_logit);
+
+    // Adversarial-perturbation arm: search the image space for an input
+    // whose layer-l features approach the abstract counterexample.
+    const Tensor seed = tb.train_samples.front().image;
+    const train::ConcretizationResult conc = train::concretize_activation(
+        tb.model.network, tb.model.attach_layer, diff_result.counterexample_activation, seed,
+        300, 0.05);
+    std::printf("concretization: after %zu PGD iterations the closest real image reaches\n"
+                "feature distance (max-norm) %.4f from the abstract counterexample.\n",
+                conc.iterations, conc.distance);
+    const Tensor out = tb.model.network.forward(conc.input);
+    std::printf("that image's network output: waypoint %.4f, heading %.4f\n", out[0], out[1]);
+  }
+  std::printf("\npaper shape: this property is NOT provable -- the abstraction (and possibly\n"
+              "the network itself) admits bend-right feature points decoded as steering\n"
+              "straight.\n\n");
+}
+
+void BM_VerifyE2_MonitorBoxDiff(benchmark::State& state) {
+  const bench::VerificationSetup& setup = bench::verification_setup();
+  const verify::VerificationQuery q =
+      bench::make_query(setup, steer_straight(), bench::BoundsKind::kMonitorBoxDiff);
+  for (auto _ : state) {
+    const verify::VerificationResult r = verify::TailVerifier().verify(q);
+    benchmark::DoNotOptimize(r.verdict);
+    state.counters["nodes"] = static_cast<double>(r.milp_nodes);
+  }
+}
+BENCHMARK(BM_VerifyE2_MonitorBoxDiff)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_CounterexampleConcretization(benchmark::State& state) {
+  const bench::Testbed& tb = bench::testbed();
+  const bench::VerificationSetup& setup = bench::verification_setup();
+  const verify::VerificationResult r = verify::TailVerifier().verify(
+      bench::make_query(setup, steer_straight(), bench::BoundsKind::kMonitorBoxDiff));
+  if (r.verdict != verify::Verdict::kUnsafe) {
+    state.SkipWithError("no counterexample to concretize");
+    return;
+  }
+  const Tensor seed = tb.train_samples.front().image;
+  for (auto _ : state) {
+    const train::ConcretizationResult conc = train::concretize_activation(
+        tb.model.network, tb.model.attach_layer, r.counterexample_activation, seed, 100, 0.05);
+    benchmark::DoNotOptimize(conc.distance);
+  }
+}
+BENCHMARK(BM_CounterexampleConcretization)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Experiment E7 (Sec. V, future work): bound-refinement ablation.
+//
+// The paper closes with "layer-wise incremental abstraction-refinement
+// techniques" as future work. The library implements the first step of
+// that ladder: per-neuron LP bound tightening on the partial relaxation
+// while encoding (BoundMethod::kLpTightening), plus stable-ReLU
+// elimination. This bench quantifies what each knob buys: binaries
+// eliminated, branch & bound nodes saved, and wall-clock — the design
+// ablation DESIGN.md calls out.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/experiment_setup.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+
+namespace {
+
+using namespace dpv;
+
+struct Variant {
+  const char* name;
+  bool eliminate_stable;
+  verify::BoundMethod bounds;
+};
+
+const Variant kVariants[] = {
+    {"naive big-M (no elimination, interval)", false, verify::BoundMethod::kInterval},
+    {"+ stable-ReLU elimination", true, verify::BoundMethod::kInterval},
+    {"+ symbolic (DeepPoly-style) bounds", true, verify::BoundMethod::kSymbolic},
+    {"+ LP bound tightening", true, verify::BoundMethod::kLpTightening},
+};
+
+verify::VerificationResult run_variant(const verify::VerificationQuery& q, const Variant& v) {
+  verify::TailVerifierOptions options;
+  options.encode.eliminate_stable_relus = v.eliminate_stable;
+  options.encode.bounds = v.bounds;
+  options.milp.max_nodes = 50000;
+  return verify::TailVerifier(options).verify(q);
+}
+
+void print_report() {
+  const bench::VerificationSetup& setup = bench::verification_setup();
+  verify::RiskSpec risk("steer-far-left");
+  risk.output_at_most(1, 2, -0.5);
+  const verify::VerificationQuery road_query =
+      bench::make_query(setup, risk, bench::BoundsKind::kMonitorBoxDiff);
+
+  std::printf("\n=== E7: abstraction-refinement ablation ===\n");
+  std::printf("--- road-model tail (E1 query) ---\n");
+  std::printf("%-42s | %-8s | %8s | %8s | %8s | %10s\n", "encoding variant", "verdict",
+              "binaries", "stable", "nodes", "seconds");
+  std::printf("-------------------------------------------+----------+----------+----------+----------+-----------\n");
+  for (const Variant& v : kVariants) {
+    const verify::VerificationResult r = run_variant(road_query, v);
+    std::printf("%-42s | %-8s | %8zu | %8zu | %8zu | %10.3f\n", v.name,
+                verify::verdict_name(r.verdict), r.encoding.binaries,
+                r.encoding.stable_relus, r.milp_nodes, r.solve_seconds);
+  }
+
+  // A deeper synthetic tail where interval bounds degrade sharply.
+  Rng rng(99);
+  nn::Network deep;
+  std::size_t in_n = 10;
+  for (int d = 0; d < 3; ++d) {
+    auto dense = std::make_unique<nn::Dense>(in_n, 12);
+    dense->init_he(rng);
+    deep.add(std::move(dense));
+    deep.add(std::make_unique<nn::ReLU>(Shape{12}));
+    in_n = 12;
+  }
+  auto out = std::make_unique<nn::Dense>(in_n, 2);
+  out->init_he(rng);
+  deep.add(std::move(out));
+
+  // Threshold between the sampled true maximum and the interval bound:
+  // SAFE, but only provable by actual branching.
+  double sampled_max = -1e100;
+  for (int i = 0; i < 400; ++i) {
+    Tensor x(Shape{10});
+    for (std::size_t j = 0; j < 10; ++j) x[j] = rng.uniform(-1.0, 1.0);
+    sampled_max = std::max(sampled_max, deep.forward(x)[0]);
+  }
+  const absint::Box out_box = absint::propagate_box_range(
+      deep, absint::uniform_box(10, -1.0, 1.0), 0, deep.layer_count());
+  const double threshold = 0.5 * (sampled_max + out_box[0].hi);
+
+  verify::VerificationQuery deep_query;
+  deep_query.network = &deep;
+  deep_query.attach_layer = 0;
+  deep_query.input_box = absint::uniform_box(10, -1.0, 1.0);
+  deep_query.risk.output_at_least(0, 2, threshold);
+
+  std::printf("--- synthetic 3x12 tail, forced SAFE proof ---\n");
+  std::printf("%-42s | %-8s | %8s | %8s | %8s | %10s\n", "encoding variant", "verdict",
+              "binaries", "stable", "nodes", "seconds");
+  std::printf("-------------------------------------------+----------+----------+----------+----------+-----------\n");
+  for (const Variant& v : kVariants) {
+    const verify::VerificationResult r = run_variant(deep_query, v);
+    std::printf("%-42s | %-8s | %8zu | %8zu | %8zu | %10.3f\n", v.name,
+                verify::verdict_name(r.verdict), r.encoding.binaries,
+                r.encoding.stable_relus, r.milp_nodes, r.solve_seconds);
+  }
+  std::printf("\nexpected shape: each refinement removes binaries and shrinks the search\n"
+              "tree; LP tightening pays per-neuron LP cost up front to save B&B nodes.\n\n");
+}
+
+void BM_Refinement(benchmark::State& state) {
+  const bench::VerificationSetup& setup = bench::verification_setup();
+  verify::RiskSpec risk("steer-far-left");
+  risk.output_at_most(1, 2, -0.5);
+  const verify::VerificationQuery q =
+      bench::make_query(setup, risk, bench::BoundsKind::kMonitorBoxDiff);
+  const Variant& v = kVariants[static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const verify::VerificationResult r = run_variant(q, v);
+    benchmark::DoNotOptimize(r.verdict);
+    state.counters["binaries"] = static_cast<double>(r.encoding.binaries);
+    state.counters["nodes"] = static_cast<double>(r.milp_nodes);
+  }
+  state.SetLabel(v.name);
+}
+BENCHMARK(BM_Refinement)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Figure 1 of the paper: the workflow that records layer-l
+// neuron activations over the training set, abstracts them to per-neuron
+// intervals ({0, 0.1, -0.1, ..., 0.6} -> [-0.1, 0.6]) plus adjacent
+// difference bounds, and verifies only the grayed close-to-output
+// sub-network. Prints the abstraction exactly in Fig. 1 style and times
+// every stage of the workflow.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/testbed.hpp"
+#include "core/characterizer.hpp"
+#include "monitor/activation_recorder.hpp"
+#include "monitor/diff_monitor.hpp"
+#include "verify/verifier.hpp"
+
+namespace {
+
+using namespace dpv;
+
+void print_report() {
+  const bench::Testbed& tb = bench::testbed();
+  const std::size_t l = tb.model.attach_layer;
+  const std::vector<Tensor> activations =
+      monitor::record_activations(tb.model.network, l, tb.odd_inputs());
+  const monitor::DiffMonitor mon = monitor::DiffMonitor::from_activations(activations);
+
+  std::printf("\n=== Figure 1 reproduction: layer-%zu abstraction from %zu ODD images ===\n",
+              l, activations.size());
+  const std::size_t width = mon.dimensions();
+  std::printf("feature layer width: %zu neurons (the n^17 neurons of Fig. 1)\n\n", width);
+  for (std::size_t i = 0; i < width; ++i) {
+    std::printf("  n%-2zu visited {%7.3f, %7.3f, %7.3f, ...}  ->  abstraction [%8.4f, %8.4f]\n",
+                i, activations[0][i], activations[1][i], activations[2][i],
+                mon.box()[i].lo, mon.box()[i].hi);
+  }
+  std::printf("\nadjacent-difference abstraction (Sec. V strengthening):\n");
+  for (std::size_t i = 0; i + 1 < width; ++i)
+    std::printf("  n%zu - n%zu  in  [%8.4f, %8.4f]\n", i + 1, i,
+                mon.diff_bounds()[i].lo, mon.diff_bounds()[i].hi);
+  std::printf("\n");
+}
+
+void BM_Stage1_RecordActivations(benchmark::State& state) {
+  const bench::Testbed& tb = bench::testbed();
+  const std::vector<Tensor> inputs = tb.odd_inputs();
+  for (auto _ : state) {
+    const auto acts = monitor::record_activations(tb.model.network, tb.model.attach_layer, inputs);
+    benchmark::DoNotOptimize(acts.size());
+  }
+  state.counters["images"] = static_cast<double>(inputs.size());
+}
+BENCHMARK(BM_Stage1_RecordActivations)->Unit(benchmark::kMillisecond);
+
+void BM_Stage2_MonitorConstruction(benchmark::State& state) {
+  const bench::Testbed& tb = bench::testbed();
+  const std::vector<Tensor> activations =
+      monitor::record_activations(tb.model.network, tb.model.attach_layer, tb.odd_inputs());
+  for (auto _ : state) {
+    const monitor::DiffMonitor mon = monitor::DiffMonitor::from_activations(activations);
+    benchmark::DoNotOptimize(mon.dimensions());
+  }
+}
+BENCHMARK(BM_Stage2_MonitorConstruction)->Unit(benchmark::kMicrosecond);
+
+void BM_Stage3_CharacterizerTraining(benchmark::State& state) {
+  const bench::Testbed& tb = bench::testbed();
+  const train::Dataset prop = tb.property_train(data::InputProperty::kBendRightStrong);
+  core::CharacterizerConfig config;
+  config.trainer.epochs = 40;
+  for (auto _ : state) {
+    const core::TrainedCharacterizer h = core::train_characterizer(
+        tb.model.network, tb.model.attach_layer, prop, {}, config);
+    benchmark::DoNotOptimize(h.train_confusion.tp);
+  }
+}
+BENCHMARK(BM_Stage3_CharacterizerTraining)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Stage4_EncodeAndVerify(benchmark::State& state) {
+  const bench::Testbed& tb = bench::testbed();
+  core::CharacterizerConfig config;
+  config.trainer.epochs = 120;
+  static const core::TrainedCharacterizer h = core::train_characterizer(
+      tb.model.network, tb.model.attach_layer,
+      tb.property_train(data::InputProperty::kBendRightStrong), {}, config);
+  const std::vector<Tensor> activations =
+      monitor::record_activations(tb.model.network, tb.model.attach_layer, tb.odd_inputs());
+  const monitor::DiffMonitor mon = monitor::DiffMonitor::from_activations(activations);
+
+  verify::VerificationQuery q;
+  q.network = &tb.model.network;
+  q.attach_layer = tb.model.attach_layer;
+  q.characterizer = &h.network;
+  q.input_box = mon.box();
+  q.diff_bounds = mon.diff_bounds();
+  q.risk.output_at_most(1, 2, -0.5);  // "steer far left"
+
+  for (auto _ : state) {
+    const verify::VerificationResult r = verify::TailVerifier().verify(q);
+    benchmark::DoNotOptimize(r.milp_nodes);
+    state.counters["nodes"] = static_cast<double>(r.milp_nodes);
+    state.counters["binaries"] = static_cast<double>(r.encoding.binaries);
+  }
+}
+BENCHMARK(BM_Stage4_EncodeAndVerify)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

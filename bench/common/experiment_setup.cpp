@@ -1,0 +1,85 @@
+#include "common/experiment_setup.hpp"
+
+#include <cstdio>
+
+#include "monitor/activation_recorder.hpp"
+
+namespace dpv::bench {
+
+const char* bounds_kind_name(BoundsKind kind) {
+  switch (kind) {
+    case BoundsKind::kStaticInputBox:
+      return "static [0,1]^pixels interval analysis";
+    case BoundsKind::kMonitorBox:
+      return "monitor S~ (per-neuron min/max)";
+    case BoundsKind::kMonitorBoxDiff:
+      return "monitor S~ + adjacent-diff bounds";
+    case BoundsKind::kMonitorAllPairs:
+      return "monitor S~ + all pairwise diff bounds";
+  }
+  return "?";
+}
+
+const VerificationSetup& verification_setup() {
+  static const VerificationSetup instance = [] {
+    const Testbed& tb = testbed();
+    std::printf("[setup] training bend-right characterizer at layer %zu...\n",
+                tb.model.attach_layer);
+    core::CharacterizerConfig config;
+    config.trainer.epochs = 120;
+    core::TrainedCharacterizer h = core::train_characterizer(
+        tb.model.network, tb.model.attach_layer,
+        tb.property_train(data::InputProperty::kBendRightStrong),
+        tb.property_val(data::InputProperty::kBendRightStrong), config);
+    std::printf("[setup] characterizer train-acc %.4f, val-acc %.4f\n",
+                h.train_confusion.accuracy(), h.separability());
+
+    const std::vector<Tensor> activations = monitor::record_activations(
+        tb.model.network, tb.model.attach_layer, tb.odd_inputs());
+    monitor::DiffMonitor mon = monitor::DiffMonitor::from_activations(activations);
+    monitor::RelationMonitor all_pairs = monitor::RelationMonitor::from_activations(
+        activations,
+        monitor::RelationMonitor::all_pairs(activations.front().numel()));
+
+    const absint::Box input_box =
+        absint::uniform_box(tb.model.network.input_shape().numel(), 0.0, 1.0);
+    absint::Box static_box = absint::propagate_box_range(tb.model.network, input_box, 0,
+                                                         tb.model.attach_layer);
+    return VerificationSetup{std::move(h), std::move(mon), std::move(all_pairs),
+                             std::move(static_box)};
+  }();
+  return instance;
+}
+
+verify::VerificationQuery make_query(const VerificationSetup& setup,
+                                     const verify::RiskSpec& risk, BoundsKind kind) {
+  const Testbed& tb = testbed();
+  verify::VerificationQuery q;
+  q.network = &tb.model.network;
+  q.attach_layer = tb.model.attach_layer;
+  q.characterizer = &setup.characterizer.network;
+  q.risk = risk;
+  switch (kind) {
+    case BoundsKind::kStaticInputBox:
+      q.input_box = setup.static_box;
+      break;
+    case BoundsKind::kMonitorBox:
+      q.input_box = setup.monitor.box();
+      break;
+    case BoundsKind::kMonitorBoxDiff:
+      q.input_box = setup.monitor.box();
+      q.diff_bounds = setup.monitor.diff_bounds();
+      break;
+    case BoundsKind::kMonitorAllPairs: {
+      const monitor::RelationMonitor& mon = setup.all_pairs_monitor;
+      q.input_box = mon.box();
+      for (std::size_t k = 0; k < mon.pairs().size(); ++k)
+        q.pair_bounds.push_back(
+            {mon.pairs()[k].first, mon.pairs()[k].second, mon.pair_bounds()[k]});
+      break;
+    }
+  }
+  return q;
+}
+
+}  // namespace dpv::bench

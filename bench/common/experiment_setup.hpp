@@ -1,0 +1,41 @@
+// Shared verification setup for the Section-V experiments (E1, E2, E4):
+// the bend-right characterizer trained at layer l, the S̃ monitor built
+// from the training images, and query construction for each bounds
+// source the paper discusses.
+#pragma once
+
+#include "absint/box_domain.hpp"
+#include "common/testbed.hpp"
+#include "core/characterizer.hpp"
+#include "monitor/diff_monitor.hpp"
+#include "monitor/relation_monitor.hpp"
+#include "verify/verifier.hpp"
+
+namespace dpv::bench {
+
+enum class BoundsKind {
+  kStaticInputBox,    ///< interval propagation of [0,1]^pixels (footnote 1)
+  kMonitorBox,        ///< S̃ per-neuron hull (Fig. 1)
+  kMonitorBoxDiff,    ///< S̃ + adjacent-difference bounds (Sec. V)
+  kMonitorAllPairs,   ///< S̃ + all pairwise differences (generalization)
+};
+
+const char* bounds_kind_name(BoundsKind kind);
+
+struct VerificationSetup {
+  core::TrainedCharacterizer characterizer;
+  monitor::DiffMonitor monitor;
+  monitor::RelationMonitor all_pairs_monitor;
+  absint::Box static_box;  ///< layer-l box from static interval analysis
+};
+
+/// Process-wide setup for the bend-right property (trains on first use).
+const VerificationSetup& verification_setup();
+
+/// Assembles a query against the testbed model for the given risk spec
+/// and bounds source. The returned query borrows the testbed network and
+/// the setup's characterizer; both outlive any bench iteration.
+verify::VerificationQuery make_query(const VerificationSetup& setup,
+                                     const verify::RiskSpec& risk, BoundsKind kind);
+
+}  // namespace dpv::bench

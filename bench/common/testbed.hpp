@@ -1,0 +1,36 @@
+// Shared experiment testbed.
+//
+// Every bench binary needs the same substrate the paper's evaluation
+// used: a trained direct perception network plus labelled road data. The
+// testbed trains it once (deterministically) and caches the weights on
+// disk, so repeated bench runs skip the training phase.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "data/dataset_gen.hpp"
+#include "data/perception_model.hpp"
+#include "train/dataset.hpp"
+
+namespace dpv::bench {
+
+struct Testbed {
+  data::PerceptionModel model;
+  std::vector<data::RoadSample> train_samples;
+  std::vector<data::RoadSample> val_samples;
+  train::Dataset regression_train;
+
+  /// image -> {0,1} datasets for one property oracle.
+  train::Dataset property_train(data::InputProperty property) const;
+  train::Dataset property_val(data::InputProperty property) const;
+
+  /// All training images (S̃ construction input).
+  std::vector<Tensor> odd_inputs() const { return regression_train.inputs(); }
+};
+
+/// Returns the process-wide testbed, training (or loading from
+/// ./dpv_testbed_model_v1.txt) on first use. Prints progress to stdout.
+const Testbed& testbed();
+
+}  // namespace dpv::bench

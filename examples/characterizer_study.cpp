@@ -1,0 +1,95 @@
+// Characterizer study: which properties survive the information
+// bottleneck?
+//
+// Reproduces the Section-V finding standalone: characterizers for
+// properties the network's *output* depends on (road bend direction)
+// train to high accuracy from close-to-output features, while properties
+// the output ignores (adjacent-lane traffic, illumination) collapse
+// toward coin flipping — the close-to-output layers have already
+// discarded that information. The study also sweeps the attachment depth
+// to show the effect strengthening toward the output.
+//
+//   $ ./characterizer_study
+#include <cstdio>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "data/dataset_gen.hpp"
+#include "data/perception_model.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+using namespace dpv;
+
+int main() {
+  data::PerceptionConfig pconfig;
+  pconfig.render.width = 16;
+  pconfig.render.height = 8;
+  pconfig.conv1_channels = 2;
+  pconfig.conv2_channels = 4;
+  pconfig.embedding = 16;
+  pconfig.features = 8;
+  pconfig.tail_hidden = 8;
+  Rng rng(9);
+  data::PerceptionModel model = data::make_perception_network(pconfig, rng);
+
+  data::RoadDatasetConfig train_cfg{800, 13, pconfig.render};
+  data::RoadDatasetConfig val_cfg{400, 14, pconfig.render};
+  const auto train_samples = data::generate_road_samples(train_cfg);
+  const auto val_samples = data::generate_road_samples(val_cfg);
+
+  std::printf("training perception model (%zu frames)...\n\n", train_cfg.count);
+  train::Dataset regression = data::to_regression_dataset(train_samples);
+  train::MseLoss loss;
+  train::Adam optimizer(0.01);
+  train::Trainer trainer({.epochs = 10, .batch_size = 32, .shuffle_seed = 2});
+  trainer.fit(model.network, regression, loss, optimizer);
+
+  const data::InputProperty properties[] = {
+      data::InputProperty::kBendRightStrong,
+      data::InputProperty::kBendLeftStrong,
+      data::InputProperty::kTrafficAdjacent,
+      data::InputProperty::kLowLight,
+  };
+
+  std::printf("%-26s | %-15s | %9s | %9s\n", "property phi", "output-related?", "train-acc",
+              "val-acc");
+  std::printf("---------------------------+-----------------+-----------+----------\n");
+  for (const data::InputProperty property : properties) {
+    core::CharacterizerConfig config;
+    config.trainer.epochs = 100;
+    const core::TrainedCharacterizer h = core::train_characterizer(
+        model.network, model.attach_layer,
+        data::to_property_dataset(train_samples, property),
+        data::to_property_dataset(val_samples, property), config);
+    std::printf("%-26s | %-15s | %9.4f | %9.4f%s\n", data::property_name(property).c_str(),
+                data::property_output_relevant(property) ? "yes" : "no",
+                h.train_confusion.accuracy(), h.separability(),
+                h.separability() < 0.75 ? "   <- ~ coin flipping" : "");
+  }
+
+  // Depth sweep: traffic-adjacent evidence fades as the attachment point
+  // moves toward the output (the bottleneck tightens layer by layer).
+  std::printf("\nattachment-depth sweep for traffic-in-adjacent-lane:\n");
+  std::printf("%-10s | %9s\n", "layer l", "val-acc");
+  std::printf("-----------+----------\n");
+  const train::Dataset traffic_train =
+      data::to_property_dataset(train_samples, data::InputProperty::kTrafficAdjacent);
+  const train::Dataset traffic_val =
+      data::to_property_dataset(val_samples, data::InputProperty::kTrafficAdjacent);
+  for (std::size_t l = 7; l <= model.attach_layer; ++l) {
+    if (model.network.layer(l == model.network.layer_count() ? l - 1 : l).input_shape().rank() !=
+        1)
+      continue;  // only rank-1 feature layers are valid attachment points
+    core::CharacterizerConfig config;
+    config.trainer.epochs = 60;
+    const core::TrainedCharacterizer h = core::train_characterizer(
+        model.network, l, traffic_train, traffic_val, config);
+    std::printf("%-10zu | %9.4f\n", l, h.separability());
+  }
+  std::printf("\ninterpretation: unable to characterize => unable to verify that property at\n"
+              "layer l. The paper's suggested remedies: attach earlier, capture more data,\n"
+              "or fall back to adversarial counterexample search.\n");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// Runtime monitor demo: discharging the assume-guarantee assumption.
+//
+// A conditional safety proof over S̃ only applies to frames whose layer-l
+// activation stays inside S̃ (paper footnote 2: leaving the interval also
+// hints at incomplete data collection or ODD exit). This demo builds
+// three monitors of increasing strength from in-ODD traffic — per-neuron
+// box (Fig. 1), + adjacent differences (Sec. V), + all pairwise
+// differences (this library's generalization) — and streams four kinds
+// of frames at them:
+//   * fresh in-ODD frames   -> should mostly pass (false-warning rate),
+//   * night scenes          -> darkness scales activations toward zero,
+//                              which ReLU boxes often cannot distinguish
+//                              from valid dim ODD frames — an honest
+//                              limitation worth seeing,
+//   * overexposed frames    -> glare pushes activations above anything
+//                              recorded,
+//   * sensor garbage        -> uniform noise breaks inter-neuron
+//                              correlations that pairwise bounds track.
+//
+//   $ ./runtime_monitor_demo
+#include <cstdio>
+
+#include "data/dataset_gen.hpp"
+#include "data/perception_model.hpp"
+#include "monitor/activation_recorder.hpp"
+#include "monitor/relation_monitor.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+using namespace dpv;
+
+namespace {
+
+double warning_rate(const nn::Network& net, std::size_t attach_layer,
+                    const monitor::RelationMonitor& mon, const std::vector<Tensor>& frames) {
+  std::size_t warnings = 0;
+  for (const Tensor& frame : frames)
+    if (!mon.contains(net.forward_prefix(frame, attach_layer))) ++warnings;
+  return static_cast<double>(warnings) / static_cast<double>(frames.size());
+}
+
+}  // namespace
+
+int main() {
+  // Train a small perception model on in-ODD data.
+  data::PerceptionConfig pconfig;
+  pconfig.render.width = 16;
+  pconfig.render.height = 8;
+  pconfig.conv1_channels = 2;
+  pconfig.conv2_channels = 4;
+  pconfig.embedding = 16;
+  pconfig.features = 8;
+  pconfig.tail_hidden = 8;
+  Rng rng(5);
+  data::PerceptionModel model = data::make_perception_network(pconfig, rng);
+
+  data::RoadDatasetConfig odd_cfg{600, 7, pconfig.render};
+  const auto odd_samples = data::generate_road_samples(odd_cfg);
+  train::Dataset regression = data::to_regression_dataset(odd_samples);
+  train::MseLoss loss;
+  train::Adam optimizer(0.01);
+  train::Trainer trainer({.epochs = 8, .batch_size = 32, .shuffle_seed = 1});
+  std::printf("training perception model on %zu in-ODD frames...\n", regression.size());
+  trainer.fit(model.network, regression, loss, optimizer);
+
+  // Monitors of increasing strength from the training activations.
+  const std::vector<Tensor> activations =
+      monitor::record_activations(model.network, model.attach_layer, regression.inputs());
+  const std::size_t width = activations.front().numel();
+  const double margin = 0.02;
+  const monitor::RelationMonitor box_mon =
+      monitor::RelationMonitor::from_activations(activations, {}, margin);
+  const monitor::RelationMonitor adj_mon = monitor::RelationMonitor::from_activations(
+      activations, monitor::RelationMonitor::adjacent_pairs(width), margin);
+  const monitor::RelationMonitor pair_mon = monitor::RelationMonitor::from_activations(
+      activations, monitor::RelationMonitor::all_pairs(width), margin);
+  std::printf("monitors built over %zu neurons: box, +%zu adjacent diffs, +%zu pair diffs\n\n",
+              width, adj_mon.pairs().size(), pair_mon.pairs().size());
+
+  // Frame streams.
+  data::RoadDatasetConfig fresh_cfg{300, 77, pconfig.render};
+  std::vector<Tensor> in_odd;
+  for (const auto& s : data::generate_road_samples(fresh_cfg)) in_odd.push_back(s.image);
+
+  std::vector<Tensor> night_frames, glare_frames;
+  Rng variant_rng(88);
+  for (int i = 0; i < 300; ++i) {
+    data::RoadScenario night = data::sample_scenario(variant_rng);
+    night.brightness = 0.15;  // training saw [0.6, 1.1]
+    night_frames.push_back(data::render_road_image(night, pconfig.render));
+    data::RoadScenario glare = data::sample_scenario(variant_rng);
+    glare.brightness = 1.8;
+    glare_frames.push_back(data::render_road_image(glare, pconfig.render));
+  }
+
+  std::vector<Tensor> garbage_frames;
+  Rng garbage_rng(99);
+  for (int i = 0; i < 300; ++i) {
+    Tensor frame(Shape{1, pconfig.render.height, pconfig.render.width});
+    for (std::size_t p = 0; p < frame.numel(); ++p)
+      frame[p] = garbage_rng.uniform(0.0, 1.0);
+    garbage_frames.push_back(std::move(frame));
+  }
+
+  const struct {
+    const char* name;
+    const std::vector<Tensor>* frames;
+  } streams[] = {{"fresh in-ODD frames", &in_odd},
+                 {"night scenes (out of ODD)", &night_frames},
+                 {"overexposed / glare", &glare_frames},
+                 {"sensor garbage", &garbage_frames}};
+
+  std::printf("%-28s | %9s | %12s | %11s\n", "frame stream", "box", "box+adjacent",
+              "box+pairs");
+  std::printf("-----------------------------+-----------+--------------+------------\n");
+  for (const auto& stream : streams) {
+    std::printf("%-28s | %7.1f %% | %10.1f %% | %9.1f %%\n", stream.name,
+                100.0 * warning_rate(model.network, model.attach_layer, box_mon,
+                                     *stream.frames),
+                100.0 * warning_rate(model.network, model.attach_layer, adj_mon,
+                                     *stream.frames),
+                100.0 * warning_rate(model.network, model.attach_layer, pair_mon,
+                                     *stream.frames));
+  }
+
+  // Show one concrete violation report.
+  for (const Tensor& frame : glare_frames) {
+    const Tensor features = model.network.forward_prefix(frame, model.attach_layer);
+    const auto violations = pair_mon.violations(features);
+    if (!violations.empty()) {
+      std::printf("\nexample violation report (glare frame):\n");
+      for (std::size_t i = 0; i < violations.size() && i < 4; ++i)
+        std::printf("  warn: %s\n", violations[i].c_str());
+      break;
+    }
+  }
+  std::printf(
+      "\ninterpretation: warnings discharge the assume-guarantee assumption at\n"
+      "runtime -- when they fire, the conditional safety proof does not cover the\n"
+      "frame. Stronger monitors catch more out-of-ODD traffic at the cost of a\n"
+      "higher false-warning rate on fresh in-ODD frames; darkness that merely\n"
+      "*shrinks* ReLU activations can evade box monitors entirely (footnote 2's\n"
+      "'incomplete data collection' caveat applies).\n");
+  return 0;
+}

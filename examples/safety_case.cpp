@@ -1,0 +1,83 @@
+// Safety case: a battery of (property, risk) queries in one campaign.
+//
+// Real safety argumentation is a table, not a single proof: for each
+// input condition phi and undesired behaviour psi, record whether phi is
+// characterizable at layer l, the verification verdict, and the residual
+// statistical risk (1 - gamma). This example assembles that table for
+// the road substrate — including a property that fails characterization
+// (adjacent-lane traffic), which the campaign reports as N/A rather than
+// pretending to verify it.
+//
+//   $ ./safety_case
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "data/dataset_gen.hpp"
+#include "data/perception_model.hpp"
+#include "train/loss.hpp"
+#include "train/optimizer.hpp"
+#include "train/trainer.hpp"
+
+using namespace dpv;
+
+int main() {
+  // Train a compact perception model.
+  data::PerceptionConfig pconfig;
+  pconfig.render.width = 16;
+  pconfig.render.height = 8;
+  pconfig.conv1_channels = 2;
+  pconfig.conv2_channels = 4;
+  pconfig.embedding = 16;
+  pconfig.features = 8;
+  pconfig.tail_hidden = 8;
+  Rng rng(71);
+  data::PerceptionModel model = data::make_perception_network(pconfig, rng);
+
+  data::RoadDatasetConfig train_cfg{900, 17, pconfig.render};
+  data::RoadDatasetConfig val_cfg{400, 18, pconfig.render};
+  const auto train_samples = data::generate_road_samples(train_cfg);
+  const auto val_samples = data::generate_road_samples(val_cfg);
+
+  std::printf("training perception model (%zu frames)...\n", train_cfg.count);
+  train::Dataset regression = data::to_regression_dataset(train_samples);
+  train::MseLoss loss;
+  train::Adam optimizer(0.005);
+  train::Trainer trainer({.epochs = 12, .batch_size = 32, .shuffle_seed = 4});
+  trainer.fit(model.network, regression, loss, optimizer);
+
+  // Risk conditions over [waypoint, heading].
+  verify::RiskSpec far_left("steer far left (heading <= -0.5)");
+  far_left.output_at_most(1, 2, -0.5);
+  verify::RiskSpec far_right("steer far right (heading >= 0.5)");
+  far_right.output_at_least(1, 2, 0.5);
+  verify::RiskSpec straight("steer straight (|heading| <= 0.05)");
+  straight.output_in_range(1, 2, -0.05, 0.05);
+
+  const auto entry = [&](data::InputProperty property, const verify::RiskSpec& risk) {
+    return core::CampaignEntry{data::property_name(property),
+                               data::to_property_dataset(train_samples, property),
+                               data::to_property_dataset(val_samples, property), risk};
+  };
+
+  std::vector<core::CampaignEntry> entries;
+  entries.push_back(entry(data::InputProperty::kBendRightStrong, far_left));
+  entries.push_back(entry(data::InputProperty::kBendRightStrong, straight));
+  entries.push_back(entry(data::InputProperty::kBendLeftStrong, far_right));
+  entries.push_back(entry(data::InputProperty::kTrafficAdjacent, far_left));
+
+  core::WorkflowConfig config;
+  config.characterizer.trainer.epochs = 100;
+
+  std::printf("running %zu-entry safety campaign...\n\n", entries.size());
+  const core::CampaignReport report =
+      core::run_campaign(model.network, model.attach_layer, entries, config);
+  std::printf("%s\n", report.format_table().c_str());
+
+  std::printf("\nnotes:\n"
+              "* SAFE (conditional) entries require deploying the runtime monitor.\n"
+              "* UNSAFE entries carry an abstract counterexample at layer l.\n"
+              "* N/A entries mirror the paper's information-bottleneck finding: the\n"
+              "  property is invisible at close-to-output layers, so this workflow\n"
+              "  cannot verify it there.\n");
+  return 0;
+}

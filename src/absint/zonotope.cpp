@@ -1,0 +1,154 @@
+#include "absint/zonotope.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
+
+namespace dpv::absint {
+
+Zonotope Zonotope::from_box(const Box& box) {
+  Zonotope z;
+  z.center_.resize(box.size());
+  for (std::size_t i = 0; i < box.size(); ++i) {
+    z.center_[i] = box[i].midpoint();
+    const double radius = 0.5 * box[i].width();
+    if (radius > 0.0) {
+      std::vector<double> gen(box.size(), 0.0);
+      gen[i] = radius;
+      z.generators_.push_back(std::move(gen));
+    }
+  }
+  return z;
+}
+
+Box Zonotope::to_box() const {
+  Box box(center_.size());
+  for (std::size_t i = 0; i < center_.size(); ++i) {
+    double radius = 0.0;
+    for (const auto& gen : generators_) radius += std::abs(gen[i]);
+    box[i] = Interval(center_[i] - radius, center_[i] + radius);
+  }
+  return box;
+}
+
+double Zonotope::total_width() const { return box_total_width(to_box()); }
+
+Zonotope Zonotope::affine(const std::vector<std::vector<double>>& weight,
+                          const std::vector<double>& bias) const {
+  const std::size_t out_n = weight.size();
+  check(out_n == bias.size(), "Zonotope::affine: weight/bias mismatch");
+  Zonotope out;
+  out.center_.assign(out_n, 0.0);
+  for (std::size_t r = 0; r < out_n; ++r) {
+    check(weight[r].size() == center_.size(), "Zonotope::affine: weight width mismatch");
+    double acc = bias[r];
+    for (std::size_t c = 0; c < center_.size(); ++c) acc += weight[r][c] * center_[c];
+    out.center_[r] = acc;
+  }
+  out.generators_.reserve(generators_.size());
+  for (const auto& gen : generators_) {
+    std::vector<double> mapped(out_n, 0.0);
+    for (std::size_t r = 0; r < out_n; ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < center_.size(); ++c) acc += weight[r][c] * gen[c];
+      mapped[r] = acc;
+    }
+    out.generators_.push_back(std::move(mapped));
+  }
+  return out;
+}
+
+Zonotope Zonotope::scale_shift(const std::vector<double>& scale,
+                               const std::vector<double>& shift) const {
+  check(scale.size() == center_.size() && shift.size() == center_.size(),
+        "Zonotope::scale_shift: dimension mismatch");
+  Zonotope out = *this;
+  for (std::size_t i = 0; i < center_.size(); ++i)
+    out.center_[i] = scale[i] * center_[i] + shift[i];
+  for (auto& gen : out.generators_)
+    for (std::size_t i = 0; i < gen.size(); ++i) gen[i] *= scale[i];
+  return out;
+}
+
+Zonotope Zonotope::relu() const {
+  const Box bounds = to_box();
+  const std::size_t n = center_.size();
+  Zonotope out = *this;
+  // Coefficients of the per-dimension affine map y = lambda*x + mu, plus
+  // the fresh-noise magnitude beta for unstable dimensions.
+  std::vector<double> fresh(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = bounds[i].lo;
+    const double hi = bounds[i].hi;
+    if (lo >= 0.0) continue;  // identity
+    if (hi <= 0.0) {          // constantly zero
+      out.center_[i] = 0.0;
+      for (auto& gen : out.generators_) gen[i] = 0.0;
+      continue;
+    }
+    // Unstable: y in [lambda*x, lambda*x - lambda*lo] with
+    // lambda = hi/(hi-lo); take the midline and a fresh symbol of radius
+    // mu = -lambda*lo/2 (the DeepZ transformer).
+    const double lambda = hi / (hi - lo);
+    const double mu = -lambda * lo * 0.5;
+    out.center_[i] = lambda * out.center_[i] + mu;
+    for (auto& gen : out.generators_) gen[i] *= lambda;
+    fresh[i] = mu;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (fresh[i] == 0.0) continue;
+    std::vector<double> gen(n, 0.0);
+    gen[i] = fresh[i];
+    out.generators_.push_back(std::move(gen));
+  }
+  return out;
+}
+
+Zonotope propagate_zonotope_range(const nn::Network& net, Zonotope z, std::size_t from_layer,
+                                  std::size_t to_layer) {
+  check(from_layer <= to_layer && to_layer <= net.layer_count(),
+        "propagate_zonotope_range: invalid layer range");
+  for (std::size_t i = from_layer; i < to_layer; ++i) {
+    const nn::Layer& layer = net.layer(i);
+    switch (layer.kind()) {
+      case nn::LayerKind::kDense: {
+        const auto& d = static_cast<const nn::Dense&>(layer);
+        const std::size_t out_n = d.output_shape().dim(0);
+        const std::size_t in_n = d.input_shape().dim(0);
+        std::vector<std::vector<double>> weight(out_n, std::vector<double>(in_n));
+        std::vector<double> bias(out_n);
+        for (std::size_t r = 0; r < out_n; ++r) {
+          bias[r] = d.bias()[r];
+          for (std::size_t c = 0; c < in_n; ++c) weight[r][c] = d.weight().at2(r, c);
+        }
+        z = z.affine(weight, bias);
+        break;
+      }
+      case nn::LayerKind::kReLU:
+        z = z.relu();
+        break;
+      case nn::LayerKind::kBatchNorm: {
+        const auto& bn = static_cast<const nn::BatchNorm&>(layer);
+        const std::size_t n = bn.input_shape().dim(0);
+        std::vector<double> scale(n), shift(n);
+        for (std::size_t f = 0; f < n; ++f) {
+          scale[f] = bn.effective_scale(f);
+          shift[f] = bn.effective_shift(f);
+        }
+        z = z.scale_shift(scale, shift);
+        break;
+      }
+      case nn::LayerKind::kFlatten:
+        break;  // reshape only
+      default:
+        throw ContractViolation("propagate_zonotope_range: unsupported layer kind '" +
+                                nn::layer_kind_name(layer.kind()) +
+                                "' (zonotopes cover verified tails: dense/relu/batchnorm)");
+    }
+  }
+  return z;
+}
+
+}  // namespace dpv::absint

@@ -1,0 +1,63 @@
+// Zonotope abstract domain.
+//
+// Affine forms c + sum_k g_k * e_k with noise symbols e_k in [-1, 1].
+// Exact through affine layers (Dense, BatchNorm) — this is what makes the
+// domain tighter than boxes, which lose all correlation between neurons —
+// and over-approximated through ReLU with the standard single-neuron
+// linear relaxation (one fresh noise symbol per unstable ReLU, as in
+// DeepZ / AI2's zonotope transformer).
+//
+// Supported layer kinds are the ones occurring in verified tails (Dense,
+// ReLU, BatchNorm, Flatten); convolutional front-ends are cut away by the
+// paper's Lemma 1 before the domain is applied.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "absint/interval.hpp"
+#include "nn/network.hpp"
+
+namespace dpv::absint {
+
+class Zonotope {
+ public:
+  /// Zonotope enclosing a box: one generator per non-degenerate dimension.
+  static Zonotope from_box(const Box& box);
+
+  std::size_t dimensions() const { return center_.size(); }
+  std::size_t generator_count() const { return generators_.size(); }
+
+  /// Interval concretization per dimension: c_i ± sum_k |g_k[i]|.
+  Box to_box() const;
+
+  /// Tightness measure: total width of the concretized box.
+  double total_width() const;
+
+  const std::vector<double>& center() const { return center_; }
+  const std::vector<std::vector<double>>& generators() const { return generators_; }
+
+  /// y = W x + b (exact).
+  Zonotope affine(const std::vector<std::vector<double>>& weight,
+                  const std::vector<double>& bias) const;
+
+  /// Per-dimension scale + shift (exact; BatchNorm inference form).
+  Zonotope scale_shift(const std::vector<double>& scale, const std::vector<double>& shift) const;
+
+  /// ReLU transformer (sound over-approximation; may add generators).
+  Zonotope relu() const;
+
+ private:
+  Zonotope() = default;
+
+  std::vector<double> center_;
+  // generators_[k][i]: coefficient of noise symbol k in dimension i.
+  std::vector<std::vector<double>> generators_;
+};
+
+/// Propagates a zonotope through layers [from_layer, to_layer) of `net`.
+/// Throws ContractViolation for unsupported layer kinds.
+Zonotope propagate_zonotope_range(const nn::Network& net, Zonotope z, std::size_t from_layer,
+                                  std::size_t to_layer);
+
+}  // namespace dpv::absint

@@ -1,0 +1,13 @@
+#include "common/check.hpp"
+
+namespace dpv {
+
+void check(bool condition, const std::string& message) {
+  if (!condition) throw ContractViolation(message);
+}
+
+void internal_check(bool condition, const std::string& message) {
+  if (!condition) throw InternalError(message);
+}
+
+}  // namespace dpv

@@ -1,0 +1,33 @@
+// Checked preconditions and internal-consistency assertions.
+//
+// The library reports contract violations by throwing: callers passing
+// malformed models or shapes get a diagnosable `dpv::ContractViolation`
+// instead of undefined behaviour. Checks stay enabled in release builds;
+// every call site is on a cold path (construction / configuration), never
+// inside numeric inner loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dpv {
+
+/// Thrown when a documented precondition of a public API is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when an internal invariant fails (a bug in this library).
+class InternalError : public std::logic_error {
+ public:
+  explicit InternalError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws ContractViolation with `message` when `condition` is false.
+void check(bool condition, const std::string& message);
+
+/// Throws InternalError with `message` when `condition` is false.
+void internal_check(bool condition, const std::string& message);
+
+}  // namespace dpv

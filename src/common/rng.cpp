@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+
+namespace dpv {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+void Rng::shuffle(std::vector<std::size_t>& indices) {
+  std::shuffle(indices.begin(), indices.end(), engine_);
+}
+
+}  // namespace dpv

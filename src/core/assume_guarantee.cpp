@@ -1,0 +1,97 @@
+#include "core/assume_guarantee.hpp"
+
+#include <sstream>
+
+#include "absint/box_domain.hpp"
+#include "common/check.hpp"
+#include "monitor/activation_recorder.hpp"
+
+namespace dpv::core {
+
+const char* bounds_source_name(BoundsSource source) {
+  switch (source) {
+    case BoundsSource::kStaticAnalysis:
+      return "static-interval-analysis";
+    case BoundsSource::kMonitorBox:
+      return "monitor-box";
+    case BoundsSource::kMonitorBoxDiff:
+      return "monitor-box+diff";
+  }
+  return "?";
+}
+
+const char* safety_verdict_name(SafetyVerdict verdict) {
+  switch (verdict) {
+    case SafetyVerdict::kSafeUnconditional:
+      return "SAFE (unconditional)";
+    case SafetyVerdict::kSafeConditional:
+      return "SAFE (conditional on runtime monitor)";
+    case SafetyVerdict::kUnsafe:
+      return "UNSAFE (counterexample in abstraction)";
+    case SafetyVerdict::kUnknown:
+      return "UNKNOWN (resource limit)";
+  }
+  return "?";
+}
+
+std::string SafetyCase::summary() const {
+  std::ostringstream out;
+  out << safety_verdict_name(verdict) << " via " << bounds_source_name(bounds_source) << "; "
+      << verification.summary();
+  return out.str();
+}
+
+AssumeGuaranteeVerifier::AssumeGuaranteeVerifier(AssumeGuaranteeConfig config)
+    : config_(std::move(config)) {}
+
+SafetyCase AssumeGuaranteeVerifier::verify(const nn::Network& network,
+                                           std::size_t attach_layer,
+                                           const nn::Network* characterizer,
+                                           const verify::RiskSpec& risk,
+                                           const std::vector<Tensor>& odd_inputs,
+                                           const absint::Box& input_box) const {
+  SafetyCase result;
+  result.bounds_source = config_.bounds;
+
+  verify::VerificationQuery query;
+  query.network = &network;
+  query.attach_layer = attach_layer;
+  query.characterizer = characterizer;
+  query.risk = risk;
+
+  if (config_.bounds == BoundsSource::kStaticAnalysis) {
+    check(!input_box.empty(),
+          "AssumeGuaranteeVerifier: static analysis requires the raw input box");
+    query.input_box = absint::propagate_box_range(network, input_box, 0, attach_layer);
+  } else {
+    check(!odd_inputs.empty(),
+          "AssumeGuaranteeVerifier: monitor bounds require ODD training inputs");
+    const std::vector<Tensor> activations =
+        monitor::record_activations(network, attach_layer, odd_inputs);
+    monitor::DiffMonitor mon =
+        monitor::DiffMonitor::from_activations(activations, config_.monitor_margin);
+    query.input_box = mon.box();
+    if (config_.bounds == BoundsSource::kMonitorBoxDiff) query.diff_bounds = mon.diff_bounds();
+    result.deployed_monitor = std::move(mon);
+  }
+
+  const verify::TailVerifier verifier(config_.verifier);
+  result.verification = verifier.verify(query);
+
+  switch (result.verification.verdict) {
+    case verify::Verdict::kSafe:
+      result.verdict = config_.bounds == BoundsSource::kStaticAnalysis
+                           ? SafetyVerdict::kSafeUnconditional
+                           : SafetyVerdict::kSafeConditional;
+      break;
+    case verify::Verdict::kUnsafe:
+      result.verdict = SafetyVerdict::kUnsafe;
+      break;
+    case verify::Verdict::kUnknown:
+      result.verdict = SafetyVerdict::kUnknown;
+      break;
+  }
+  return result;
+}
+
+}  // namespace dpv::core

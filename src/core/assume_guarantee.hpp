@@ -1,0 +1,77 @@
+// Assume-guarantee safety verification (Sec. II-B of the paper).
+//
+// Three ways to obtain the layer-l abstraction, in decreasing order of
+// strength of the resulting claim:
+//   * kStaticAnalysis — propagate the raw input box through the whole
+//     prefix with interval arithmetic: a sound S (Lemma 2); a SAFE
+//     verdict is unconditional, but the paper's footnote 1 explains why
+//     this usually admits out-of-ODD garbage inputs and fails to prove
+//     anything useful.
+//   * kMonitorBox — S̃ = per-neuron min/max over the training data
+//     (Fig. 1); SAFE becomes *conditional* on the runtime monitor, which
+//     must check f^(l)(in) ∈ S̃ on every deployed frame.
+//   * kMonitorBoxDiff — S̃ additionally bounded by adjacent-neuron
+//     differences (Sec. V's strengthening); same conditionality.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "monitor/diff_monitor.hpp"
+#include "nn/network.hpp"
+#include "verify/verifier.hpp"
+
+namespace dpv::core {
+
+enum class BoundsSource { kStaticAnalysis, kMonitorBox, kMonitorBoxDiff };
+
+const char* bounds_source_name(BoundsSource source);
+
+enum class SafetyVerdict {
+  kSafeUnconditional,  ///< proven over a sound static S
+  kSafeConditional,    ///< proven over S̃; valid while the monitor is quiet
+  kUnsafe,             ///< counterexample within the abstraction
+  kUnknown,            ///< solver resource limit
+};
+
+const char* safety_verdict_name(SafetyVerdict verdict);
+
+struct AssumeGuaranteeConfig {
+  BoundsSource bounds = BoundsSource::kMonitorBoxDiff;
+  /// Fractional margin applied to monitor hulls (0 = exact hull).
+  double monitor_margin = 0.0;
+  verify::TailVerifierOptions verifier = {};
+};
+
+struct SafetyCase {
+  SafetyVerdict verdict = SafetyVerdict::kUnknown;
+  BoundsSource bounds_source = BoundsSource::kMonitorBoxDiff;
+  verify::VerificationResult verification;
+  /// The monitor to deploy alongside a conditional proof.
+  std::optional<monitor::DiffMonitor> deployed_monitor;
+
+  std::string summary() const;
+};
+
+class AssumeGuaranteeVerifier {
+ public:
+  explicit AssumeGuaranteeVerifier(AssumeGuaranteeConfig config = {});
+
+  /// Verifies `risk` over the tail of `network` cut at `attach_layer`.
+  ///
+  /// `characterizer` may be null (no property constraint). For monitor
+  /// bounds, `odd_inputs` supplies the training-set images whose layer-l
+  /// activations induce S̃; for static analysis, `input_box` is the raw
+  /// input domain (e.g. [0,1]^pixels).
+  SafetyCase verify(const nn::Network& network, std::size_t attach_layer,
+                    const nn::Network* characterizer, const verify::RiskSpec& risk,
+                    const std::vector<Tensor>& odd_inputs,
+                    const absint::Box& input_box) const;
+
+ private:
+  AssumeGuaranteeConfig config_;
+};
+
+}  // namespace dpv::core

@@ -1,0 +1,64 @@
+#include "core/campaign.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dpv::core {
+
+std::string CampaignReport::format_table() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(4);
+  out << std::left << std::setw(28) << "property phi" << " | " << std::setw(34) << "risk psi"
+      << " | " << std::setw(9) << "char-acc" << " | " << std::setw(38) << "verdict" << " | "
+      << "1-gamma\n";
+  out << std::string(28, '-') << "-+-" << std::string(34, '-') << "-+-" << std::string(9, '-')
+      << "-+-" << std::string(38, '-') << "-+--------\n";
+  for (const WorkflowReport& r : reports) {
+    out << std::left << std::setw(28) << r.property_name << " | " << std::setw(34)
+        << r.risk_name << " | " << std::setw(9) << r.characterizer.separability() << " | "
+        << std::setw(38)
+        << (r.characterizer_usable ? safety_verdict_name(r.safety.verdict)
+                                   : "N/A (property not characterizable)")
+        << " | " << r.table_one.guarantee() << "\n";
+  }
+  out << "\ntally: " << safe_count << " safe, " << unsafe_count << " unsafe, "
+      << unknown_count << " unknown, " << uncharacterizable_count
+      << " not characterizable at layer l";
+  return out.str();
+}
+
+CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_layer,
+                            const std::vector<CampaignEntry>& entries,
+                            const WorkflowConfig& config) {
+  check(!entries.empty(), "run_campaign: no entries");
+  const SafetyWorkflow workflow(perception, attach_layer);
+
+  CampaignReport report;
+  report.reports.reserve(entries.size());
+  for (const CampaignEntry& entry : entries) {
+    WorkflowReport wr = workflow.run(entry.property_name, entry.property_train,
+                                     entry.property_val, entry.risk, config);
+    if (!wr.characterizer_usable) {
+      ++report.uncharacterizable_count;
+    } else {
+      switch (wr.safety.verdict) {
+        case SafetyVerdict::kSafeUnconditional:
+        case SafetyVerdict::kSafeConditional:
+          ++report.safe_count;
+          break;
+        case SafetyVerdict::kUnsafe:
+          ++report.unsafe_count;
+          break;
+        case SafetyVerdict::kUnknown:
+          ++report.unknown_count;
+          break;
+      }
+    }
+    report.reports.push_back(std::move(wr));
+  }
+  return report;
+}
+
+}  // namespace dpv::core

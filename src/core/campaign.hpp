@@ -1,0 +1,43 @@
+// Safety verification campaigns.
+//
+// A safety case for a direct perception network is never one query: it is
+// a battery of (input property, risk condition) pairs, each with its own
+// characterizer, verdict and statistical strength. A campaign runs the
+// full workflow for every entry and aggregates the results into a single
+// table — the artifact a safety engineer would actually review.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/workflow.hpp"
+
+namespace dpv::core {
+
+/// One row of the safety case.
+struct CampaignEntry {
+  std::string property_name;
+  train::Dataset property_train;  ///< image -> {0,1} oracle labels
+  train::Dataset property_val;
+  verify::RiskSpec risk;
+};
+
+struct CampaignReport {
+  std::vector<WorkflowReport> reports;
+
+  std::size_t safe_count = 0;           ///< conditional or unconditional
+  std::size_t unsafe_count = 0;
+  std::size_t unknown_count = 0;
+  std::size_t uncharacterizable_count = 0;
+
+  /// Aggregated table (one line per entry) plus a verdict tally.
+  std::string format_table() const;
+};
+
+/// Runs the workflow for every entry against the same perception network.
+CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_layer,
+                            const std::vector<CampaignEntry>& entries,
+                            const WorkflowConfig& config);
+
+}  // namespace dpv::core

@@ -1,0 +1,63 @@
+#include "core/threshold.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dpv::core {
+
+ThresholdChoice choose_characterizer_threshold(const nn::Network& perception,
+                                               std::size_t attach_layer,
+                                               const nn::Network& characterizer,
+                                               const train::Dataset& labelled_images,
+                                               double max_gamma) {
+  check(!labelled_images.empty(), "choose_characterizer_threshold: empty calibration set");
+  check(max_gamma >= 0.0 && max_gamma < 1.0,
+        "choose_characterizer_threshold: gamma budget must be in [0, 1)");
+
+  std::vector<double> positive_logits;
+  std::vector<double> negative_logits;
+  for (const train::Sample& s : labelled_images.samples()) {
+    const Tensor features = perception.forward_prefix(s.input, attach_layer);
+    const double logit = characterizer.forward(features)[0];
+    if (s.target[0] >= 0.5)
+      positive_logits.push_back(logit);
+    else
+      negative_logits.push_back(logit);
+  }
+  check(!positive_logits.empty(),
+        "choose_characterizer_threshold: no positive examples to calibrate on");
+
+  const std::size_t n = labelled_images.size();
+  std::sort(positive_logits.begin(), positive_logits.end());
+
+  // gamma(t) = |{positives with logit < t}| / n. The largest admissible
+  // threshold misses exactly k = floor(max_gamma * n) positives: set it
+  // to the logit of the (k+1)-th smallest positive (that one is still
+  // classified h = 1 because the decision is logit >= t).
+  const auto k = static_cast<std::size_t>(max_gamma * static_cast<double>(n));
+  ThresholdChoice choice;
+  choice.samples = n;
+  if (k >= positive_logits.size()) {
+    // Budget allows missing every positive; cap just above the largest.
+    choice.threshold = positive_logits.back() + 1.0;
+  } else {
+    choice.threshold = positive_logits[k];
+  }
+
+  std::size_t missed_positives = 0;
+  for (const double logit : positive_logits)
+    if (logit < choice.threshold) ++missed_positives;
+  std::size_t admitted_negatives = 0;
+  for (const double logit : negative_logits)
+    if (logit >= choice.threshold) ++admitted_negatives;
+  choice.gamma = static_cast<double>(missed_positives) / static_cast<double>(n);
+  choice.beta = static_cast<double>(admitted_negatives) / static_cast<double>(n);
+  internal_check(choice.gamma <= max_gamma + 1e-12,
+                 "choose_characterizer_threshold: budget violated");
+  return choice;
+}
+
+}  // namespace dpv::core

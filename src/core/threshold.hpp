@@ -1,0 +1,39 @@
+// Characterizer operating-point selection.
+//
+// The characterizer's decision threshold trades the two Table-I error
+// cells against each other: raising it shrinks the {h=1} region (easier
+// proofs, more missed positives — larger gamma), lowering it does the
+// reverse. Since gamma is the statistical soundness gap of Sec. III, the
+// right discipline is to *budget* gamma and then take the highest
+// threshold that respects the budget — the easiest verification problem
+// whose residual risk is still acceptable. The chosen threshold feeds
+// verify::VerificationQuery::characterizer_threshold.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+#include "train/dataset.hpp"
+
+namespace dpv::core {
+
+struct ThresholdChoice {
+  /// Decide h = 1 iff logit >= threshold.
+  double threshold = 0.0;
+  /// Estimated Table-I cells at that threshold (relative frequencies on
+  /// the calibration set).
+  double gamma = 0.0;  ///< P(h=0 ∧ in ∈ In_phi) — the soundness gap
+  double beta = 0.0;   ///< P(h=1 ∧ in ∉ In_phi)
+  std::size_t samples = 0;
+};
+
+/// Chooses the largest threshold whose gamma on `labelled_images`
+/// (image -> {0,1} oracle labels, evaluated through the perception
+/// network's layer-l features) stays <= `max_gamma`.
+ThresholdChoice choose_characterizer_threshold(const nn::Network& perception,
+                                               std::size_t attach_layer,
+                                               const nn::Network& characterizer,
+                                               const train::Dataset& labelled_images,
+                                               double max_gamma);
+
+}  // namespace dpv::core

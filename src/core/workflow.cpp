@@ -1,0 +1,76 @@
+#include "core/workflow.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dpv::core {
+
+std::string WorkflowReport::to_string() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(4);
+  out << "=== dpv safety verification report ===\n";
+  out << "property phi : " << property_name << "\n";
+  out << "risk psi     : " << risk_name << "\n";
+  out << "characterizer: train-acc " << characterizer.train_confusion.accuracy()
+      << " (perfect-on-train: " << (characterizer.perfect_on_training() ? "yes" : "no")
+      << "), val-acc " << characterizer.separability()
+      << (characterizer_usable ? "" : "  [UNUSABLE: property not separable at layer l]")
+      << "\n";
+  out << "verdict      : " << safety_verdict_name(safety.verdict) << "\n";
+  out << "verification : " << safety.verification.summary() << "\n";
+  if (safety.verdict == SafetyVerdict::kUnsafe) {
+    out << "counterexample output:";
+    for (std::size_t i = 0; i < safety.verification.counterexample_output.numel(); ++i)
+      out << ' ' << safety.verification.counterexample_output[i];
+    out << " (validated: " << (safety.verification.counterexample_validated ? "yes" : "no")
+        << ")\n";
+  }
+  out << "--- Table I (held-out estimate) ---\n" << table_one.format();
+  return out.str();
+}
+
+SafetyWorkflow::SafetyWorkflow(const nn::Network& perception, std::size_t attach_layer)
+    : perception_(perception), attach_layer_(attach_layer) {
+  check(attach_layer < perception.layer_count(),
+        "SafetyWorkflow: attach layer out of range");
+  check(perception.layer(attach_layer).input_shape().rank() == 1,
+        "SafetyWorkflow: layer-l features must be a rank-1 vector");
+}
+
+WorkflowReport SafetyWorkflow::run(const std::string& property_name,
+                                   const train::Dataset& property_train,
+                                   const train::Dataset& property_val,
+                                   const verify::RiskSpec& risk,
+                                   const WorkflowConfig& config) const {
+  check(!property_train.empty(), "SafetyWorkflow::run: empty property training set");
+  check(!property_val.empty(), "SafetyWorkflow::run: empty property validation set");
+
+  WorkflowReport report;
+  report.property_name = property_name;
+  report.risk_name = risk.name().empty() ? "(unnamed risk)" : risk.name();
+
+  // 1. Specification: learn h_l^phi.
+  report.characterizer = train_characterizer(perception_, attach_layer_, property_train,
+                                             property_val, config.characterizer);
+  report.characterizer_usable =
+      report.characterizer.separability() >= config.min_separability;
+
+  // 2. Scalability: assume-guarantee verification over S̃ (or, when
+  // configured for static analysis, over the normalized pixel box [0,1]^d0
+  // of the paper's footnote 1).
+  const AssumeGuaranteeVerifier verifier(config.assume_guarantee);
+  absint::Box input_box;
+  if (config.assume_guarantee.bounds == BoundsSource::kStaticAnalysis)
+    input_box = absint::uniform_box(perception_.input_shape().numel(), 0.0, 1.0);
+  report.safety = verifier.verify(perception_, attach_layer_, &report.characterizer.network,
+                                  risk, property_train.inputs(), input_box);
+
+  // 3. Statistics: Table I on held-out data.
+  report.table_one = estimate_table_one(perception_, attach_layer_,
+                                        report.characterizer.network, property_val);
+  return report;
+}
+
+}  // namespace dpv::core

@@ -1,0 +1,67 @@
+// End-to-end safety verification workflow (Fig. 1 of the paper).
+//
+// Given a trained direct perception network, a property-labelled image
+// set, and a risk condition psi, the workflow
+//   1. trains the input property characterizer h_l^phi on layer-l
+//      features (the specification step),
+//   2. builds the S̃ abstraction from the ODD training inputs and runs
+//      the assume-guarantee MILP verification (the scalability step),
+//   3. estimates Table I on held-out data and derives the (1 - gamma)
+//      statistical guarantee (Sec. III),
+// and returns a single report combining verdict, counterexample (if any),
+// monitor, characterizer quality and statistical strength.
+#pragma once
+
+#include <string>
+
+#include "core/assume_guarantee.hpp"
+#include "core/characterizer.hpp"
+#include "core/statistical.hpp"
+#include "verify/risk_spec.hpp"
+
+namespace dpv::core {
+
+struct WorkflowConfig {
+  CharacterizerConfig characterizer = {};
+  AssumeGuaranteeConfig assume_guarantee = {};
+  /// Validation accuracy below which the property is reported as
+  /// uncharacterizable at layer l (the paper's coin-flip observation).
+  double min_separability = 0.75;
+};
+
+struct WorkflowReport {
+  std::string property_name;
+  std::string risk_name;
+
+  TrainedCharacterizer characterizer;
+  bool characterizer_usable = false;
+
+  SafetyCase safety;
+  TableOneEstimate table_one;
+
+  /// Human-readable multi-line report.
+  std::string to_string() const;
+};
+
+class SafetyWorkflow {
+ public:
+  /// `perception` must outlive the workflow. `attach_layer` is the cut
+  /// depth l (feature width = input of layer l).
+  SafetyWorkflow(const nn::Network& perception, std::size_t attach_layer);
+
+  /// Runs the full pipeline.
+  ///
+  /// `property_train` / `property_val`: image -> {0,1} datasets labelled
+  /// by the phi oracle. `risk`: the undesired output region psi. The
+  /// characterizer is trained on `property_train`; Table I is estimated
+  /// on `property_val`; S̃ is built from the training images.
+  WorkflowReport run(const std::string& property_name, const train::Dataset& property_train,
+                     const train::Dataset& property_val, const verify::RiskSpec& risk,
+                     const WorkflowConfig& config) const;
+
+ private:
+  const nn::Network& perception_;
+  std::size_t attach_layer_;
+};
+
+}  // namespace dpv::core

@@ -1,0 +1,44 @@
+#include "data/dataset_gen.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::data {
+
+std::vector<RoadSample> generate_road_samples(const RoadDatasetConfig& config) {
+  check(config.count > 0, "generate_road_samples: count must be positive");
+  Rng rng(config.seed);
+  std::vector<RoadSample> samples;
+  samples.reserve(config.count);
+  for (std::size_t i = 0; i < config.count; ++i) {
+    RoadSample sample;
+    sample.scenario = sample_scenario(rng);
+    sample.image = render_road_image(sample.scenario, config.render);
+    sample.affordances = ground_truth_affordances(sample.scenario);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+train::Dataset to_regression_dataset(const std::vector<RoadSample>& samples) {
+  train::Dataset data;
+  for (const RoadSample& s : samples) {
+    Tensor target(Shape{2});
+    target[0] = s.affordances.waypoint_offset;
+    target[1] = s.affordances.heading;
+    data.add(s.image, std::move(target));
+  }
+  return data;
+}
+
+train::Dataset to_property_dataset(const std::vector<RoadSample>& samples,
+                                   InputProperty property) {
+  train::Dataset data;
+  for (const RoadSample& s : samples) {
+    Tensor target(Shape{1});
+    target[0] = property_holds(s.scenario, property) ? 1.0 : 0.0;
+    data.add(s.image, std::move(target));
+  }
+  return data;
+}
+
+}  // namespace dpv::data

@@ -1,0 +1,39 @@
+// Labelled dataset generation over the road scenario model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/properties.hpp"
+#include "data/renderer.hpp"
+#include "data/scenario.hpp"
+#include "train/dataset.hpp"
+
+namespace dpv::data {
+
+/// One generated example with full provenance (scenario kept so property
+/// oracles can label it later).
+struct RoadSample {
+  RoadScenario scenario;
+  Tensor image;
+  Affordances affordances;
+};
+
+struct RoadDatasetConfig {
+  std::size_t count = 1000;
+  std::uint64_t seed = 42;
+  RenderConfig render = {};
+};
+
+/// Samples scenarios and renders them.
+std::vector<RoadSample> generate_road_samples(const RoadDatasetConfig& config);
+
+/// image -> [waypoint_offset, heading] regression dataset for training
+/// the direct perception network.
+train::Dataset to_regression_dataset(const std::vector<RoadSample>& samples);
+
+/// image -> {0,1} dataset for the given input property (oracle labels).
+train::Dataset to_property_dataset(const std::vector<RoadSample>& samples,
+                                   InputProperty property);
+
+}  // namespace dpv::data

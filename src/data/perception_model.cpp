@@ -1,0 +1,81 @@
+#include "data/perception_model.hpp"
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pool2d.hpp"
+
+namespace dpv::data {
+
+PerceptionModel make_perception_network(const PerceptionConfig& config, Rng& rng) {
+  const std::size_t h = config.render.height;
+  const std::size_t w = config.render.width;
+  check(h % 4 == 0 && w % 4 == 0,
+        "make_perception_network: image extents must be divisible by 4 (two pool stages)");
+
+  PerceptionModel model;
+  model.config = config;
+  nn::Network& net = model.network;
+
+  // Convolutional front-end (abstracted away by Lemma 1 at verification).
+  auto conv1 = std::make_unique<nn::Conv2D>(1, h, w, config.conv1_channels, 3, 1, 1);
+  conv1->init_he(rng);
+  net.add(std::move(conv1));
+  net.add(std::make_unique<nn::ReLU>(Shape{config.conv1_channels, h, w}));
+  net.add(std::make_unique<nn::MaxPool2D>(config.conv1_channels, h, w, 2));
+
+  const std::size_t h2 = h / 2, w2 = w / 2;
+  auto conv2 =
+      std::make_unique<nn::Conv2D>(config.conv1_channels, h2, w2, config.conv2_channels, 3, 1, 1);
+  conv2->init_he(rng);
+  net.add(std::move(conv2));
+  net.add(std::make_unique<nn::ReLU>(Shape{config.conv2_channels, h2, w2}));
+  net.add(std::make_unique<nn::MaxPool2D>(config.conv2_channels, h2, w2, 2));
+
+  const std::size_t h4 = h2 / 2, w4 = w2 / 2;
+  const std::size_t flat = config.conv2_channels * h4 * w4;
+  net.add(std::make_unique<nn::Flatten>(Shape{config.conv2_channels, h4, w4}));
+
+  auto embed = std::make_unique<nn::Dense>(flat, config.embedding);
+  embed->init_he(rng);
+  net.add(std::move(embed));
+  net.add(std::make_unique<nn::ReLU>(Shape{config.embedding}));
+
+  auto to_features = std::make_unique<nn::Dense>(config.embedding, config.features);
+  to_features->init_he(rng);
+  net.add(std::move(to_features));
+  net.add(std::make_unique<nn::ReLU>(Shape{config.features}));
+
+  // The characterizer attaches here: features = f^(attach_layer)(image).
+  model.attach_layer = net.layer_count();
+
+  // Verified tail (Dense / BatchNorm / ReLU only).
+  auto tail1 = std::make_unique<nn::Dense>(config.features, config.tail_hidden);
+  tail1->init_he(rng);
+  net.add(std::move(tail1));
+  if (config.batchnorm_tail) net.add(std::make_unique<nn::BatchNorm>(config.tail_hidden));
+  net.add(std::make_unique<nn::ReLU>(Shape{config.tail_hidden}));
+  auto tail2 = std::make_unique<nn::Dense>(config.tail_hidden, 2);
+  tail2->init_he(rng);
+  net.add(std::move(tail2));
+
+  return model;
+}
+
+nn::Network make_characterizer_network(std::size_t features, std::size_t hidden, Rng& rng) {
+  check(features > 0 && hidden > 0, "make_characterizer_network: sizes must be positive");
+  nn::Network net;
+  auto first = std::make_unique<nn::Dense>(features, hidden);
+  first->init_he(rng);
+  net.add(std::move(first));
+  net.add(std::make_unique<nn::ReLU>(Shape{hidden}));
+  auto second = std::make_unique<nn::Dense>(hidden, 1);
+  second->init_he(rng);
+  net.add(std::move(second));
+  return net;
+}
+
+}  // namespace dpv::data

@@ -1,0 +1,52 @@
+// Direct perception network factory.
+//
+// The stand-in for the Audi network the paper evaluates: a convolutional
+// front-end followed by dense feature layers, producing the two
+// affordances (next waypoint offset, heading). The factory also reports
+// the attachment layer l — the close-to-output feature layer where the
+// input property characterizer connects and where Lemma 1 cuts the
+// network for verification (the analogue of the n^17 neurons of Fig. 1).
+//
+// Tail structure after the attachment point (the verified sub-network):
+//   dense(features -> tail_hidden) [-> batchnorm] -> relu
+//   -> dense(tail_hidden -> 2)
+// matching the paper's "close-to-output layers ... are either ReLU or
+// Batch Normalization".
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "data/renderer.hpp"
+#include "nn/network.hpp"
+
+namespace dpv::data {
+
+struct PerceptionConfig {
+  RenderConfig render = {};
+  std::size_t conv1_channels = 4;
+  std::size_t conv2_channels = 8;
+  std::size_t embedding = 32;
+  /// Width of the feature layer the characterizer attaches to.
+  std::size_t features = 16;
+  std::size_t tail_hidden = 16;
+  /// Insert BatchNorm in the verified tail.
+  bool batchnorm_tail = true;
+};
+
+struct PerceptionModel {
+  nn::Network network;
+  /// Attachment depth l: network.forward_prefix(x, attach_layer) yields
+  /// the rank-1 feature vector the characterizer reads.
+  std::size_t attach_layer = 0;
+  PerceptionConfig config;
+};
+
+/// Builds and He-initializes the perception network.
+PerceptionModel make_perception_network(const PerceptionConfig& config, Rng& rng);
+
+/// Builds the input property characterizer skeleton for a given feature
+/// width: dense(features -> hidden) -> relu -> dense(hidden -> 1 logit).
+nn::Network make_characterizer_network(std::size_t features, std::size_t hidden, Rng& rng);
+
+}  // namespace dpv::data

@@ -1,0 +1,59 @@
+#include "data/pgm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace dpv::data {
+
+void write_pgm(const Tensor& image, const std::string& path) {
+  const Shape& shape = image.shape();
+  std::size_t height = 0, width = 0;
+  if (shape.rank() == 3) {
+    check(shape.dim(0) == 1, "write_pgm: single-channel images only");
+    height = shape.dim(1);
+    width = shape.dim(2);
+  } else if (shape.rank() == 2) {
+    height = shape.dim(0);
+    width = shape.dim(1);
+  } else {
+    throw ContractViolation("write_pgm: expected a (1,H,W) or (H,W) tensor, got " +
+                            shape.to_string());
+  }
+
+  std::ofstream out(path);
+  check(out.good(), "write_pgm: cannot open '" + path + "'");
+  out << "P2\n" << width << ' ' << height << "\n255\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    for (std::size_t c = 0; c < width; ++c) {
+      const double v = std::clamp(image[r * width + c], 0.0, 1.0);
+      out << static_cast<int>(std::lround(v * 255.0));
+      out << (c + 1 == width ? '\n' : ' ');
+    }
+  }
+  check(out.good(), "write_pgm: write failed for '" + path + "'");
+}
+
+Tensor read_pgm(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "read_pgm: cannot open '" + path + "'");
+  std::string magic;
+  std::size_t width = 0, height = 0;
+  int max_value = 0;
+  check(static_cast<bool>(in >> magic >> width >> height >> max_value),
+        "read_pgm: malformed header in '" + path + "'");
+  check(magic == "P2", "read_pgm: only plain P2 PGM supported, got '" + magic + "'");
+  check(width > 0 && height > 0 && max_value > 0, "read_pgm: bad dimensions");
+
+  Tensor image(Shape{1, height, width});
+  for (std::size_t i = 0; i < image.numel(); ++i) {
+    int v = 0;
+    check(static_cast<bool>(in >> v), "read_pgm: truncated pixel data");
+    image[i] = static_cast<double>(v) / static_cast<double>(max_value);
+  }
+  return image;
+}
+
+}  // namespace dpv::data

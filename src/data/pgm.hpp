@@ -1,0 +1,21 @@
+// Portable graymap (PGM) export / import for rendered road frames.
+//
+// Debugging aid: lets developers eyeball what the scenario renderer and
+// the adversarial/concretization searches actually produce. Plain-text
+// P2 format — readable by any image viewer and by the loader below.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dpv::data {
+
+/// Writes a (1, H, W) or (H, W) tensor with values in [0, 1] as an
+/// 8-bit P2 PGM file. Values outside [0, 1] are clamped.
+void write_pgm(const Tensor& image, const std::string& path);
+
+/// Reads a P2 PGM file back into a (1, H, W) tensor with values in [0, 1].
+Tensor read_pgm(const std::string& path);
+
+}  // namespace dpv::data

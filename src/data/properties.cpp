@@ -1,0 +1,47 @@
+#include "data/properties.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::data {
+
+bool property_holds(const RoadScenario& scenario, InputProperty property) {
+  switch (property) {
+    case InputProperty::kBendRightStrong:
+      return scenario.curvature >= 0.4;
+    case InputProperty::kBendLeftStrong:
+      return scenario.curvature <= -0.4;
+    case InputProperty::kTrafficAdjacent:
+      return scenario.traffic_adjacent;
+    case InputProperty::kLowLight:
+      return scenario.brightness <= 0.75;
+  }
+  throw InternalError("property_holds: unknown property");
+}
+
+std::string property_name(InputProperty property) {
+  switch (property) {
+    case InputProperty::kBendRightStrong:
+      return "road-bends-right-strong";
+    case InputProperty::kBendLeftStrong:
+      return "road-bends-left-strong";
+    case InputProperty::kTrafficAdjacent:
+      return "traffic-in-adjacent-lane";
+    case InputProperty::kLowLight:
+      return "low-light";
+  }
+  throw InternalError("property_name: unknown property");
+}
+
+bool property_output_relevant(InputProperty property) {
+  switch (property) {
+    case InputProperty::kBendRightStrong:
+    case InputProperty::kBendLeftStrong:
+      return true;  // affordances are functions of curvature
+    case InputProperty::kTrafficAdjacent:
+    case InputProperty::kLowLight:
+      return false;  // invisible to the affordance labels
+  }
+  throw InternalError("property_output_relevant: unknown property");
+}
+
+}  // namespace dpv::data

@@ -1,0 +1,37 @@
+// Input property oracles.
+//
+// The paper assumes "an oracle (e.g., human) that can answer for a given
+// input whether in ∈ In_phi". With a generative scenario model the oracle
+// is exact: a property is a predicate on scenario parameters.
+#pragma once
+
+#include <string>
+
+#include "data/scenario.hpp"
+
+namespace dpv::data {
+
+enum class InputProperty {
+  /// The road strongly bends to the right (curvature >= 0.4) — the
+  /// paper's running example.
+  kBendRightStrong,
+  /// The road strongly bends to the left (curvature <= -0.4).
+  kBendLeftStrong,
+  /// A traffic participant occupies the adjacent lane — the property the
+  /// paper found impossible to characterize at close-to-output layers.
+  kTrafficAdjacent,
+  /// Low illumination (brightness <= 0.75) — likewise output-irrelevant.
+  kLowLight,
+};
+
+/// Ground-truth oracle: whether the scenario satisfies the property.
+bool property_holds(const RoadScenario& scenario, InputProperty property);
+
+/// Human-readable property name (used in reports and benches).
+std::string property_name(InputProperty property);
+
+/// Whether the property is, by construction of the scenario model,
+/// relevant to the affordance outputs (drives the E3 expectation).
+bool property_output_relevant(InputProperty property);
+
+}  // namespace dpv::data

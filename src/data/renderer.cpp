@@ -1,0 +1,91 @@
+#include "data/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dpv::data {
+
+namespace {
+constexpr double kRoadValue = 0.45;
+constexpr double kGrassValue = 0.22;
+constexpr double kMarkingValue = 0.88;
+constexpr double kCenterlineValue = 0.80;
+constexpr double kVehicleValue = 0.68;
+constexpr double kVehicleShadow = 0.30;
+}  // namespace
+
+double road_center_column(const RoadScenario& scenario, const RenderConfig& config, double t) {
+  const double w = static_cast<double>(config.width);
+  // Near the vehicle the center reflects the lane offset; toward the
+  // horizon the curvature term bends the road quadratically.
+  return 0.5 * w - scenario.lane_offset * 0.25 * w * (1.0 - t) +
+         scenario.curvature * 0.40 * w * t * t;
+}
+
+double road_half_width(const RenderConfig& config, double t) {
+  return 0.28 * static_cast<double>(config.width) * (1.0 - 0.65 * t);
+}
+
+Tensor render_road_image(const RoadScenario& scenario, const RenderConfig& config) {
+  check(config.width >= 8 && config.height >= 4, "render_road_image: image too small");
+  Rng noise(scenario.noise_seed);
+  Tensor image(Shape{1, config.height, config.width});
+
+  for (std::size_t row = 0; row < config.height; ++row) {
+    // Depth: bottom row is the nearest road surface, top row the horizon.
+    const double t = 1.0 - static_cast<double>(row) / static_cast<double>(config.height - 1);
+    const double center = road_center_column(scenario, config, t);
+    const double half_width = road_half_width(config, t);
+    for (std::size_t col = 0; col < config.width; ++col) {
+      const double x = static_cast<double>(col) + 0.5;
+      const double dist = x - center;
+      double value;
+      if (std::abs(dist) <= half_width) {
+        value = kRoadValue + noise.normal(0.0, 0.03);  // asphalt texture
+        // Dashed centerline.
+        if (std::abs(dist) < 0.6 && (row % 4) < 2) value = kCenterlineValue;
+      } else if (std::abs(std::abs(dist) - half_width) < 0.9) {
+        value = kMarkingValue;  // lane boundary marking
+      } else {
+        value = kGrassValue + noise.normal(0.0, 0.03);
+      }
+      image.at3(0, row, col) = value;
+    }
+  }
+
+  // Adjacent-lane vehicle: a bright rectangle with a dark shadow line,
+  // placed one lane to the right at the configured distance.
+  if (scenario.traffic_adjacent) {
+    const double t0 = scenario.traffic_distance;
+    const double center = road_center_column(scenario, config, t0);
+    const double half_width = road_half_width(config, t0);
+    const double vehicle_center = center + 1.9 * half_width;
+    const double vehicle_half_w = std::max(1.0, 0.45 * half_width);
+    const double row_center = (1.0 - t0) * static_cast<double>(config.height - 1);
+    const double vehicle_half_h = std::max(1.0, 0.10 * static_cast<double>(config.height) +
+                                                    1.2 * (1.0 - t0));
+    const long row_lo = static_cast<long>(std::floor(row_center - vehicle_half_h));
+    const long row_hi = static_cast<long>(std::ceil(row_center + vehicle_half_h));
+    for (long row = row_lo; row <= row_hi; ++row) {
+      if (row < 0 || row >= static_cast<long>(config.height)) continue;
+      for (std::size_t col = 0; col < config.width; ++col) {
+        const double x = static_cast<double>(col) + 0.5;
+        if (std::abs(x - vehicle_center) > vehicle_half_w) continue;
+        const bool shadow_row = row == row_hi;
+        image.at3(0, static_cast<std::size_t>(row), col) =
+            shadow_row ? kVehicleShadow : kVehicleValue;
+      }
+    }
+  }
+
+  // Illumination and sensor noise, clamped to the valid pixel range.
+  for (std::size_t i = 0; i < image.numel(); ++i) {
+    const double lit = image[i] * scenario.brightness + noise.normal(0.0, config.noise_stddev);
+    image[i] = std::clamp(lit, 0.0, 1.0);
+  }
+  return image;
+}
+
+}  // namespace dpv::data

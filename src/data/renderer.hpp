@@ -1,0 +1,38 @@
+// Road image rasterizer.
+//
+// Produces small grayscale camera frames (default 16x32) with perspective
+// narrowing, curvature bending, lane markings, texture noise, global
+// illumination, and an optional adjacent-lane vehicle. The scale is
+// deliberately modest: the verification method never looks at pixels
+// (Lemma 1 cuts after the convolutional stack), so image size only needs
+// to be large enough for the perception CNN to recover curvature.
+#pragma once
+
+#include <cstddef>
+
+#include "data/scenario.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dpv::data {
+
+struct RenderConfig {
+  std::size_t width = 32;
+  std::size_t height = 16;
+  /// Stddev of additive per-pixel sensor noise.
+  double noise_stddev = 0.02;
+};
+
+/// Renders the scenario as a (1, height, width) tensor with values in
+/// [0, 1]. Deterministic in (scenario, config) — the texture/sensor noise
+/// comes from scenario.noise_seed.
+Tensor render_road_image(const RoadScenario& scenario, const RenderConfig& config);
+
+/// Road centerline column (in pixel units) at depth t in [0, 1]
+/// (0 = near / image bottom, 1 = far / image top). Exposed for tests and
+/// for deriving geometric ground truth.
+double road_center_column(const RoadScenario& scenario, const RenderConfig& config, double t);
+
+/// Road half-width in pixels at depth t (perspective narrowing).
+double road_half_width(const RenderConfig& config, double t);
+
+}  // namespace dpv::data

@@ -1,0 +1,25 @@
+#include "data/scenario.hpp"
+
+namespace dpv::data {
+
+RoadScenario sample_scenario(Rng& rng) {
+  RoadScenario s;
+  s.curvature = rng.uniform(-1.0, 1.0);
+  s.lane_offset = rng.uniform(-0.3, 0.3);
+  s.brightness = rng.uniform(0.6, 1.1);
+  s.traffic_adjacent = rng.bernoulli(0.4);
+  s.traffic_distance = rng.uniform(0.3, 0.8);
+  s.noise_seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 30));
+  return s;
+}
+
+Affordances ground_truth_affordances(const RoadScenario& scenario) {
+  Affordances a;
+  // Follow the bend and re-center in the lane. Coefficients chosen so
+  // both outputs stay within [-1, 1] over the ODD.
+  a.waypoint_offset = 0.6 * scenario.curvature - 0.5 * scenario.lane_offset;
+  a.heading = 0.8 * scenario.curvature;
+  return a;
+}
+
+}  // namespace dpv::data

@@ -1,0 +1,55 @@
+// Road scenario model — the synthetic stand-in for the paper's A9
+// highway data.
+//
+// Each scenario is a small set of ground-truth parameters (curvature,
+// lane offset, lighting, adjacent-lane traffic, sensor noise seed) from
+// which both the camera image and the affordance labels are derived.
+// Having the generative parameters gives us what the paper obtained from
+// human labelling: an exact oracle for input properties phi.
+//
+// Deliberate design point (mirrors the paper's information-bottleneck
+// observation, Sec. V): the affordance labels depend ONLY on curvature
+// and lane offset. Lighting and adjacent-lane traffic are visible in the
+// image but irrelevant to the output, so close-to-output layers are free
+// to discard them — which is exactly why characterizers for those
+// properties degrade to coin flipping.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace dpv::data {
+
+struct RoadScenario {
+  /// Road curvature in [-1, 1]; positive bends to the right.
+  double curvature = 0.0;
+  /// Vehicle lateral offset within the lane, in [-0.3, 0.3].
+  double lane_offset = 0.0;
+  /// Global illumination factor in [0.6, 1.1].
+  double brightness = 1.0;
+  /// Vehicle present in the adjacent (right) lane.
+  bool traffic_adjacent = false;
+  /// Longitudinal position of that vehicle, in [0.3, 0.8] (fraction of
+  /// the visible road; only meaningful when traffic_adjacent).
+  double traffic_distance = 0.5;
+  /// Per-image sensor/texture noise seed.
+  std::uint64_t noise_seed = 0;
+};
+
+/// Affordances the direct perception network must produce: the paper's
+/// "next waypoint and orientation for autonomous vehicles to follow".
+struct Affordances {
+  /// Lateral offset of the next waypoint (normalized; + is right).
+  double waypoint_offset = 0.0;
+  /// Road heading at the look-ahead point (normalized; + steers right).
+  double heading = 0.0;
+};
+
+/// Uniformly samples a scenario from the operational design domain.
+RoadScenario sample_scenario(Rng& rng);
+
+/// Ground-truth affordances. A function of curvature and lane offset only.
+Affordances ground_truth_affordances(const RoadScenario& scenario);
+
+}  // namespace dpv::data

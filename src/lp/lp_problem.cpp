@@ -1,0 +1,67 @@
+#include "lp/lp_problem.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dpv::lp {
+
+std::size_t LpProblem::add_variable(double lo, double up, std::string name) {
+  check(std::isfinite(lo) && std::isfinite(up),
+        "LpProblem::add_variable: bounds must be finite (got [" + std::to_string(lo) + ", " +
+            std::to_string(up) + "])");
+  check(lo <= up, "LpProblem::add_variable: lower bound exceeds upper bound");
+  lower_.push_back(lo);
+  upper_.push_back(up);
+  if (name.empty()) name = "x" + std::to_string(lower_.size() - 1);
+  names_.push_back(std::move(name));
+  return lower_.size() - 1;
+}
+
+void LpProblem::add_row(std::vector<LinearTerm> terms, RowSense sense, double rhs) {
+  check(std::isfinite(rhs), "LpProblem::add_row: rhs must be finite");
+  for (const LinearTerm& t : terms) {
+    check_var(t.var, "add_row");
+    check(std::isfinite(t.coeff), "LpProblem::add_row: coefficient must be finite");
+  }
+  rows_.push_back(Row{std::move(terms), sense, rhs});
+}
+
+void LpProblem::set_objective(std::vector<LinearTerm> terms, Objective direction) {
+  for (const LinearTerm& t : terms) {
+    check_var(t.var, "set_objective");
+    check(std::isfinite(t.coeff), "LpProblem::set_objective: coefficient must be finite");
+  }
+  objective_terms_ = std::move(terms);
+  direction_ = direction;
+}
+
+void LpProblem::set_bounds(std::size_t var, double lo, double up) {
+  check_var(var, "set_bounds");
+  check(std::isfinite(lo) && std::isfinite(up) && lo <= up,
+        "LpProblem::set_bounds: invalid bounds");
+  lower_[var] = lo;
+  upper_[var] = up;
+}
+
+double LpProblem::lower_bound(std::size_t var) const {
+  check_var(var, "lower_bound");
+  return lower_[var];
+}
+
+double LpProblem::upper_bound(std::size_t var) const {
+  check_var(var, "upper_bound");
+  return upper_[var];
+}
+
+const std::string& LpProblem::variable_name(std::size_t var) const {
+  check_var(var, "variable_name");
+  return names_[var];
+}
+
+void LpProblem::check_var(std::size_t var, const char* who) const {
+  check(var < lower_.size(),
+        std::string("LpProblem::") + who + ": variable index out of range");
+}
+
+}  // namespace dpv::lp

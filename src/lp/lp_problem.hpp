@@ -1,0 +1,69 @@
+// Linear program model.
+//
+// Variables carry finite lower and upper bounds — the verification
+// pipeline always has them (every neuron is bounded by abstract
+// interpretation or by the runtime-monitor polyhedron S̃, and big-M ReLU
+// encodings require finite bounds anyway), and finite boxes keep the
+// simplex conversion simple and well-conditioned.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace dpv::lp {
+
+/// One coefficient of a linear expression.
+struct LinearTerm {
+  std::size_t var = 0;
+  double coeff = 0.0;
+};
+
+enum class RowSense { kLessEqual, kEqual, kGreaterEqual };
+
+/// One linear constraint: sum(terms) sense rhs.
+struct Row {
+  std::vector<LinearTerm> terms;
+  RowSense sense = RowSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+enum class Objective { kMinimize, kMaximize };
+
+/// A linear program over box-bounded variables.
+class LpProblem {
+ public:
+  /// Adds a variable with finite bounds lo <= up; returns its index.
+  std::size_t add_variable(double lo, double up, std::string name = "");
+
+  /// Adds a linear constraint over existing variables.
+  void add_row(std::vector<LinearTerm> terms, RowSense sense, double rhs);
+
+  /// Sets the objective (default: minimize 0, i.e. pure feasibility).
+  void set_objective(std::vector<LinearTerm> terms, Objective direction);
+
+  /// Tightens the box of `var` (used by branch & bound and refinement).
+  void set_bounds(std::size_t var, double lo, double up);
+
+  std::size_t variable_count() const { return lower_.size(); }
+  std::size_t row_count() const { return rows_.size(); }
+
+  double lower_bound(std::size_t var) const;
+  double upper_bound(std::size_t var) const;
+  const std::string& variable_name(std::size_t var) const;
+  const std::vector<Row>& rows() const { return rows_; }
+  const std::vector<LinearTerm>& objective_terms() const { return objective_terms_; }
+  Objective objective_direction() const { return direction_; }
+
+ private:
+  void check_var(std::size_t var, const char* who) const;
+
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<std::string> names_;
+  std::vector<Row> rows_;
+  std::vector<LinearTerm> objective_terms_;
+  Objective direction_ = Objective::kMinimize;
+};
+
+}  // namespace dpv::lp

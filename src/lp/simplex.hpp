@@ -1,0 +1,49 @@
+// Two-phase primal simplex over a dense tableau.
+//
+// Conversion to computational form: every variable x in [lo, up] is
+// shifted to x' = x - lo >= 0 with an explicit row x' <= up - lo; rows
+// gain slack / surplus / artificial columns as needed. Phase 1 minimizes
+// the sum of artificials; phase 2 the user objective. Dantzig pricing
+// with a Bland's-rule fallback guards against cycling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+
+namespace dpv::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Human-readable status name.
+const char* solve_status_name(SolveStatus status);
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective value in the user's direction (only valid when kOptimal).
+  double objective = 0.0;
+  /// Values of the original variables (only valid when kOptimal).
+  std::vector<double> values;
+  std::size_t iterations = 0;
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 200000;
+  /// Switch from Dantzig to Bland pricing after this many iterations.
+  std::size_t bland_after = 20000;
+  double tolerance = 1e-9;
+};
+
+/// Stateless solver; each call converts, runs both phases and extracts.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  LpSolution solve(const LpProblem& problem) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace dpv::lp

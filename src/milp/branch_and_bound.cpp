@@ -1,0 +1,129 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dpv::milp {
+
+const char* milp_status_name(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal:
+      return "optimal";
+    case MilpStatus::kFeasible:
+      return "feasible";
+    case MilpStatus::kInfeasible:
+      return "infeasible";
+    case MilpStatus::kNodeLimit:
+      return "node-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Bound overrides along one branch of the search tree.
+struct Node {
+  std::vector<std::pair<std::size_t, double>> fixings;  // (binary var, 0 or 1)
+};
+
+}  // namespace
+
+MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
+  MilpResult result;
+  const lp::SimplexSolver lp_solver(options_.lp_options);
+  const bool minimize =
+      problem.relaxation().objective_direction() == lp::Objective::kMinimize;
+
+  // Signed comparison helper: value `a` is better than `b`.
+  const auto better = [minimize](double a, double b) { return minimize ? a < b : a > b; };
+
+  double incumbent_objective =
+      minimize ? std::numeric_limits<double>::infinity()
+               : -std::numeric_limits<double>::infinity();
+  bool have_incumbent = false;
+  bool node_budget_exhausted = false;
+
+  std::vector<Node> stack;
+  stack.push_back(Node{});
+
+  // The relaxation is copied once per node to apply branch fixings.
+  while (!stack.empty()) {
+    if (result.nodes_explored >= options_.max_nodes) {
+      node_budget_exhausted = true;
+      break;
+    }
+    const Node node = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_explored;
+
+    lp::LpProblem relaxed = problem.relaxation();
+    for (const auto& [var, value] : node.fixings) relaxed.set_bounds(var, value, value);
+
+    const lp::LpSolution lp = lp_solver.solve(relaxed);
+    result.lp_iterations += lp.iterations;
+    if (lp.status == lp::SolveStatus::kInfeasible) continue;
+    if (lp.status != lp::SolveStatus::kOptimal) {
+      // A node whose relaxation could not be solved (iteration limit /
+      // numerical trouble) cannot be pruned soundly; the search result is
+      // inconclusive. Report resource exhaustion rather than guessing.
+      node_budget_exhausted = true;
+      break;
+    }
+
+    // Bound pruning against the incumbent.
+    if (have_incumbent && !better(lp.objective, incumbent_objective)) continue;
+
+    // Most-fractional binary.
+    std::size_t branch_var = problem.variable_count();
+    double worst_frac_distance = options_.integrality_tolerance;
+    for (std::size_t b : problem.binary_variables()) {
+      const double v = lp.values[b];
+      const double dist = std::abs(v - std::round(v));
+      if (dist > worst_frac_distance) {
+        worst_frac_distance = dist;
+        branch_var = b;
+      }
+    }
+
+    if (branch_var == problem.variable_count()) {
+      // Integral: new incumbent.
+      if (!have_incumbent || better(lp.objective, incumbent_objective)) {
+        have_incumbent = true;
+        incumbent_objective = lp.objective;
+        result.values = lp.values;
+        result.objective = lp.objective;
+      }
+      if (options_.stop_at_first_feasible) {
+        result.status = MilpStatus::kFeasible;
+        return result;
+      }
+      continue;
+    }
+
+    // Children: explore the rounded-toward branch last so DFS pops it
+    // first (dive toward integrality).
+    const double frac = lp.values[branch_var];
+    Node zero = node;
+    zero.fixings.emplace_back(branch_var, 0.0);
+    Node one = node;
+    one.fixings.emplace_back(branch_var, 1.0);
+    if (frac >= 0.5) {
+      stack.push_back(std::move(zero));
+      stack.push_back(std::move(one));
+    } else {
+      stack.push_back(std::move(one));
+      stack.push_back(std::move(zero));
+    }
+  }
+
+  if (node_budget_exhausted) {
+    result.status = have_incumbent ? MilpStatus::kFeasible : MilpStatus::kNodeLimit;
+    return result;
+  }
+  result.status = have_incumbent ? MilpStatus::kOptimal : MilpStatus::kInfeasible;
+  return result;
+}
+
+}  // namespace dpv::milp

@@ -1,0 +1,55 @@
+// LP-relaxation branch & bound for MILP.
+//
+// Depth-first search branching on the most fractional binary. Nodes are
+// pruned by LP infeasibility and by objective bound against the incumbent.
+// For pure feasibility queries (`stop_at_first_feasible`), the solver
+// returns as soon as any integral point is found — the common mode for
+// safety verification, where any feasible point is a counterexample and
+// exhaustive infeasibility is the proof.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "milp/milp_problem.hpp"
+
+namespace dpv::milp {
+
+enum class MilpStatus {
+  kOptimal,     ///< proven optimal incumbent
+  kFeasible,    ///< integral point found, search stopped early
+  kInfeasible,  ///< proven: no integral point exists
+  kNodeLimit,   ///< search exhausted the node budget without a proof
+};
+
+/// Human-readable status name.
+const char* milp_status_name(MilpStatus status);
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::kNodeLimit;
+  double objective = 0.0;
+  std::vector<double> values;  ///< incumbent (valid for kOptimal/kFeasible)
+  std::size_t nodes_explored = 0;
+  std::size_t lp_iterations = 0;
+};
+
+struct BranchAndBoundOptions {
+  std::size_t max_nodes = 200000;
+  double integrality_tolerance = 1e-6;
+  /// Return at the first integral solution (feasibility mode).
+  bool stop_at_first_feasible = false;
+  lp::SimplexOptions lp_options = {};
+};
+
+class BranchAndBoundSolver {
+ public:
+  explicit BranchAndBoundSolver(BranchAndBoundOptions options = {}) : options_(options) {}
+
+  MilpResult solve(const MilpProblem& problem) const;
+
+ private:
+  BranchAndBoundOptions options_;
+};
+
+}  // namespace dpv::milp

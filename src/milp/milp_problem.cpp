@@ -1,0 +1,34 @@
+#include "milp/milp_problem.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dpv::milp {
+
+std::size_t MilpProblem::add_variable(VarType type, double lo, double up, std::string name) {
+  if (type == VarType::kBinary) {
+    lo = std::max(lo, 0.0);
+    up = std::min(up, 1.0);
+    check(lo <= up, "MilpProblem::add_variable: empty binary domain");
+  }
+  const std::size_t idx = relaxation_.add_variable(lo, up, std::move(name));
+  types_.push_back(type);
+  if (type == VarType::kBinary) binaries_.push_back(idx);
+  return idx;
+}
+
+void MilpProblem::add_row(std::vector<lp::LinearTerm> terms, lp::RowSense sense, double rhs) {
+  relaxation_.add_row(std::move(terms), sense, rhs);
+}
+
+void MilpProblem::set_objective(std::vector<lp::LinearTerm> terms, lp::Objective direction) {
+  relaxation_.set_objective(std::move(terms), direction);
+}
+
+VarType MilpProblem::variable_type(std::size_t var) const {
+  check(var < types_.size(), "MilpProblem::variable_type: index out of range");
+  return types_[var];
+}
+
+}  // namespace dpv::milp

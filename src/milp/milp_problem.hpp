@@ -1,0 +1,44 @@
+// Mixed-integer linear program model.
+//
+// The verification layer reduces safety queries to MILP feasibility
+// exactly as the paper does (Sec. V: "formal verification via a reduction
+// to MILP"): continuous variables for neuron values, binary variables for
+// unstable ReLU phases.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+
+namespace dpv::milp {
+
+enum class VarType { kContinuous, kBinary };
+
+/// A MILP: an LpProblem plus integrality marks.
+class MilpProblem {
+ public:
+  /// Adds a variable; binaries are forced to bounds within [0, 1].
+  std::size_t add_variable(VarType type, double lo, double up, std::string name = "");
+
+  void add_row(std::vector<lp::LinearTerm> terms, lp::RowSense sense, double rhs);
+
+  /// Defaults to minimize 0 (feasibility problem).
+  void set_objective(std::vector<lp::LinearTerm> terms, lp::Objective direction);
+
+  std::size_t variable_count() const { return types_.size(); }
+  VarType variable_type(std::size_t var) const;
+  const std::vector<std::size_t>& binary_variables() const { return binaries_; }
+
+  /// The LP relaxation (binaries relaxed to their [lo, up] boxes).
+  const lp::LpProblem& relaxation() const { return relaxation_; }
+  lp::LpProblem& relaxation() { return relaxation_; }
+
+ private:
+  lp::LpProblem relaxation_;
+  std::vector<VarType> types_;
+  std::vector<std::size_t> binaries_;
+};
+
+}  // namespace dpv::milp

@@ -1,0 +1,16 @@
+#include "monitor/activation_recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::monitor {
+
+std::vector<Tensor> record_activations(const nn::Network& net, std::size_t l,
+                                       const std::vector<Tensor>& inputs) {
+  check(l <= net.layer_count(), "record_activations: layer index out of range");
+  std::vector<Tensor> activations;
+  activations.reserve(inputs.size());
+  for (const Tensor& in : inputs) activations.push_back(net.forward_prefix(in, l));
+  return activations;
+}
+
+}  // namespace dpv::monitor

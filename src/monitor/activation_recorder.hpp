@@ -1,0 +1,21 @@
+// Recording layer-l activations over a dataset.
+//
+// The first step of the assume-guarantee construction: run every training
+// input through the perception network and collect the feature vectors
+// f^(l)(in) whose hull becomes the monitored set S̃ (Fig. 1's
+// "{0, 0.1, -0.1, ..., 0.6} -> [-0.1, 0.6]").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace dpv::monitor {
+
+/// f^(l)(in) for every input; `l` counts layers as in the paper (the
+/// activation *after* layer l; l must map to a rank-1 feature vector).
+std::vector<Tensor> record_activations(const nn::Network& net, std::size_t l,
+                                       const std::vector<Tensor>& inputs);
+
+}  // namespace dpv::monitor

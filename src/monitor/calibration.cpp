@@ -1,0 +1,43 @@
+#include "monitor/calibration.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dpv::monitor {
+
+double warning_rate(const DiffMonitor& monitor, const std::vector<Tensor>& activations) {
+  check(!activations.empty(), "warning_rate: empty activation set");
+  std::size_t warnings = 0;
+  for (const Tensor& a : activations)
+    if (!monitor.contains(a)) ++warnings;
+  return static_cast<double>(warnings) / static_cast<double>(activations.size());
+}
+
+CalibrationResult calibrate_margin(const std::vector<Tensor>& training,
+                                   const std::vector<Tensor>& holdout,
+                                   double max_warning_rate,
+                                   const std::vector<double>& candidate_margins) {
+  check(!training.empty(), "calibrate_margin: empty training set");
+  check(!holdout.empty(), "calibrate_margin: empty holdout set");
+  check(!candidate_margins.empty(), "calibrate_margin: no candidate margins");
+  check(max_warning_rate >= 0.0 && max_warning_rate <= 1.0,
+        "calibrate_margin: rate must be in [0, 1]");
+  check(std::is_sorted(candidate_margins.begin(), candidate_margins.end()),
+        "calibrate_margin: candidate margins must be ascending");
+
+  for (const double margin : candidate_margins) {
+    check(margin >= 0.0, "calibrate_margin: margins must be non-negative");
+    DiffMonitor monitor = DiffMonitor::from_activations(training, margin);
+    const double rate = warning_rate(monitor, holdout);
+    if (rate <= max_warning_rate)
+      return CalibrationResult{margin, rate, std::move(monitor)};
+  }
+  // No candidate qualified: return the most permissive one.
+  const double margin = candidate_margins.back();
+  DiffMonitor monitor = DiffMonitor::from_activations(training, margin);
+  const double rate = warning_rate(monitor, holdout);
+  return CalibrationResult{margin, rate, std::move(monitor)};
+}
+
+}  // namespace dpv::monitor

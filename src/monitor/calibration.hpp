@@ -1,0 +1,39 @@
+// Monitor margin calibration.
+//
+// An exact training-data hull fires on benign distribution drift: fresh
+// in-ODD frames land slightly outside the recorded min/max and the
+// monitor cries wolf, eroding trust in real warnings. Calibration picks
+// the smallest margin whose false-warning rate on *held-out in-ODD data*
+// does not exceed a target — the standard way to make footnote 2's
+// monitoring deployable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "monitor/diff_monitor.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dpv::monitor {
+
+struct CalibrationResult {
+  double margin_fraction = 0.0;
+  /// Warning rate on the held-out set at that margin.
+  double holdout_warning_rate = 0.0;
+  DiffMonitor monitor;
+};
+
+/// Fraction of `activations` rejected by `monitor`.
+double warning_rate(const DiffMonitor& monitor, const std::vector<Tensor>& activations);
+
+/// Smallest margin from `candidate_margins` (tried in ascending order)
+/// whose warning rate on `holdout` is <= `max_warning_rate`; falls back
+/// to the largest candidate when none qualifies. The monitor is rebuilt
+/// from `training` activations at the chosen margin.
+CalibrationResult calibrate_margin(const std::vector<Tensor>& training,
+                                   const std::vector<Tensor>& holdout,
+                                   double max_warning_rate,
+                                   const std::vector<double>& candidate_margins = {
+                                       0.0, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5});
+
+}  // namespace dpv::monitor

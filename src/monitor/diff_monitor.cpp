@@ -1,0 +1,89 @@
+#include "monitor/diff_monitor.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dpv::monitor {
+
+DiffMonitor DiffMonitor::from_activations(const std::vector<Tensor>& activations,
+                                          double margin_fraction) {
+  BoxMonitor box = BoxMonitor::from_activations(activations, margin_fraction);
+  const std::size_t n = box.dimensions();
+  std::vector<absint::Interval> diffs;
+  if (n >= 2) {
+    diffs.assign(n - 1, absint::Interval());
+    bool first = true;
+    for (const Tensor& a : activations) {
+      const std::vector<double> d = adjacent_differences(a);
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        const absint::Interval point(d[i], d[i]);
+        diffs[i] = first ? point : diffs[i].hull(point);
+      }
+      first = false;
+    }
+    if (margin_fraction > 0.0) {
+      for (absint::Interval& iv : diffs) {
+        const double margin = margin_fraction * iv.width();
+        iv = absint::Interval(iv.lo - margin, iv.hi + margin);
+      }
+    }
+  }
+  return DiffMonitor(std::move(box), std::move(diffs));
+}
+
+DiffMonitor::DiffMonitor(BoxMonitor box, std::vector<absint::Interval> diff_bounds)
+    : box_(std::move(box)), diff_bounds_(std::move(diff_bounds)) {
+  check(diff_bounds_.size() + 1 == box_.dimensions() || (box_.dimensions() == 1 && diff_bounds_.empty()),
+        "DiffMonitor: diff bound count must be dimensions - 1");
+}
+
+bool DiffMonitor::contains(const Tensor& activation) const {
+  if (!box_.contains(activation)) return false;
+  for (std::size_t i = 0; i < diff_bounds_.size(); ++i)
+    if (!diff_bounds_[i].contains(activation[i + 1] - activation[i])) return false;
+  return true;
+}
+
+std::vector<std::string> DiffMonitor::violations(const Tensor& activation) const {
+  std::vector<std::string> out;
+  for (std::size_t i : box_.violations(activation))
+    out.push_back("n" + std::to_string(i) + " = " + std::to_string(activation[i]) +
+                  " outside " + box_.box()[i].to_string());
+  for (std::size_t i = 0; i < diff_bounds_.size(); ++i) {
+    const double d = activation[i + 1] - activation[i];
+    if (!diff_bounds_[i].contains(d))
+      out.push_back("n" + std::to_string(i + 1) + " - n" + std::to_string(i) + " = " +
+                    std::to_string(d) + " outside " + diff_bounds_[i].to_string());
+  }
+  return out;
+}
+
+void DiffMonitor::save(std::ostream& out) const {
+  out << "dpv-diff-monitor 1\n";
+  box_.save(out);
+  out << diff_bounds_.size() << '\n' << std::setprecision(17);
+  for (const absint::Interval& iv : diff_bounds_) out << iv.lo << ' ' << iv.hi << '\n';
+}
+
+DiffMonitor DiffMonitor::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  check(static_cast<bool>(in >> magic >> version) && magic == "dpv-diff-monitor" && version == 1,
+        "DiffMonitor::load: bad header");
+  BoxMonitor box = BoxMonitor::load(in);
+  std::size_t count = 0;
+  check(static_cast<bool>(in >> count), "DiffMonitor::load: missing diff count");
+  std::vector<absint::Interval> diffs(count);
+  for (absint::Interval& iv : diffs) {
+    double lo = 0.0, hi = 0.0;
+    check(static_cast<bool>(in >> lo >> hi), "DiffMonitor::load: truncated diff bounds");
+    iv = absint::Interval(lo, hi);
+  }
+  return DiffMonitor(std::move(box), std::move(diffs));
+}
+
+}  // namespace dpv::monitor

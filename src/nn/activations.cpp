@@ -1,0 +1,58 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dpv::nn {
+
+Tensor ElementwiseActivation::forward(const Tensor& x) const {
+  check(x.numel() == input_shape().numel(), "activation: input size mismatch");
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.numel(); ++i) y[i] = apply(x[i]);
+  return y;
+}
+
+Tensor ElementwiseActivation::forward_train(const Tensor& x, std::size_t slot) {
+  Tensor y = forward(x);
+  cached_inputs_[slot] = x;
+  cached_outputs_[slot] = y;
+  return y;
+}
+
+Tensor ElementwiseActivation::backward_sample(const Tensor& grad_out, std::size_t slot) {
+  const Tensor& x = cached_inputs_[slot];
+  const Tensor& y = cached_outputs_[slot];
+  Tensor gx = grad_out;
+  for (std::size_t i = 0; i < gx.numel(); ++i) gx[i] *= derivative(x[i], y[i]);
+  return gx;
+}
+
+void ElementwiseActivation::prepare_cache(std::size_t batch_size) {
+  cached_inputs_.resize(batch_size);
+  cached_outputs_.resize(batch_size);
+}
+
+double ReLU::apply(double x) const { return x > 0.0 ? x : 0.0; }
+double ReLU::derivative(double x, double /*y*/) const { return x > 0.0 ? 1.0 : 0.0; }
+std::unique_ptr<Layer> ReLU::clone() const { return std::make_unique<ReLU>(input_shape()); }
+
+LeakyReLU::LeakyReLU(Shape shape, double alpha)
+    : ElementwiseActivation(std::move(shape)), alpha_(alpha) {
+  check(alpha > 0.0 && alpha < 1.0, "LeakyReLU: alpha must be in (0, 1)");
+}
+double LeakyReLU::apply(double x) const { return x > 0.0 ? x : alpha_ * x; }
+double LeakyReLU::derivative(double x, double /*y*/) const { return x > 0.0 ? 1.0 : alpha_; }
+std::unique_ptr<Layer> LeakyReLU::clone() const {
+  return std::make_unique<LeakyReLU>(input_shape(), alpha_);
+}
+
+double Sigmoid::apply(double x) const { return 1.0 / (1.0 + std::exp(-x)); }
+double Sigmoid::derivative(double /*x*/, double y) const { return y * (1.0 - y); }
+std::unique_ptr<Layer> Sigmoid::clone() const { return std::make_unique<Sigmoid>(input_shape()); }
+
+double Tanh::apply(double x) const { return std::tanh(x); }
+double Tanh::derivative(double /*x*/, double y) const { return 1.0 - y * y; }
+std::unique_ptr<Layer> Tanh::clone() const { return std::make_unique<Tanh>(input_shape()); }
+
+}  // namespace dpv::nn

@@ -1,0 +1,95 @@
+// Elementwise activation layers: ReLU, Sigmoid, Tanh.
+//
+// ReLU is the activation the paper's verified sub-network uses (Sec. V:
+// "close-to-output layers ... are either ReLU or Batch Normalization");
+// Sigmoid/Tanh round out the training substrate.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dpv::nn {
+
+/// Shared machinery for shape-preserving elementwise activations.
+class ElementwiseActivation : public Layer {
+ public:
+  explicit ElementwiseActivation(Shape shape) : shape_(std::move(shape)) {}
+
+  Shape input_shape() const override { return shape_; }
+  Shape output_shape() const override { return shape_; }
+
+  Tensor forward(const Tensor& x) const override;
+
+ protected:
+  /// Scalar activation value.
+  virtual double apply(double x) const = 0;
+  /// Derivative given pre-activation `x` and activation `y`.
+  virtual double derivative(double x, double y) const = 0;
+
+  Tensor forward_train(const Tensor& x, std::size_t slot) override;
+  Tensor backward_sample(const Tensor& grad_out, std::size_t slot) override;
+  void prepare_cache(std::size_t batch_size) override;
+
+ private:
+  Shape shape_;
+  std::vector<Tensor> cached_inputs_;
+  std::vector<Tensor> cached_outputs_;
+};
+
+/// max(x, 0). Piecewise-linear, exactly encodable in MILP.
+class ReLU : public ElementwiseActivation {
+ public:
+  explicit ReLU(Shape shape) : ElementwiseActivation(std::move(shape)) {}
+  LayerKind kind() const override { return LayerKind::kReLU; }
+  std::unique_ptr<Layer> clone() const override;
+
+ protected:
+  double apply(double x) const override;
+  double derivative(double x, double y) const override;
+};
+
+/// max(x, alpha*x) with 0 < alpha < 1. Piecewise-linear and convex, so it
+/// remains exactly MILP-encodable and admits tight symbolic bounds.
+class LeakyReLU : public ElementwiseActivation {
+ public:
+  LeakyReLU(Shape shape, double alpha = 0.01);
+  LayerKind kind() const override { return LayerKind::kLeakyReLU; }
+  std::unique_ptr<Layer> clone() const override;
+
+  double alpha() const { return alpha_; }
+
+ protected:
+  double apply(double x) const override;
+  double derivative(double x, double y) const override;
+
+ private:
+  double alpha_;
+};
+
+/// 1 / (1 + exp(-x)).
+class Sigmoid : public ElementwiseActivation {
+ public:
+  explicit Sigmoid(Shape shape) : ElementwiseActivation(std::move(shape)) {}
+  LayerKind kind() const override { return LayerKind::kSigmoid; }
+  std::unique_ptr<Layer> clone() const override;
+
+ protected:
+  double apply(double x) const override;
+  double derivative(double x, double y) const override;
+};
+
+/// Hyperbolic tangent.
+class Tanh : public ElementwiseActivation {
+ public:
+  explicit Tanh(Shape shape) : ElementwiseActivation(std::move(shape)) {}
+  LayerKind kind() const override { return LayerKind::kTanh; }
+  std::unique_ptr<Layer> clone() const override;
+
+ protected:
+  double apply(double x) const override;
+  double derivative(double x, double y) const override;
+};
+
+}  // namespace dpv::nn

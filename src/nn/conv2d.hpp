@@ -1,0 +1,58 @@
+// 2-D convolution over (channels, height, width) tensors.
+//
+// The convolutional front-end of the direct perception network. Never
+// encoded into MILP: the paper's layer abstraction (Lemma 1) cuts the
+// network after the convolutional stack, so Conv2D only needs forward and
+// training backward.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace dpv::nn {
+
+class Conv2D : public Layer {
+ public:
+  /// Valid-region convolution with explicit zero padding and stride.
+  Conv2D(std::size_t in_channels, std::size_t in_height, std::size_t in_width,
+         std::size_t out_channels, std::size_t kernel, std::size_t stride = 1,
+         std::size_t padding = 0);
+
+  void init_he(Rng& rng);
+  void set_parameters(Tensor weight, Tensor bias);
+
+  LayerKind kind() const override { return LayerKind::kConv2D; }
+  Shape input_shape() const override { return Shape{in_channels_, in_height_, in_width_}; }
+  Shape output_shape() const override { return Shape{out_channels_, out_height_, out_width_}; }
+
+  Tensor forward(const Tensor& x) const override;
+  std::vector<ParamRef> params() override;
+  std::unique_ptr<Layer> clone() const override;
+
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+  std::size_t padding() const { return padding_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ protected:
+  Tensor forward_train(const Tensor& x, std::size_t slot) override;
+  Tensor backward_sample(const Tensor& grad_out, std::size_t slot) override;
+  void prepare_cache(std::size_t batch_size) override;
+
+ private:
+  double input_at(const Tensor& x, std::size_t c, long r, long col) const;
+
+  std::size_t in_channels_, in_height_, in_width_;
+  std::size_t out_channels_, out_height_, out_width_;
+  std::size_t kernel_, stride_, padding_;
+  Tensor weight_;  // flat [out_ch, in_ch, k, k]
+  Tensor bias_;    // [out_ch]
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  std::vector<Tensor> cached_inputs_;
+};
+
+}  // namespace dpv::nn

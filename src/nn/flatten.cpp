@@ -1,0 +1,22 @@
+#include "nn/flatten.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::nn {
+
+Tensor Flatten::forward(const Tensor& x) const {
+  check(x.numel() == in_shape_.numel(), "Flatten: input size mismatch");
+  return x.reshaped(Shape{in_shape_.numel()});
+}
+
+std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(in_shape_); }
+
+Tensor Flatten::forward_train(const Tensor& x, std::size_t /*slot*/) { return forward(x); }
+
+Tensor Flatten::backward_sample(const Tensor& grad_out, std::size_t /*slot*/) {
+  return grad_out.reshaped(in_shape_);
+}
+
+void Flatten::prepare_cache(std::size_t /*batch_size*/) {}
+
+}  // namespace dpv::nn

@@ -1,0 +1,30 @@
+// Flatten: reshapes (C, H, W) feature maps to rank-1 vectors.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.hpp"
+
+namespace dpv::nn {
+
+class Flatten : public Layer {
+ public:
+  explicit Flatten(Shape in_shape) : in_shape_(std::move(in_shape)) {}
+
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  Shape input_shape() const override { return in_shape_; }
+  Shape output_shape() const override { return Shape{in_shape_.numel()}; }
+
+  Tensor forward(const Tensor& x) const override;
+  std::unique_ptr<Layer> clone() const override;
+
+ protected:
+  Tensor forward_train(const Tensor& x, std::size_t slot) override;
+  Tensor backward_sample(const Tensor& grad_out, std::size_t slot) override;
+  void prepare_cache(std::size_t batch_size) override;
+
+ private:
+  Shape in_shape_;
+};
+
+}  // namespace dpv::nn

@@ -1,0 +1,56 @@
+#include "nn/layer.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::nn {
+
+std::string layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kDense:
+      return "dense";
+    case LayerKind::kReLU:
+      return "relu";
+    case LayerKind::kLeakyReLU:
+      return "leakyrelu";
+    case LayerKind::kSigmoid:
+      return "sigmoid";
+    case LayerKind::kTanh:
+      return "tanh";
+    case LayerKind::kBatchNorm:
+      return "batchnorm";
+    case LayerKind::kConv2D:
+      return "conv2d";
+    case LayerKind::kMaxPool2D:
+      return "maxpool2d";
+    case LayerKind::kAvgPool2D:
+      return "avgpool2d";
+    case LayerKind::kFlatten:
+      return "flatten";
+  }
+  throw InternalError("layer_kind_name: unknown kind");
+}
+
+std::vector<Tensor> Layer::forward_batch(const std::vector<Tensor>& xs, bool training) {
+  std::vector<Tensor> ys;
+  ys.reserve(xs.size());
+  if (!training) {
+    for (const Tensor& x : xs) ys.push_back(forward(x));
+    return ys;
+  }
+  prepare_cache(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) ys.push_back(forward_train(xs[i], i));
+  return ys;
+}
+
+std::vector<Tensor> Layer::backward_batch(const std::vector<Tensor>& grad_out) {
+  std::vector<Tensor> gxs;
+  gxs.reserve(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) gxs.push_back(backward_sample(grad_out[i], i));
+  return gxs;
+}
+
+void Layer::zero_grad() {
+  for (ParamRef& p : params()) p.grad->fill(0.0);
+}
+
+}  // namespace dpv::nn

@@ -1,0 +1,87 @@
+// Layer interface for the feed-forward network substrate.
+//
+// Layers support three usage modes:
+//   * inference      — `forward` (const, no state),
+//   * training       — `forward_batch(training=true)` caches per-sample
+//                      intermediates; `backward_batch` consumes output
+//                      gradients and accumulates parameter gradients,
+//   * verification   — `kind()` plus layer-specific accessors let the
+//                      MILP encoder and abstract interpreter walk the
+//                      network structurally (Dense / ReLU / BatchNorm are
+//                      the close-to-output kinds the paper verifies).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dpv::nn {
+
+/// Structural discriminator used by the verifier and serializer.
+enum class LayerKind {
+  kDense,
+  kReLU,
+  kLeakyReLU,
+  kSigmoid,
+  kTanh,
+  kBatchNorm,
+  kConv2D,
+  kMaxPool2D,
+  kAvgPool2D,
+  kFlatten,
+};
+
+/// Name used in the serialization format and error messages.
+std::string layer_kind_name(LayerKind kind);
+
+/// Mutable view of one learnable parameter tensor and its gradient.
+struct ParamRef {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Abstract feed-forward layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual LayerKind kind() const = 0;
+  virtual Shape input_shape() const = 0;
+  virtual Shape output_shape() const = 0;
+
+  /// Pure inference on one sample; never touches training caches.
+  virtual Tensor forward(const Tensor& x) const = 0;
+
+  /// Training-mode batch forward. When `training` is true the layer caches
+  /// whatever `backward_batch` needs; callers must pair the two calls.
+  virtual std::vector<Tensor> forward_batch(const std::vector<Tensor>& xs, bool training);
+
+  /// Batch backward: consumes dL/dy per sample, returns dL/dx per sample,
+  /// and accumulates parameter gradients (callers zero them per step).
+  virtual std::vector<Tensor> backward_batch(const std::vector<Tensor>& grad_out);
+
+  /// Learnable parameters (empty for stateless layers).
+  virtual std::vector<ParamRef> params() { return {}; }
+
+  /// Deep copy (used when attaching characterizers to a trained network).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
+  /// Zeroes all parameter gradients.
+  void zero_grad();
+
+ protected:
+  /// Per-sample training forward; default layers use this via the batch
+  /// loop. `slot` indexes the cache for the sample within the batch.
+  virtual Tensor forward_train(const Tensor& x, std::size_t slot) = 0;
+
+  /// Per-sample backward matching `forward_train`.
+  virtual Tensor backward_sample(const Tensor& grad_out, std::size_t slot) = 0;
+
+  /// Resizes per-sample caches for a batch of the given size.
+  virtual void prepare_cache(std::size_t batch_size) = 0;
+};
+
+}  // namespace dpv::nn

@@ -1,0 +1,109 @@
+#include "nn/network.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::nn {
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  check(layer != nullptr, "Network::add: null layer");
+  if (!layers_.empty()) {
+    const std::size_t produced = layers_.back()->output_shape().numel();
+    const std::size_t consumed = layer->input_shape().numel();
+    check(produced == consumed,
+          "Network::add: layer expects " + std::to_string(consumed) + " values but previous " +
+              "layer produces " + std::to_string(produced));
+  }
+  layers_.push_back(std::move(layer));
+}
+
+Layer& Network::layer(std::size_t i) {
+  check(i < layers_.size(), "Network::layer: index out of range");
+  return *layers_[i];
+}
+
+const Layer& Network::layer(std::size_t i) const {
+  check(i < layers_.size(), "Network::layer: index out of range");
+  return *layers_[i];
+}
+
+Shape Network::input_shape() const {
+  check(!layers_.empty(), "Network::input_shape: empty network");
+  return layers_.front()->input_shape();
+}
+
+Shape Network::output_shape() const {
+  check(!layers_.empty(), "Network::output_shape: empty network");
+  return layers_.back()->output_shape();
+}
+
+Tensor Network::forward(const Tensor& x) const { return forward_prefix(x, layers_.size()); }
+
+Tensor Network::forward_prefix(const Tensor& x, std::size_t l) const {
+  check(l <= layers_.size(), "Network::forward_prefix: layer index out of range");
+  Tensor v = x;
+  for (std::size_t i = 0; i < l; ++i) v = layers_[i]->forward(v);
+  return v;
+}
+
+Tensor Network::forward_suffix(const Tensor& v, std::size_t l) const {
+  check(l <= layers_.size(), "Network::forward_suffix: layer index out of range");
+  Tensor out = v;
+  for (std::size_t i = l; i < layers_.size(); ++i) out = layers_[i]->forward(out);
+  return out;
+}
+
+std::vector<Tensor> Network::all_layer_outputs(const Tensor& x) const {
+  std::vector<Tensor> outs;
+  outs.reserve(layers_.size());
+  Tensor v = x;
+  for (const auto& layer : layers_) {
+    v = layer->forward(v);
+    outs.push_back(v);
+  }
+  return outs;
+}
+
+std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& xs, bool training) {
+  std::vector<Tensor> vs = xs;
+  for (auto& layer : layers_) vs = layer->forward_batch(vs, training);
+  return vs;
+}
+
+std::vector<Tensor> Network::backward_batch(const std::vector<Tensor>& grad_out) {
+  std::vector<Tensor> gs = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) gs = layers_[i]->backward_batch(gs);
+  return gs;
+}
+
+std::vector<ParamRef> Network::params() {
+  std::vector<ParamRef> all;
+  for (auto& layer : layers_)
+    for (ParamRef& p : layer->params()) all.push_back(p);
+  return all;
+}
+
+void Network::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+Network Network::clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.add(layer->clone());
+  return copy;
+}
+
+Network Network::clone_prefix(std::size_t l) const {
+  check(l <= layers_.size(), "Network::clone_prefix: layer index out of range");
+  Network copy;
+  for (std::size_t i = 0; i < l; ++i) copy.add(layers_[i]->clone());
+  return copy;
+}
+
+Network Network::clone_suffix(std::size_t l) const {
+  check(l <= layers_.size(), "Network::clone_suffix: layer index out of range");
+  Network copy;
+  for (std::size_t i = l; i < layers_.size(); ++i) copy.add(layers_[i]->clone());
+  return copy;
+}
+
+}  // namespace dpv::nn

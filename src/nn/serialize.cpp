@@ -1,0 +1,204 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pool2d.hpp"
+
+namespace dpv::nn {
+
+namespace {
+
+constexpr const char* kMagic = "dpv-network";
+constexpr int kVersion = 1;
+
+void write_tensor(std::ostream& out, const Tensor& t) {
+  out << t.numel();
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < t.numel(); ++i) out << ' ' << t[i];
+  out << '\n';
+}
+
+Tensor read_tensor(std::istream& in, const Shape& shape) {
+  std::size_t count = 0;
+  check(static_cast<bool>(in >> count), "load: truncated tensor header");
+  check(count == shape.numel(), "load: tensor size " + std::to_string(count) +
+                                    " does not match expected shape " + shape.to_string());
+  std::vector<double> values(count);
+  for (double& v : values) check(static_cast<bool>(in >> v), "load: truncated tensor data");
+  return Tensor(shape, std::move(values));
+}
+
+void write_shape(std::ostream& out, const Shape& shape) {
+  out << shape.rank();
+  for (std::size_t d : shape.dims()) out << ' ' << d;
+}
+
+Shape read_shape(std::istream& in) {
+  std::size_t rank = 0;
+  check(static_cast<bool>(in >> rank), "load: truncated shape");
+  check(rank <= 4, "load: implausible shape rank");
+  std::vector<std::size_t> dims(rank);
+  for (std::size_t& d : dims) check(static_cast<bool>(in >> d), "load: truncated shape dims");
+  return Shape(dims);
+}
+
+void save_layer(std::ostream& out, const Layer& layer) {
+  out << layer_kind_name(layer.kind()) << ' ';
+  switch (layer.kind()) {
+    case LayerKind::kDense: {
+      const auto& d = static_cast<const Dense&>(layer);
+      out << d.input_shape().dim(0) << ' ' << d.output_shape().dim(0) << '\n';
+      write_tensor(out, d.weight());
+      write_tensor(out, d.bias());
+      break;
+    }
+    case LayerKind::kReLU:
+    case LayerKind::kSigmoid:
+    case LayerKind::kTanh: {
+      write_shape(out, layer.input_shape());
+      out << '\n';
+      break;
+    }
+    case LayerKind::kLeakyReLU: {
+      const auto& leaky = static_cast<const LeakyReLU&>(layer);
+      out << std::setprecision(17) << leaky.alpha() << ' ';
+      write_shape(out, layer.input_shape());
+      out << '\n';
+      break;
+    }
+    case LayerKind::kBatchNorm: {
+      const auto& bn = static_cast<const BatchNorm&>(layer);
+      out << bn.input_shape().dim(0) << ' ' << std::setprecision(17) << bn.eps() << '\n';
+      write_tensor(out, bn.gamma());
+      write_tensor(out, bn.beta());
+      write_tensor(out, bn.running_mean());
+      write_tensor(out, bn.running_var());
+      break;
+    }
+    case LayerKind::kConv2D: {
+      const auto& c = static_cast<const Conv2D&>(layer);
+      const Shape in = c.input_shape();
+      out << in.dim(0) << ' ' << in.dim(1) << ' ' << in.dim(2) << ' '
+          << c.output_shape().dim(0) << ' ' << c.kernel() << ' ' << c.stride() << ' '
+          << c.padding() << '\n';
+      write_tensor(out, c.weight());
+      write_tensor(out, c.bias());
+      break;
+    }
+    case LayerKind::kMaxPool2D:
+    case LayerKind::kAvgPool2D: {
+      const auto& p = static_cast<const Pool2D&>(layer);
+      const Shape in = p.input_shape();
+      out << in.dim(0) << ' ' << in.dim(1) << ' ' << in.dim(2) << ' ' << p.window() << '\n';
+      break;
+    }
+    case LayerKind::kFlatten: {
+      write_shape(out, layer.input_shape());
+      out << '\n';
+      break;
+    }
+  }
+}
+
+std::unique_ptr<Layer> load_layer(std::istream& in, const std::string& kind) {
+  if (kind == "dense") {
+    std::size_t in_f = 0, out_f = 0;
+    check(static_cast<bool>(in >> in_f >> out_f), "load: truncated dense header");
+    auto layer = std::make_unique<Dense>(in_f, out_f);
+    Tensor w = read_tensor(in, Shape{out_f, in_f});
+    Tensor b = read_tensor(in, Shape{out_f});
+    layer->set_parameters(std::move(w), std::move(b));
+    return layer;
+  }
+  if (kind == "relu") return std::make_unique<ReLU>(read_shape(in));
+  if (kind == "leakyrelu") {
+    double alpha = 0.0;
+    check(static_cast<bool>(in >> alpha), "load: truncated leakyrelu header");
+    return std::make_unique<LeakyReLU>(read_shape(in), alpha);
+  }
+  if (kind == "sigmoid") return std::make_unique<Sigmoid>(read_shape(in));
+  if (kind == "tanh") return std::make_unique<Tanh>(read_shape(in));
+  if (kind == "batchnorm") {
+    std::size_t features = 0;
+    double eps = 0.0;
+    check(static_cast<bool>(in >> features >> eps), "load: truncated batchnorm header");
+    auto layer = std::make_unique<BatchNorm>(features, eps);
+    Tensor gamma = read_tensor(in, Shape{features});
+    Tensor beta = read_tensor(in, Shape{features});
+    Tensor mean = read_tensor(in, Shape{features});
+    Tensor var = read_tensor(in, Shape{features});
+    layer->set_affine(std::move(gamma), std::move(beta));
+    layer->set_statistics(std::move(mean), std::move(var));
+    return layer;
+  }
+  if (kind == "conv2d") {
+    std::size_t ic = 0, ih = 0, iw = 0, oc = 0, k = 0, s = 0, p = 0;
+    check(static_cast<bool>(in >> ic >> ih >> iw >> oc >> k >> s >> p),
+          "load: truncated conv2d header");
+    auto layer = std::make_unique<Conv2D>(ic, ih, iw, oc, k, s, p);
+    Tensor w = read_tensor(in, Shape{oc * ic * k * k});
+    Tensor b = read_tensor(in, Shape{oc});
+    layer->set_parameters(std::move(w), std::move(b));
+    return layer;
+  }
+  if (kind == "maxpool2d" || kind == "avgpool2d") {
+    std::size_t c = 0, h = 0, w = 0, win = 0;
+    check(static_cast<bool>(in >> c >> h >> w >> win), "load: truncated pool header");
+    if (kind == "maxpool2d") return std::make_unique<MaxPool2D>(c, h, w, win);
+    return std::make_unique<AvgPool2D>(c, h, w, win);
+  }
+  if (kind == "flatten") return std::make_unique<Flatten>(read_shape(in));
+  throw ContractViolation("load: unknown layer kind '" + kind + "'");
+}
+
+}  // namespace
+
+void save(const Network& net, std::ostream& out) {
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "layers " << net.layer_count() << '\n';
+  for (std::size_t i = 0; i < net.layer_count(); ++i) save_layer(out, net.layer(i));
+}
+
+Network load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  check(static_cast<bool>(in >> magic >> version), "load: missing header");
+  check(magic == kMagic, "load: bad magic '" + magic + "'");
+  check(version == kVersion, "load: unsupported version " + std::to_string(version));
+  std::string token;
+  std::size_t count = 0;
+  check(static_cast<bool>(in >> token >> count) && token == "layers",
+        "load: missing layer count");
+  Network net;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string kind;
+    check(static_cast<bool>(in >> kind), "load: truncated at layer " + std::to_string(i));
+    net.add(load_layer(in, kind));
+  }
+  return net;
+}
+
+void save_file(const Network& net, const std::string& path) {
+  std::ofstream out(path);
+  check(out.good(), "save_file: cannot open '" + path + "'");
+  save(net, out);
+  check(out.good(), "save_file: write failed for '" + path + "'");
+}
+
+Network load_file(const std::string& path) {
+  std::ifstream in(path);
+  check(in.good(), "load_file: cannot open '" + path + "'");
+  return load(in);
+}
+
+}  // namespace dpv::nn

@@ -1,0 +1,35 @@
+#include "tensor/shape.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) : dims_(dims) {}
+
+Shape::Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {}
+
+std::size_t Shape::dim(std::size_t axis) const {
+  // Hot path: build the diagnostic only on failure.
+  if (axis >= dims_.size())
+    throw ContractViolation("Shape::dim: axis " + std::to_string(axis) +
+                            " out of range for rank " + std::to_string(dims_.size()));
+  return dims_[axis];
+}
+
+std::size_t Shape::numel() const {
+  std::size_t n = 1;
+  for (std::size_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace dpv

@@ -1,0 +1,43 @@
+// Tensor shapes.
+//
+// A Shape is an ordered list of extents. The library uses rank-1 shapes
+// for flat feature vectors, rank-2 for weight matrices and batches, and
+// rank-3 (channels, height, width) for images inside the convolutional
+// front-end.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dpv {
+
+/// Ordered extents of a tensor. Immutable after construction.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims);
+  explicit Shape(std::vector<std::size_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Extent of dimension `axis`; throws on out-of-range axis.
+  std::size_t dim(std::size_t axis) const;
+
+  /// Total number of elements (product of extents; 1 for rank 0).
+  std::size_t numel() const;
+
+  const std::vector<std::size_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "[3, 16, 32]".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace dpv

@@ -1,0 +1,67 @@
+// Dense row-major tensor of doubles.
+//
+// The whole library — inference, training, verification — works in double
+// precision so that values fed to the LP/MILP layer match the values the
+// network actually computes, without a float->double conversion gap.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace dpv {
+
+class Rng;
+
+/// Dense row-major tensor. Value semantics; cheap to move.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Zero-filled tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor with explicit contents; `values.size()` must equal `shape.numel()`.
+  Tensor(Shape shape, std::vector<double> values);
+
+  /// Convenience rank-1 tensor from a flat vector.
+  static Tensor vector1d(std::vector<double> values);
+
+  /// Tensor with i.i.d. normal entries (used for weight initialization).
+  static Tensor randn(const Shape& shape, Rng& rng, double stddev);
+
+  const Shape& shape() const { return shape_; }
+  std::size_t numel() const { return values_.size(); }
+
+  /// Flat element access.
+  double& operator[](std::size_t i) { return values_[i]; }
+  double operator[](std::size_t i) const { return values_[i]; }
+
+  /// Rank-2 access (row, col); checked.
+  double& at2(std::size_t r, std::size_t c);
+  double at2(std::size_t r, std::size_t c) const;
+
+  /// Rank-3 access (channel, row, col); checked.
+  double& at3(std::size_t ch, std::size_t r, std::size_t c);
+  double at3(std::size_t ch, std::size_t r, std::size_t c) const;
+
+  std::vector<double>& data() { return values_; }
+  const std::vector<double>& data() const { return values_; }
+
+  /// Reinterprets the contents under a new shape with equal numel.
+  Tensor reshaped(const Shape& new_shape) const;
+
+  void fill(double value);
+
+  bool same_shape(const Tensor& other) const { return shape_ == other.shape_; }
+
+ private:
+  std::size_t index2(std::size_t r, std::size_t c) const;
+  std::size_t index3(std::size_t ch, std::size_t r, std::size_t c) const;
+
+  Shape shape_;
+  std::vector<double> values_;
+};
+
+}  // namespace dpv

@@ -1,0 +1,93 @@
+#include "train/adversarial.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dpv::train {
+
+namespace {
+
+Tensor input_gradient(nn::Network& net, const Tensor& input, const Tensor& target,
+                      const Loss& loss) {
+  net.zero_grad();
+  const std::vector<Tensor> ys = net.forward_batch({input}, /*training=*/true);
+  const std::vector<Tensor> gxs = net.backward_batch({loss.gradient(ys[0], target)});
+  return gxs[0];
+}
+
+void project(Tensor& x, const Tensor& center, double epsilon, double lo, double hi) {
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    x[i] = std::clamp(x[i], center[i] - epsilon, center[i] + epsilon);
+    x[i] = std::clamp(x[i], lo, hi);
+  }
+}
+
+}  // namespace
+
+Tensor fgsm_attack(nn::Network& net, const Tensor& input, const Tensor& target,
+                   const Loss& loss, const AttackConfig& config) {
+  check(config.epsilon > 0.0, "fgsm_attack: epsilon must be positive");
+  const Tensor grad = input_gradient(net, input, target, loss);
+  Tensor adv = input;
+  for (std::size_t i = 0; i < adv.numel(); ++i) {
+    const double sign = grad[i] > 0.0 ? 1.0 : (grad[i] < 0.0 ? -1.0 : 0.0);
+    adv[i] += config.epsilon * sign;
+  }
+  project(adv, input, config.epsilon, config.clamp_lo, config.clamp_hi);
+  return adv;
+}
+
+Tensor pgd_attack(nn::Network& net, const Tensor& input, const Tensor& target, const Loss& loss,
+                  const AttackConfig& config) {
+  check(config.steps > 0, "pgd_attack: steps must be positive");
+  Tensor adv = input;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    const Tensor grad = input_gradient(net, adv, target, loss);
+    for (std::size_t i = 0; i < adv.numel(); ++i) {
+      const double sign = grad[i] > 0.0 ? 1.0 : (grad[i] < 0.0 ? -1.0 : 0.0);
+      adv[i] += config.step_size * sign;
+    }
+    project(adv, input, config.epsilon, config.clamp_lo, config.clamp_hi);
+  }
+  return adv;
+}
+
+ConcretizationResult concretize_activation(const nn::Network& net, std::size_t l,
+                                           const Tensor& target_activation, const Tensor& seed,
+                                           std::size_t max_iterations, double step_size,
+                                           double clamp_lo, double clamp_hi) {
+  check(l <= net.layer_count(), "concretize_activation: layer index out of range");
+  nn::Network prefix = net.clone_prefix(l);
+  check(prefix.layer_count() > 0, "concretize_activation: empty prefix");
+  check(prefix.output_shape().numel() == target_activation.numel(),
+        "concretize_activation: target activation size mismatch");
+
+  const MseLoss feature_loss;
+  ConcretizationResult result;
+  result.input = seed;
+  Tensor x = seed;
+  double best = max_abs_diff(prefix.forward(x), target_activation);
+  result.distance = best;
+
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    prefix.zero_grad();
+    const std::vector<Tensor> ys = prefix.forward_batch({x}, /*training=*/true);
+    const std::vector<Tensor> gxs =
+        prefix.backward_batch({feature_loss.gradient(ys[0], target_activation)});
+    for (std::size_t i = 0; i < x.numel(); ++i)
+      x[i] = std::clamp(x[i] - step_size * gxs[0][i], clamp_lo, clamp_hi);
+    const double dist = max_abs_diff(prefix.forward(x), target_activation);
+    result.iterations = it + 1;
+    if (dist < best) {
+      best = dist;
+      result.input = x;
+      result.distance = dist;
+    }
+  }
+  return result;
+}
+
+}  // namespace dpv::train

@@ -1,0 +1,52 @@
+// Gradient-based input search: FGSM / PGD attacks and counterexample
+// concretization.
+//
+// Section V of the paper suggests that when a property cannot be proven,
+// "it should be possible to construct a counter example either by
+// capturing more data or by using adversarial perturbation techniques".
+// This module provides both: classic attacks against the perception
+// regressor, and `concretize_activation`, which searches the *input*
+// space for an image whose layer-l features approach a counterexample
+// activation n̂_l reported by the MILP verifier.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/network.hpp"
+#include "train/loss.hpp"
+
+namespace dpv::train {
+
+struct AttackConfig {
+  double epsilon = 0.05;     ///< max-norm perturbation budget
+  double step_size = 0.01;   ///< PGD step
+  std::size_t steps = 20;    ///< PGD iterations
+  double clamp_lo = 0.0;     ///< valid pixel range lower bound
+  double clamp_hi = 1.0;     ///< valid pixel range upper bound
+};
+
+/// One-step fast gradient sign attack maximizing `loss` at (input, target).
+Tensor fgsm_attack(nn::Network& net, const Tensor& input, const Tensor& target,
+                   const Loss& loss, const AttackConfig& config);
+
+/// Projected gradient descent attack (iterated FGSM with projection onto
+/// the epsilon ball around `input` intersected with the pixel range).
+Tensor pgd_attack(nn::Network& net, const Tensor& input, const Tensor& target, const Loss& loss,
+                  const AttackConfig& config);
+
+struct ConcretizationResult {
+  Tensor input;            ///< best input found
+  double distance = 0.0;   ///< final ||f^(l)(input) - target_activation||_inf
+  std::size_t iterations = 0;
+};
+
+/// Searches for an input whose layer-`l` activation approaches
+/// `target_activation`, starting from `seed` (projected gradient descent
+/// on the squared feature distance, pixels clamped to [lo, hi]).
+ConcretizationResult concretize_activation(const nn::Network& net, std::size_t l,
+                                           const Tensor& target_activation, const Tensor& seed,
+                                           std::size_t max_iterations = 200,
+                                           double step_size = 0.05, double clamp_lo = 0.0,
+                                           double clamp_hi = 1.0);
+
+}  // namespace dpv::train

@@ -1,0 +1,31 @@
+// Numerical gradient verification.
+//
+// Central-difference checking of the analytic backward passes; the
+// property-based layer tests sweep this across layer kinds and shapes.
+#pragma once
+
+#include "nn/network.hpp"
+#include "train/loss.hpp"
+
+namespace dpv::train {
+
+struct GradCheckResult {
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+/// Compares analytic parameter gradients of `net` against central
+/// differences for one (input, target) pair under `loss`.
+///
+/// `epsilon` is the finite-difference step. The network is restored to
+/// its original parameters before returning.
+GradCheckResult check_parameter_gradients(nn::Network& net, const Tensor& input,
+                                          const Tensor& target, const Loss& loss,
+                                          double epsilon = 1e-6);
+
+/// Compares the analytic input gradient against central differences.
+GradCheckResult check_input_gradients(nn::Network& net, const Tensor& input,
+                                      const Tensor& target, const Loss& loss,
+                                      double epsilon = 1e-6);
+
+}  // namespace dpv::train

@@ -1,0 +1,44 @@
+#include "train/loss.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dpv::train {
+
+double MseLoss::value(const Tensor& pred, const Tensor& target) const {
+  check(pred.same_shape(target), "MseLoss: shape mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.numel(); ++i) {
+    const double d = pred[i] - target[i];
+    acc += d * d;
+  }
+  return acc / static_cast<double>(pred.numel());
+}
+
+Tensor MseLoss::gradient(const Tensor& pred, const Tensor& target) const {
+  check(pred.same_shape(target), "MseLoss: shape mismatch");
+  Tensor g = pred;
+  const double scale = 2.0 / static_cast<double>(pred.numel());
+  for (std::size_t i = 0; i < g.numel(); ++i) g[i] = scale * (pred[i] - target[i]);
+  return g;
+}
+
+double BceWithLogitsLoss::value(const Tensor& pred, const Tensor& target) const {
+  check(pred.numel() == 1 && target.numel() == 1, "BceWithLogitsLoss: scalar logit expected");
+  const double z = pred[0];
+  const double t = target[0];
+  return std::max(z, 0.0) - z * t + std::log1p(std::exp(-std::abs(z)));
+}
+
+Tensor BceWithLogitsLoss::gradient(const Tensor& pred, const Tensor& target) const {
+  check(pred.numel() == 1 && target.numel() == 1, "BceWithLogitsLoss: scalar logit expected");
+  const double z = pred[0];
+  const double t = target[0];
+  const double sigma = 1.0 / (1.0 + std::exp(-z));
+  Tensor g(Shape{1});
+  g[0] = sigma - t;
+  return g;
+}
+
+}  // namespace dpv::train

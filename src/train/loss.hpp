@@ -1,0 +1,41 @@
+// Loss functions for the training substrate.
+//
+// The direct perception network is a regressor (MSE over waypoint and
+// orientation); the input property characterizer is a binary classifier
+// trained on logits (BCE-with-logits, so the characterizer network itself
+// stays purely piecewise-linear for the MILP encoder).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dpv::train {
+
+/// Loss over one (prediction, target) pair.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+
+  /// Scalar loss value.
+  virtual double value(const Tensor& pred, const Tensor& target) const = 0;
+
+  /// dL/dpred, same shape as `pred`.
+  virtual Tensor gradient(const Tensor& pred, const Tensor& target) const = 0;
+};
+
+/// Mean squared error: mean_i (pred_i - target_i)^2.
+class MseLoss : public Loss {
+ public:
+  double value(const Tensor& pred, const Tensor& target) const override;
+  Tensor gradient(const Tensor& pred, const Tensor& target) const override;
+};
+
+/// Binary cross entropy on a single logit; target is {0, 1}.
+///
+/// Numerically stable form: loss = max(z, 0) - z*t + log(1 + exp(-|z|)).
+class BceWithLogitsLoss : public Loss {
+ public:
+  double value(const Tensor& pred, const Tensor& target) const override;
+  Tensor gradient(const Tensor& pred, const Tensor& target) const override;
+};
+
+}  // namespace dpv::train

@@ -1,0 +1,63 @@
+#include "train/trainer.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace dpv::train {
+
+LossHistory Trainer::fit(nn::Network& net, const Dataset& data, const Loss& loss,
+                         Optimizer& optimizer) {
+  check(!data.empty(), "Trainer::fit: empty dataset");
+  check(config_.batch_size > 0, "Trainer::fit: batch size must be positive");
+  Rng rng(config_.shuffle_seed);
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  LossHistory history;
+  history.reserve(config_.epochs);
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t seen = 0;
+    for (std::size_t start = 0; start < order.size(); start += config_.batch_size) {
+      const std::size_t end = std::min(start + config_.batch_size, order.size());
+      std::vector<Tensor> xs, ts;
+      xs.reserve(end - start);
+      ts.reserve(end - start);
+      for (std::size_t i = start; i < end; ++i) {
+        xs.push_back(data[order[i]].input);
+        ts.push_back(data[order[i]].target);
+      }
+      net.zero_grad();
+      const std::vector<Tensor> ys = net.forward_batch(xs, /*training=*/true);
+      std::vector<Tensor> grads;
+      grads.reserve(ys.size());
+      const double inv_batch = 1.0 / static_cast<double>(ys.size());
+      for (std::size_t i = 0; i < ys.size(); ++i) {
+        epoch_loss += loss.value(ys[i], ts[i]);
+        Tensor g = loss.gradient(ys[i], ts[i]);
+        for (std::size_t j = 0; j < g.numel(); ++j) g[j] *= inv_batch;
+        grads.push_back(std::move(g));
+      }
+      seen += ys.size();
+      net.backward_batch(grads);
+      optimizer.step(net.params());
+    }
+    history.push_back(epoch_loss / static_cast<double>(seen));
+    if (config_.verbose)
+      std::printf("epoch %3zu  loss %.6f\n", epoch + 1, history.back());
+  }
+  return history;
+}
+
+double Trainer::evaluate(const nn::Network& net, const Dataset& data, const Loss& loss) {
+  check(!data.empty(), "Trainer::evaluate: empty dataset");
+  double acc = 0.0;
+  for (const Sample& s : data.samples()) acc += loss.value(net.forward(s.input), s.target);
+  return acc / static_cast<double>(data.size());
+}
+
+}  // namespace dpv::train

@@ -1,0 +1,101 @@
+// MILP encoding of verified sub-networks.
+//
+// Encodes the tail g^(L) ∘ ... ∘ g^(l+1) (and, sharing the same layer-l
+// variables, the input property characterizer h_l^phi) into a
+// MilpProblem:
+//   * layer-l neurons become box-bounded continuous variables, optionally
+//     constrained by the monitor's adjacent-difference bounds (the S̃
+//     polyhedron of the assume-guarantee approach),
+//   * Dense / BatchNorm layers become linear equality rows,
+//   * ReLU neurons become the standard big-M construction with one binary
+//     phase variable — unless their pre-activation bounds prove them
+//     stable, in which case they are eliminated (encoded linearly),
+//   * bounds come from interval propagation or, optionally, from
+//     per-neuron LP tightening on the partial relaxation (the
+//     abstraction-refinement knob of experiment E7).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "absint/box_domain.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "milp/milp_problem.hpp"
+#include "nn/network.hpp"
+#include "verify/risk_spec.hpp"
+
+namespace dpv::verify {
+
+/// How pre-activation bounds for big-M are obtained.
+enum class BoundMethod {
+  kInterval,      ///< interval arithmetic layer by layer
+  kSymbolic,      ///< DeepPoly-style linear bounds (absint::symbolic_bounds_trace)
+  kLpTightening,  ///< per-neuron min/max LPs on the partial relaxation
+};
+
+struct EncodeOptions {
+  BoundMethod bounds = BoundMethod::kInterval;
+  /// Encode provably-active/inactive ReLUs linearly (no binary).
+  bool eliminate_stable_relus = true;
+  /// Add the Planet-style convex upper envelope
+  /// y <= hi * (x - lo) / (hi - lo) for every unstable ReLU. Sound for
+  /// the exact MILP (implied by the big-M rows + integrality) but
+  /// strengthens the LP relaxation, pruning branch & bound nodes.
+  bool triangle_relaxation = true;
+  lp::SimplexOptions lp_options = {};
+};
+
+struct EncodingStats {
+  std::size_t relu_neurons = 0;
+  std::size_t stable_relus = 0;
+  std::size_t binaries = 0;
+  std::size_t variables = 0;
+  std::size_t rows = 0;
+  std::size_t tightening_lps = 0;
+};
+
+/// The encoded problem plus the variable bookkeeping needed to extract
+/// counterexamples.
+struct TailEncoding {
+  milp::MilpProblem problem;
+  std::vector<std::size_t> input_vars;   ///< layer-l neuron variables
+  std::vector<std::size_t> output_vars;  ///< network output variables
+  /// Logit variable of the characterizer (only when one was encoded).
+  std::size_t characterizer_logit_var = static_cast<std::size_t>(-1);
+  EncodingStats stats;
+};
+
+/// Linear relation constraint at layer l:
+/// lo <= n[second] - n[first] <= hi (imported from a RelationMonitor).
+struct PairConstraint {
+  std::size_t first = 0;
+  std::size_t second = 0;
+  absint::Interval bounds;
+};
+
+/// Everything that defines one safety query (Definition 1 + Lemma 2).
+struct VerificationQuery {
+  const nn::Network* network = nullptr;
+  /// Cut depth l: layers [attach_layer, L) form the verified tail.
+  std::size_t attach_layer = 0;
+  /// Optional characterizer h_l^phi reading the layer-l features;
+  /// nullptr verifies over the whole box (no property constraint).
+  const nn::Network* characterizer = nullptr;
+  /// Decision threshold: h = 1 iff logit >= this value.
+  double characterizer_threshold = 0.0;
+  /// The abstraction S (static) or S̃ (from the monitor) at layer l.
+  absint::Box input_box;
+  /// Optional adjacent-difference bounds (S̃ strengthening; empty = none).
+  std::vector<absint::Interval> diff_bounds;
+  /// Optional generalized pairwise bounds (RelationMonitor import).
+  std::vector<PairConstraint> pair_bounds;
+  /// The risk condition psi over the network outputs.
+  RiskSpec risk;
+};
+
+/// Builds the MILP whose feasibility is equivalent (over S̃) to the
+/// existence of a counterexample. Throws ContractViolation when the tail
+/// contains layer kinds outside {dense, relu, batchnorm, flatten}.
+TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptions& options);
+
+}  // namespace dpv::verify

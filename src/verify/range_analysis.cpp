@@ -1,0 +1,70 @@
+#include "verify/range_analysis.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dpv::verify {
+
+RangeResult output_functional_range(const VerificationQuery& query,
+                                    const std::vector<double>& coeffs,
+                                    const RangeAnalysisOptions& options) {
+  check(!coeffs.empty(), "output_functional_range: empty coefficient vector");
+
+  // Encode with a vacuous risk row (the encoder requires one); a huge
+  // upper bound never constrains the feasible set.
+  VerificationQuery probe = query;
+  probe.risk = RiskSpec("range-probe");
+  std::vector<double> vacuous(coeffs.size(), 0.0);
+  vacuous[0] = 1.0;
+  probe.risk.add(OutputInequality{vacuous, lp::RowSense::kLessEqual, 1e30});
+
+  TailEncoding enc = encode_tail_query(probe, options.encode);
+  check(coeffs.size() == enc.output_vars.size(),
+        "output_functional_range: coefficient count does not match output arity");
+
+  std::vector<lp::LinearTerm> objective;
+  for (std::size_t i = 0; i < coeffs.size(); ++i)
+    if (coeffs[i] != 0.0) objective.push_back({enc.output_vars[i], coeffs[i]});
+  check(!objective.empty(), "output_functional_range: all-zero coefficients");
+
+  const milp::BranchAndBoundSolver solver(options.milp);
+  RangeResult result;
+  result.exact = true;
+
+  double lo = 0.0, hi = 0.0;
+  {
+    milp::MilpProblem problem = enc.problem;
+    problem.set_objective(objective, lp::Objective::kMinimize);
+    const milp::MilpResult r = solver.solve(problem);
+    check(r.status != milp::MilpStatus::kInfeasible,
+          "output_functional_range: abstraction is empty (infeasible constraints)");
+    result.nodes_explored += r.nodes_explored;
+    if (r.status != milp::MilpStatus::kOptimal) result.exact = false;
+    lo = r.objective;
+  }
+  {
+    milp::MilpProblem problem = enc.problem;
+    problem.set_objective(objective, lp::Objective::kMaximize);
+    const milp::MilpResult r = solver.solve(problem);
+    check(r.status != milp::MilpStatus::kInfeasible,
+          "output_functional_range: abstraction is empty (infeasible constraints)");
+    result.nodes_explored += r.nodes_explored;
+    if (r.status != milp::MilpStatus::kOptimal) result.exact = false;
+    hi = r.objective;
+  }
+  result.range = absint::Interval(std::min(lo, hi), std::max(lo, hi));
+  return result;
+}
+
+RangeResult output_range(const VerificationQuery& query, std::size_t output_index,
+                         const RangeAnalysisOptions& options) {
+  check(query.network != nullptr, "output_range: null network");
+  const std::size_t out_n = query.network->output_shape().numel();
+  check(output_index < out_n, "output_range: output index out of range");
+  std::vector<double> coeffs(out_n, 0.0);
+  coeffs[output_index] = 1.0;
+  return output_functional_range(query, coeffs, options);
+}
+
+}  // namespace dpv::verify

@@ -1,0 +1,41 @@
+// Exact output-range analysis over an abstraction.
+//
+// Complements the SAFE/UNSAFE decision procedure: instead of asking
+// whether the risk region is reachable, compute the exact reachable
+// interval of one output (or any linear functional of the outputs) over
+// the abstraction ∩ {h = 1}, by running the branch & bound solver in
+// optimization mode twice. This is the tightness measure behind the E4
+// experiment and a useful engineering artifact in its own right ("what
+// is the worst heading the tail can emit inside the monitored set?").
+#pragma once
+
+#include "absint/interval.hpp"
+#include "verify/encoder.hpp"
+
+namespace dpv::verify {
+
+struct RangeAnalysisOptions {
+  EncodeOptions encode = {};
+  milp::BranchAndBoundOptions milp = {};
+};
+
+struct RangeResult {
+  absint::Interval range;
+  /// Both directions proven optimal (false when a node budget was hit;
+  /// the interval is then still a sound inner estimate of the bound
+  /// search but must not be used as an over-approximation).
+  bool exact = false;
+  std::size_t nodes_explored = 0;
+};
+
+/// Reachable range of output `output_index` over the query's abstraction
+/// (the query's risk spec is ignored; pass any non-empty placeholder).
+RangeResult output_range(const VerificationQuery& query, std::size_t output_index,
+                         const RangeAnalysisOptions& options = {});
+
+/// Reachable range of a linear functional sum_i coeffs[i] * output[i].
+RangeResult output_functional_range(const VerificationQuery& query,
+                                    const std::vector<double>& coeffs,
+                                    const RangeAnalysisOptions& options = {});
+
+}  // namespace dpv::verify

@@ -1,0 +1,89 @@
+#include "verify/risk_spec.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dpv::verify {
+
+bool OutputInequality::satisfied_by(const Tensor& output, double tolerance) const {
+  check(output.numel() == coeffs.size(), "OutputInequality: output dimension mismatch");
+  double lhs = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) lhs += coeffs[i] * output[i];
+  switch (sense) {
+    case lp::RowSense::kLessEqual:
+      return lhs <= rhs + tolerance;
+    case lp::RowSense::kGreaterEqual:
+      return lhs >= rhs - tolerance;
+    case lp::RowSense::kEqual:
+      return std::abs(lhs - rhs) <= tolerance;
+  }
+  throw InternalError("OutputInequality: unknown sense");
+}
+
+std::string OutputInequality::to_string() const {
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (coeffs[i] == 0.0) continue;
+    if (!first) out << " + ";
+    out << coeffs[i] << "*y" << i;
+    first = false;
+  }
+  if (first) out << "0";
+  switch (sense) {
+    case lp::RowSense::kLessEqual:
+      out << " <= ";
+      break;
+    case lp::RowSense::kGreaterEqual:
+      out << " >= ";
+      break;
+    case lp::RowSense::kEqual:
+      out << " == ";
+      break;
+  }
+  out << rhs;
+  return out.str();
+}
+
+RiskSpec& RiskSpec::add(OutputInequality inequality) {
+  check(!inequality.coeffs.empty(), "RiskSpec::add: empty inequality");
+  if (!inequalities_.empty())
+    check(inequality.coeffs.size() == inequalities_.front().coeffs.size(),
+          "RiskSpec::add: inconsistent output dimension");
+  inequalities_.push_back(std::move(inequality));
+  return *this;
+}
+
+namespace {
+std::vector<double> unit_coeffs(std::size_t index, std::size_t output_dim) {
+  check(index < output_dim, "RiskSpec: output index out of range");
+  std::vector<double> coeffs(output_dim, 0.0);
+  coeffs[index] = 1.0;
+  return coeffs;
+}
+}  // namespace
+
+RiskSpec& RiskSpec::output_at_most(std::size_t index, std::size_t output_dim, double bound) {
+  return add(OutputInequality{unit_coeffs(index, output_dim), lp::RowSense::kLessEqual, bound});
+}
+
+RiskSpec& RiskSpec::output_at_least(std::size_t index, std::size_t output_dim, double bound) {
+  return add(
+      OutputInequality{unit_coeffs(index, output_dim), lp::RowSense::kGreaterEqual, bound});
+}
+
+RiskSpec& RiskSpec::output_in_range(std::size_t index, std::size_t output_dim, double lo,
+                                    double hi) {
+  check(lo <= hi, "RiskSpec::output_in_range: lo > hi");
+  output_at_least(index, output_dim, lo);
+  return output_at_most(index, output_dim, hi);
+}
+
+bool RiskSpec::satisfied_by(const Tensor& output, double tolerance) const {
+  for (const OutputInequality& ineq : inequalities_)
+    if (!ineq.satisfied_by(output, tolerance)) return false;
+  return true;
+}
+
+}  // namespace dpv::verify

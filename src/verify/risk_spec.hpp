@@ -1,0 +1,61 @@
+// Risk condition psi.
+//
+// Definition 1 of the paper: "the risk condition psi is a conjunction of
+// linear inequalities over the output of the neural network". Safety
+// verification asks whether some input satisfying the input property phi
+// drives the output into psi; the network is safe when no such input
+// exists.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/lp_problem.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dpv::verify {
+
+/// One linear inequality sum_i coeffs[i] * output[i] (<= or >=) rhs.
+struct OutputInequality {
+  std::vector<double> coeffs;
+  lp::RowSense sense = lp::RowSense::kLessEqual;
+  double rhs = 0.0;
+
+  bool satisfied_by(const Tensor& output, double tolerance = 1e-9) const;
+  std::string to_string() const;
+};
+
+/// Conjunction of linear inequalities over the network output.
+class RiskSpec {
+ public:
+  RiskSpec() = default;
+
+  /// Named spec for reports (e.g. "steer-far-left").
+  explicit RiskSpec(std::string name) : name_(std::move(name)) {}
+
+  RiskSpec& add(OutputInequality inequality);
+
+  /// output[index] <= bound.
+  RiskSpec& output_at_most(std::size_t index, std::size_t output_dim, double bound);
+
+  /// output[index] >= bound.
+  RiskSpec& output_at_least(std::size_t index, std::size_t output_dim, double bound);
+
+  /// lo <= output[index] <= hi (two inequalities).
+  RiskSpec& output_in_range(std::size_t index, std::size_t output_dim, double lo, double hi);
+
+  const std::vector<OutputInequality>& inequalities() const { return inequalities_; }
+  const std::string& name() const { return name_; }
+  bool empty() const { return inequalities_.empty(); }
+
+  /// True when every inequality holds for `output` (i.e. the output is in
+  /// the risk region).
+  bool satisfied_by(const Tensor& output, double tolerance = 1e-9) const;
+
+ private:
+  std::string name_;
+  std::vector<OutputInequality> inequalities_;
+};
+
+}  // namespace dpv::verify

@@ -1,0 +1,84 @@
+#include "verify/verifier.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dpv::verify {
+
+const char* verdict_name(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kSafe:
+      return "SAFE";
+    case Verdict::kUnsafe:
+      return "UNSAFE";
+    case Verdict::kUnknown:
+      return "UNKNOWN";
+  }
+  return "?";
+}
+
+std::string VerificationResult::summary() const {
+  std::ostringstream out;
+  out << verdict_name(verdict) << " (relu=" << encoding.relu_neurons
+      << ", stable=" << encoding.stable_relus << ", binaries=" << encoding.binaries
+      << ", nodes=" << milp_nodes << ", lp-iters=" << lp_iterations << ", "
+      << solve_seconds << "s)";
+  return out.str();
+}
+
+TailVerifier::TailVerifier(TailVerifierOptions options) : options_(std::move(options)) {
+  // Counterexample search: the first feasible integral point suffices.
+  options_.milp.stop_at_first_feasible = true;
+}
+
+VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
+  const auto start = std::chrono::steady_clock::now();
+  VerificationResult result;
+
+  TailEncoding encoding = encode_tail_query(query, options_.encode);
+  result.encoding = encoding.stats;
+
+  const milp::BranchAndBoundSolver solver(options_.milp);
+  const milp::MilpResult milp_result = solver.solve(encoding.problem);
+  result.milp_nodes = milp_result.nodes_explored;
+  result.lp_iterations = milp_result.lp_iterations;
+
+  switch (milp_result.status) {
+    case milp::MilpStatus::kInfeasible:
+      result.verdict = Verdict::kSafe;
+      break;
+    case milp::MilpStatus::kOptimal:
+    case milp::MilpStatus::kFeasible: {
+      result.verdict = Verdict::kUnsafe;
+      const std::size_t n = encoding.input_vars.size();
+      Tensor activation(Shape{n});
+      for (std::size_t i = 0; i < n; ++i)
+        activation[i] = milp_result.values[encoding.input_vars[i]];
+      result.counterexample_activation = activation;
+      // Re-validate on the concrete tail: the MILP's claim must agree with
+      // the real network within tolerance.
+      result.counterexample_output =
+          query.network->forward_suffix(activation, query.attach_layer);
+      bool ok = query.risk.satisfied_by(result.counterexample_output,
+                                        options_.validation_tolerance);
+      if (query.characterizer != nullptr) {
+        const Tensor logit = query.characterizer->forward(activation);
+        result.characterizer_logit = logit[0];
+        ok = ok && logit[0] >= query.characterizer_threshold - options_.validation_tolerance;
+      }
+      result.counterexample_validated = ok;
+      break;
+    }
+    case milp::MilpStatus::kNodeLimit:
+      result.verdict = Verdict::kUnknown;
+      break;
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  result.solve_seconds = std::chrono::duration<double>(end - start).count();
+  return result;
+}
+
+}  // namespace dpv::verify

@@ -1,0 +1,63 @@
+// The tail safety verifier (Lemmas 1 and 2).
+//
+// Decides the query: does some layer-l activation n̂_l inside the
+// abstraction (box + optional adjacent-difference polyhedron) satisfy the
+// characterizer (h = 1) while driving the tail output into the risk
+// region psi?  MILP-infeasible  => safe (w.r.t. the supplied abstraction;
+// conditional when the abstraction is the data-derived S̃),
+// MILP-feasible => counterexample, returned at layer l together with the
+// tail's actual output on it (re-validated by concrete forward execution).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "verify/encoder.hpp"
+
+namespace dpv::verify {
+
+enum class Verdict {
+  kSafe,     ///< no counterexample exists within the abstraction
+  kUnsafe,   ///< counterexample found (see activation/output)
+  kUnknown,  ///< resource limit hit before a proof either way
+};
+
+const char* verdict_name(Verdict verdict);
+
+struct VerificationResult {
+  Verdict verdict = Verdict::kUnknown;
+
+  /// Counterexample data (valid when kUnsafe).
+  Tensor counterexample_activation;  ///< n̂_l at layer l
+  Tensor counterexample_output;      ///< tail output on n̂_l
+  double characterizer_logit = 0.0;  ///< h logit on n̂_l (when encoded)
+  /// True when the counterexample re-validates by concrete forward
+  /// execution of the real tail (guards against MILP numerics).
+  bool counterexample_validated = false;
+
+  EncodingStats encoding;
+  std::size_t milp_nodes = 0;
+  std::size_t lp_iterations = 0;
+  double solve_seconds = 0.0;
+
+  std::string summary() const;
+};
+
+struct TailVerifierOptions {
+  EncodeOptions encode = {};
+  milp::BranchAndBoundOptions milp = {};
+  /// Tolerance for re-validating counterexamples on the concrete tail.
+  double validation_tolerance = 1e-6;
+};
+
+class TailVerifier {
+ public:
+  explicit TailVerifier(TailVerifierOptions options = {});
+
+  VerificationResult verify(const VerificationQuery& query) const;
+
+ private:
+  TailVerifierOptions options_;
+};
+
+}  // namespace dpv::verify

@@ -1,0 +1,127 @@
+// Adversarial-input search tests: FGSM/PGD budget compliance and loss
+// increase, and counterexample concretization (searching the input space
+// for an image whose layer-l features approach a MILP counterexample).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "train/adversarial.hpp"
+#include "train/loss.hpp"
+
+namespace dpv::train {
+namespace {
+
+nn::Network make_net(Rng& rng) {
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(6, 8);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{8}));
+  auto d2 = std::make_unique<nn::Dense>(8, 2);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+  return net;
+}
+
+TEST(Adversarial, FgsmRespectsBudgetAndRange) {
+  Rng rng(1);
+  nn::Network net = make_net(rng);
+  Tensor x(Shape{6});
+  for (std::size_t i = 0; i < 6; ++i) x[i] = rng.uniform(0.2, 0.8);
+  const Tensor target = Tensor::randn(Shape{2}, rng, 1.0);
+  AttackConfig config;
+  config.epsilon = 0.05;
+  const MseLoss loss;
+  const Tensor adv = fgsm_attack(net, x, target, loss, config);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_LE(std::abs(adv[i] - x[i]), config.epsilon + 1e-12);
+    EXPECT_GE(adv[i], 0.0);
+    EXPECT_LE(adv[i], 1.0);
+  }
+}
+
+TEST(Adversarial, FgsmIncreasesLoss) {
+  Rng rng(2);
+  nn::Network net = make_net(rng);
+  const MseLoss loss;
+  int improved = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Tensor x(Shape{6});
+    for (std::size_t i = 0; i < 6; ++i) x[i] = rng.uniform(0.2, 0.8);
+    // Offset target so the loss gradient at x is nonzero (at an exact
+    // minimum FGSM's gradient sign is all-zero and the attack is a no-op).
+    const Tensor target = add(net.forward(x), Tensor::vector1d({0.5, -0.3}));
+    AttackConfig config;
+    config.epsilon = 0.1;
+    const Tensor adv = fgsm_attack(net, x, target, loss, config);
+    if (loss.value(net.forward(adv), target) > loss.value(net.forward(x), target))
+      ++improved;
+  }
+  EXPECT_GE(improved, 8);  // a linear step should almost always hurt
+}
+
+TEST(Adversarial, PgdAtLeastAsStrongAsFgsm) {
+  Rng rng(3);
+  nn::Network net = make_net(rng);
+  const MseLoss loss;
+  int pgd_wins = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    Tensor x(Shape{6});
+    for (std::size_t i = 0; i < 6; ++i) x[i] = rng.uniform(0.3, 0.7);
+    const Tensor target = add(net.forward(x), Tensor::vector1d({0.4, 0.4}));
+    AttackConfig config;
+    config.epsilon = 0.1;
+    config.step_size = 0.02;
+    config.steps = 25;
+    const Tensor fgsm = fgsm_attack(net, x, target, loss, config);
+    const Tensor pgd = pgd_attack(net, x, target, loss, config);
+    for (std::size_t i = 0; i < 6; ++i)
+      ASSERT_LE(std::abs(pgd[i] - x[i]), config.epsilon + 1e-12);
+    if (loss.value(net.forward(pgd), target) >=
+        loss.value(net.forward(fgsm), target) - 1e-9)
+      ++pgd_wins;
+  }
+  EXPECT_GE(pgd_wins, 6);
+}
+
+TEST(Adversarial, ConcretizationApproachesTargetFeatures) {
+  Rng rng(4);
+  nn::Network net = make_net(rng);
+  // Target: the features of a known reachable input -> the search should
+  // get close to zero distance.
+  Tensor hidden_seed(Shape{6});
+  for (std::size_t i = 0; i < 6; ++i) hidden_seed[i] = rng.uniform(0.1, 0.9);
+  const Tensor target_features = net.forward_prefix(hidden_seed, 2);
+
+  Tensor start(Shape{6});
+  start.fill(0.5);
+  const double initial = max_abs_diff(net.forward_prefix(start, 2), target_features);
+  const ConcretizationResult result =
+      concretize_activation(net, 2, target_features, start, 400, 0.05);
+  EXPECT_LT(result.distance, initial);
+  EXPECT_LE(result.distance, initial);  // best-so-far semantics
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(result.input[i], 0.0);
+    EXPECT_LE(result.input[i], 1.0);
+  }
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(Adversarial, ConcretizationValidatesLayerIndex) {
+  Rng rng(5);
+  nn::Network net = make_net(rng);
+  const Tensor target = Tensor::randn(Shape{8}, rng, 1.0);
+  const Tensor seed(Shape{6});
+  EXPECT_THROW(concretize_activation(net, 9, target, seed), ContractViolation);
+  // Layer 3 (full network) produces 2 features, not 8.
+  EXPECT_THROW(concretize_activation(net, 3, target, seed), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpv::train

@@ -1,0 +1,262 @@
+// Tests for the escalation verifier, safety campaigns, and the encoder's
+// generalized pair constraints + triangle relaxation.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/campaign.hpp"
+#include "core/escalation.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "verify/verifier.hpp"
+
+namespace dpv::core {
+namespace {
+
+using absint::Interval;
+
+/// net computing out = [n1 - n0, n0 + n1] from two inputs.
+nn::Network make_two_output_net() {
+  nn::Network net;
+  auto d = std::make_unique<nn::Dense>(2, 2);
+  d->set_parameters(Tensor(Shape{2, 2}, {-1.0, 1.0, 1.0, 1.0}), Tensor::vector1d({0.0, 0.0}));
+  net.add(std::move(d));
+  return net;
+}
+
+TEST(PairConstraints, GeneralPairsRestrictFeasibleRegion) {
+  // out0 = n1 - n0 over [0,1]^2 reaches 0.9 only near the (0,1) corner.
+  // A (0,1) pair bound excludes it even when passed via pair_bounds.
+  const nn::Network net = make_two_output_net();
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(2, 0.0, 1.0);
+  q.risk.output_at_least(0, 2, 0.9);
+  EXPECT_EQ(verify::TailVerifier().verify(q).verdict, verify::Verdict::kUnsafe);
+
+  q.pair_bounds.push_back({0, 1, Interval(-0.2, 0.2)});
+  EXPECT_EQ(verify::TailVerifier().verify(q).verdict, verify::Verdict::kSafe);
+}
+
+TEST(PairConstraints, InvalidIndicesRejected) {
+  const nn::Network net = make_two_output_net();
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(2, 0.0, 1.0);
+  q.risk.output_at_least(0, 2, 0.9);
+  q.pair_bounds.push_back({0, 7, Interval(-1.0, 1.0)});
+  EXPECT_THROW(verify::encode_tail_query(q, {}), ContractViolation);
+}
+
+TEST(TriangleRelaxation, DoesNotChangeVerdictsButMayPrune) {
+  Rng rng(21);
+  for (int trial = 0; trial < 6; ++trial) {
+    nn::Network net;
+    auto d1 = std::make_unique<nn::Dense>(3, 6);
+    d1->init_he(rng);
+    net.add(std::move(d1));
+    net.add(std::make_unique<nn::ReLU>(Shape{6}));
+    auto d2 = std::make_unique<nn::Dense>(6, 1);
+    d2->init_he(rng);
+    net.add(std::move(d2));
+
+    verify::VerificationQuery q;
+    q.network = &net;
+    q.attach_layer = 0;
+    q.input_box = absint::uniform_box(3, -1.0, 1.0);
+    q.risk.output_at_least(0, 1, rng.uniform(-0.5, 2.5));
+
+    verify::TailVerifierOptions with_triangle;
+    verify::TailVerifierOptions without_triangle;
+    without_triangle.encode.triangle_relaxation = false;
+    const verify::VerificationResult a = verify::TailVerifier(with_triangle).verify(q);
+    const verify::VerificationResult b = verify::TailVerifier(without_triangle).verify(q);
+    EXPECT_EQ(a.verdict, b.verdict) << "trial " << trial;
+    if (a.verdict == verify::Verdict::kUnsafe) {
+      EXPECT_TRUE(a.counterexample_validated);
+      EXPECT_TRUE(b.counterexample_validated);
+    }
+  }
+}
+
+TEST(TriangleRelaxation, PrunesForcedProofTrees) {
+  // On a SAFE proof (exhaustive search) the tighter relaxation must not
+  // explore more nodes than the plain big-M encoding.
+  Rng rng(31);
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(4, 10);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{10}));
+  auto d2 = std::make_unique<nn::Dense>(10, 1);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(4, -1.0, 1.0);
+  q.risk.output_at_least(0, 1, 1e6);  // unreachable -> full proof
+
+  verify::TailVerifierOptions with_triangle;
+  verify::TailVerifierOptions without_triangle;
+  without_triangle.encode.triangle_relaxation = false;
+  const auto a = verify::TailVerifier(with_triangle).verify(q);
+  const auto b = verify::TailVerifier(without_triangle).verify(q);
+  ASSERT_EQ(a.verdict, verify::Verdict::kSafe);
+  ASSERT_EQ(b.verdict, verify::Verdict::kSafe);
+  EXPECT_LE(a.milp_nodes, b.milp_nodes);
+}
+
+/// Perception-style net: dense(2->4) relu | tail dense(4->1) = sum.
+nn::Network make_monitored_net(Rng& rng) {
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(2, 4);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{4}));
+  auto d2 = std::make_unique<nn::Dense>(4, 1);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+  return net;
+}
+
+TEST(Escalation, SafePropertyStopsAtSomeRungWithMonitor) {
+  Rng rng(41);
+  const nn::Network net = make_monitored_net(rng);
+  std::vector<Tensor> odd;
+  for (int i = 0; i < 80; ++i)
+    odd.push_back(Tensor::vector1d({rng.uniform(0.0, 0.4), rng.uniform(0.0, 0.4)}));
+  double max_out = -1e100;
+  for (const Tensor& x : odd) max_out = std::max(max_out, net.forward(x)[0]);
+
+  verify::RiskSpec risk("beyond-reach");
+  risk.output_at_least(0, 1, max_out + 5.0);
+  const EscalationOutcome outcome =
+      EscalationVerifier().verify(net, 2, nullptr, risk, odd);
+  EXPECT_EQ(outcome.verdict, SafetyVerdict::kSafeConditional);
+  ASSERT_TRUE(outcome.deployed_monitor.has_value());
+  ASSERT_FALSE(outcome.steps.empty());
+  EXPECT_EQ(outcome.steps.back().verdict, verify::Verdict::kSafe);
+  // The deployed monitor accepts the data S̃ was built from.
+  for (const Tensor& x : odd)
+    EXPECT_TRUE(outcome.deployed_monitor->contains(net.forward_prefix(x, 2)));
+}
+
+TEST(Escalation, TrulyUnsafeRunsAllRungs) {
+  Rng rng(43);
+  const nn::Network net = make_monitored_net(rng);
+  std::vector<Tensor> odd;
+  for (int i = 0; i < 60; ++i) odd.push_back(Tensor::randn(Shape{2}, rng, 1.0));
+  double max_out = -1e100;
+  for (const Tensor& x : odd) max_out = std::max(max_out, net.forward(x)[0]);
+
+  // Risk reached by a training point itself: no S̃ refinement can exclude
+  // it, so every rung reports UNSAFE.
+  verify::RiskSpec risk("reached-by-data");
+  risk.output_at_least(0, 1, max_out - 0.01);
+  const EscalationOutcome outcome =
+      EscalationVerifier().verify(net, 2, nullptr, risk, odd);
+  EXPECT_EQ(outcome.verdict, SafetyVerdict::kUnsafe);
+  EXPECT_EQ(outcome.steps.size(), 4u);
+  EXPECT_TRUE(outcome.decision.counterexample_validated);
+  EXPECT_FALSE(outcome.deployed_monitor.has_value());
+  EXPECT_NE(outcome.summary().find("UNSAFE"), std::string::npos);
+}
+
+TEST(Escalation, SpuriousBoxCounterexampleEliminatedByLaterRung) {
+  // Engineer a case where the box admits a counterexample but pairwise
+  // bounds exclude it: tail output = n1 - n0 with strongly correlated
+  // training activations.
+  nn::Network net;
+  auto identity = std::make_unique<nn::Dense>(2, 2);
+  identity->set_parameters(Tensor(Shape{2, 2}, {1.0, 0.0, 0.0, 1.0}),
+                           Tensor::vector1d({0.0, 0.0}));
+  net.add(std::move(identity));
+  auto readout = std::make_unique<nn::Dense>(2, 1);
+  readout->set_parameters(Tensor(Shape{1, 2}, {-1.0, 1.0}), Tensor::vector1d({0.0}));
+  net.add(std::move(readout));
+
+  Rng rng(47);
+  std::vector<Tensor> odd;
+  for (int i = 0; i < 100; ++i) {
+    const double base = rng.uniform(-1.0, 1.0);
+    odd.push_back(Tensor::vector1d({base, base + rng.uniform(-0.1, 0.1)}));
+  }
+  // Output = n1 - n0 stays within ~[-0.1, 0.1] on data, but box corners
+  // reach ~2.
+  verify::RiskSpec risk("large-difference");
+  risk.output_at_least(0, 1, 0.5);
+  const EscalationOutcome outcome =
+      EscalationVerifier().verify(net, 1, nullptr, risk, odd);
+  EXPECT_EQ(outcome.verdict, SafetyVerdict::kSafeConditional);
+  ASSERT_GE(outcome.steps.size(), 2u);
+  EXPECT_EQ(outcome.steps.front().verdict, verify::Verdict::kUnsafe);  // box rung
+  EXPECT_EQ(outcome.steps.back().verdict, verify::Verdict::kSafe);
+}
+
+train::Dataset labelled_cloud(Rng& rng, std::size_t count, double threshold) {
+  train::Dataset data;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double x0 = rng.uniform(-1.0, 1.0);
+    const double x1 = rng.uniform(-1.0, 1.0);
+    data.add(Tensor::vector1d({x0, x1}),
+             Tensor::vector1d({x0 > threshold ? 1.0 : 0.0}));
+  }
+  return data;
+}
+
+TEST(Campaign, AggregatesMultipleQueries) {
+  Rng rng(53);
+  const nn::Network net = make_monitored_net(rng);
+
+  std::vector<CampaignEntry> entries;
+  // Entry 1: characterizable property, unreachable risk -> safe.
+  verify::RiskSpec unreachable("far-out");
+  unreachable.output_at_least(0, 1, 1e6);
+  entries.push_back({"x0-positive", labelled_cloud(rng, 200, 0.0),
+                     labelled_cloud(rng, 100, 0.0), unreachable});
+  // Entry 2: same property, reachable risk -> expected unsafe.
+  verify::RiskSpec reachable("reachable");
+  reachable.output_at_most(0, 1, 1e6);
+  entries.push_back({"x0-positive", labelled_cloud(rng, 200, 0.0),
+                     labelled_cloud(rng, 100, 0.0), reachable});
+  // Entry 3: random labels -> uncharacterizable.
+  train::Dataset noise_train, noise_val;
+  Rng label_rng(54);
+  for (int i = 0; i < 200; ++i) {
+    const Tensor x = Tensor::randn(Shape{2}, rng, 1.0);
+    const Tensor y = Tensor::vector1d({label_rng.bernoulli(0.5) ? 1.0 : 0.0});
+    (i < 140 ? noise_train : noise_val).add(x, y);
+  }
+  entries.push_back({"coin-flip-property", std::move(noise_train), std::move(noise_val),
+                     unreachable});
+
+  WorkflowConfig config;
+  config.characterizer.trainer.epochs = 60;
+  const CampaignReport report = run_campaign(net, 2, entries, config);
+  ASSERT_EQ(report.reports.size(), 3u);
+  EXPECT_EQ(report.safe_count + report.unsafe_count + report.unknown_count +
+                report.uncharacterizable_count,
+            3u);
+  EXPECT_GE(report.safe_count, 1u);
+  EXPECT_GE(report.unsafe_count, 1u);
+  EXPECT_GE(report.uncharacterizable_count, 1u);
+  const std::string table = report.format_table();
+  EXPECT_NE(table.find("x0-positive"), std::string::npos);
+  EXPECT_NE(table.find("tally:"), std::string::npos);
+  EXPECT_NE(table.find("not characterizable"), std::string::npos);
+}
+
+TEST(Campaign, RejectsEmptyEntryList) {
+  Rng rng(59);
+  const nn::Network net = make_monitored_net(rng);
+  EXPECT_THROW(run_campaign(net, 2, {}, {}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpv::core

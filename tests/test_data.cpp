@@ -1,0 +1,237 @@
+// Road scenario substrate tests: determinism, label geometry, renderer
+// behaviour (curvature visibly bends the road, traffic adds pixels,
+// brightness scales), property oracles, dataset assembly and the
+// perception factory's attachment-point contract.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/dataset_gen.hpp"
+#include "data/perception_model.hpp"
+#include "data/properties.hpp"
+#include "data/renderer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dpv::data {
+namespace {
+
+RoadScenario base_scenario() {
+  RoadScenario s;
+  s.curvature = 0.0;
+  s.lane_offset = 0.0;
+  s.brightness = 1.0;
+  s.traffic_adjacent = false;
+  s.noise_seed = 42;
+  return s;
+}
+
+TEST(Scenario, SamplingStaysInsideDocumentedRanges) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const RoadScenario s = sample_scenario(rng);
+    EXPECT_GE(s.curvature, -1.0);
+    EXPECT_LE(s.curvature, 1.0);
+    EXPECT_GE(s.lane_offset, -0.3);
+    EXPECT_LE(s.lane_offset, 0.3);
+    EXPECT_GE(s.brightness, 0.6);
+    EXPECT_LE(s.brightness, 1.1);
+    EXPECT_GE(s.traffic_distance, 0.3);
+    EXPECT_LE(s.traffic_distance, 0.8);
+  }
+}
+
+TEST(Scenario, AffordancesDependOnlyOnCurvatureAndOffset) {
+  RoadScenario a = base_scenario();
+  a.curvature = 0.5;
+  a.lane_offset = 0.1;
+  RoadScenario b = a;
+  b.brightness = 0.6;
+  b.traffic_adjacent = true;
+  b.noise_seed = 7;
+  const Affordances fa = ground_truth_affordances(a);
+  const Affordances fb = ground_truth_affordances(b);
+  EXPECT_DOUBLE_EQ(fa.waypoint_offset, fb.waypoint_offset);
+  EXPECT_DOUBLE_EQ(fa.heading, fb.heading);
+  // Heading tracks curvature sign and magnitude.
+  EXPECT_GT(fa.heading, 0.0);
+  a.curvature = -0.5;
+  EXPECT_LT(ground_truth_affordances(a).heading, 0.0);
+}
+
+TEST(Renderer, DeterministicPerSeed) {
+  const RenderConfig config;
+  RoadScenario s = base_scenario();
+  const Tensor img1 = render_road_image(s, config);
+  const Tensor img2 = render_road_image(s, config);
+  EXPECT_EQ(max_abs_diff(img1, img2), 0.0);
+  s.noise_seed = 43;
+  EXPECT_GT(max_abs_diff(img1, render_road_image(s, config)), 0.0);
+}
+
+TEST(Renderer, PixelsInUnitRangeAndShapeCorrect) {
+  const RenderConfig config{.width = 24, .height = 12};
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Tensor img = render_road_image(sample_scenario(rng), config);
+    EXPECT_EQ(img.shape(), (Shape{1, 12, 24}));
+    EXPECT_GE(min_value(img), 0.0);
+    EXPECT_LE(max_value(img), 1.0);
+  }
+}
+
+TEST(Renderer, CurvatureBendsCenterline) {
+  const RenderConfig config;
+  RoadScenario right = base_scenario();
+  right.curvature = 0.8;
+  RoadScenario left = base_scenario();
+  left.curvature = -0.8;
+  // At the horizon the centerline moves in the curvature direction.
+  EXPECT_GT(road_center_column(right, config, 1.0),
+            road_center_column(base_scenario(), config, 1.0));
+  EXPECT_LT(road_center_column(left, config, 1.0),
+            road_center_column(base_scenario(), config, 1.0));
+  // Near the vehicle the curvature has no effect yet.
+  EXPECT_NEAR(road_center_column(right, config, 0.0),
+              road_center_column(base_scenario(), config, 0.0), 1e-9);
+}
+
+TEST(Renderer, CurvatureChangesImagePixels) {
+  const RenderConfig config;
+  RoadScenario s = base_scenario();
+  const Tensor straight = render_road_image(s, config);
+  s.curvature = 0.9;
+  const Tensor bent = render_road_image(s, config);
+  EXPECT_GT(max_abs_diff(straight, bent), 0.2);
+}
+
+TEST(Renderer, PerspectiveNarrowsRoad) {
+  const RenderConfig config;
+  EXPECT_GT(road_half_width(config, 0.0), road_half_width(config, 1.0));
+}
+
+TEST(Renderer, TrafficParticipantAddsBrightBlob) {
+  const RenderConfig config;
+  RoadScenario s = base_scenario();
+  const Tensor without = render_road_image(s, config);
+  s.traffic_adjacent = true;
+  s.traffic_distance = 0.5;
+  const Tensor with = render_road_image(s, config);
+  EXPECT_GT(max_abs_diff(without, with), 0.1);
+}
+
+TEST(Renderer, BrightnessScalesIntensity) {
+  RoadScenario s = base_scenario();
+  const RenderConfig config{.width = 32, .height = 16, .noise_stddev = 0.0};
+  const double bright = mean_value(render_road_image(s, config));
+  s.brightness = 0.6;
+  const double dark = mean_value(render_road_image(s, config));
+  EXPECT_GT(bright, dark + 0.05);
+}
+
+TEST(Renderer, RejectsTinyImages) {
+  const RenderConfig config{.width = 4, .height = 2};
+  EXPECT_THROW(render_road_image(base_scenario(), config), ContractViolation);
+}
+
+TEST(Properties, OraclesMatchScenarioParameters) {
+  RoadScenario s = base_scenario();
+  s.curvature = 0.5;
+  EXPECT_TRUE(property_holds(s, InputProperty::kBendRightStrong));
+  EXPECT_FALSE(property_holds(s, InputProperty::kBendLeftStrong));
+  s.curvature = -0.5;
+  EXPECT_TRUE(property_holds(s, InputProperty::kBendLeftStrong));
+  s.traffic_adjacent = true;
+  EXPECT_TRUE(property_holds(s, InputProperty::kTrafficAdjacent));
+  s.brightness = 0.7;
+  EXPECT_TRUE(property_holds(s, InputProperty::kLowLight));
+  s.brightness = 1.0;
+  EXPECT_FALSE(property_holds(s, InputProperty::kLowLight));
+}
+
+TEST(Properties, OutputRelevanceTags) {
+  EXPECT_TRUE(property_output_relevant(InputProperty::kBendRightStrong));
+  EXPECT_TRUE(property_output_relevant(InputProperty::kBendLeftStrong));
+  EXPECT_FALSE(property_output_relevant(InputProperty::kTrafficAdjacent));
+  EXPECT_FALSE(property_output_relevant(InputProperty::kLowLight));
+}
+
+TEST(DatasetGen, RegressionAndPropertyDatasetsAlign) {
+  RoadDatasetConfig config;
+  config.count = 50;
+  config.seed = 9;
+  const std::vector<RoadSample> samples = generate_road_samples(config);
+  ASSERT_EQ(samples.size(), 50u);
+  const train::Dataset reg = to_regression_dataset(samples);
+  const train::Dataset prop = to_property_dataset(samples, InputProperty::kBendRightStrong);
+  ASSERT_EQ(reg.size(), 50u);
+  ASSERT_EQ(prop.size(), 50u);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_DOUBLE_EQ(reg[i].target[1], samples[i].affordances.heading);
+    EXPECT_DOUBLE_EQ(prop[i].target[0],
+                     samples[i].scenario.curvature >= 0.4 ? 1.0 : 0.0);
+    EXPECT_EQ(max_abs_diff(reg[i].input, prop[i].input), 0.0);
+  }
+}
+
+TEST(DatasetGen, DeterministicPerSeed) {
+  RoadDatasetConfig config;
+  config.count = 10;
+  config.seed = 21;
+  const auto a = generate_road_samples(config);
+  const auto b = generate_road_samples(config);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(max_abs_diff(a[i].image, b[i].image), 0.0);
+}
+
+TEST(PerceptionFactory, AttachmentLayerYieldsRankOneFeatures) {
+  Rng rng(2);
+  PerceptionConfig config;
+  config.render.width = 16;
+  config.render.height = 8;
+  config.embedding = 12;
+  config.features = 8;
+  config.tail_hidden = 8;
+  const PerceptionModel model = make_perception_network(config, rng);
+  const Tensor x = Tensor::randn(Shape{1, 8, 16}, rng, 0.3);
+  const Tensor features = model.network.forward_prefix(x, model.attach_layer);
+  EXPECT_EQ(features.shape(), (Shape{config.features}));
+  // The tail reproduces the full forward pass.
+  const Tensor full = model.network.forward(x);
+  const Tensor via_tail = model.network.forward_suffix(features, model.attach_layer);
+  EXPECT_NEAR(max_abs_diff(full, via_tail), 0.0, 1e-12);
+  EXPECT_EQ(full.numel(), 2u);
+}
+
+TEST(PerceptionFactory, TailContainsOnlyVerifiableKinds) {
+  Rng rng(4);
+  PerceptionConfig config;
+  config.render.width = 16;
+  config.render.height = 8;
+  for (const bool bn : {false, true}) {
+    config.batchnorm_tail = bn;
+    const PerceptionModel model = make_perception_network(config, rng);
+    for (std::size_t i = model.attach_layer; i < model.network.layer_count(); ++i) {
+      const nn::LayerKind kind = model.network.layer(i).kind();
+      EXPECT_TRUE(kind == nn::LayerKind::kDense || kind == nn::LayerKind::kReLU ||
+                  kind == nn::LayerKind::kBatchNorm)
+          << "layer " << i;
+    }
+  }
+}
+
+TEST(PerceptionFactory, CharacterizerShape) {
+  Rng rng(6);
+  nn::Network h = make_characterizer_network(16, 8, rng);
+  EXPECT_EQ(h.input_shape(), (Shape{16}));
+  EXPECT_EQ(h.output_shape(), (Shape{1}));
+}
+
+TEST(PerceptionFactory, RejectsIndivisibleImages) {
+  Rng rng(8);
+  PerceptionConfig config;
+  config.render.width = 18;
+  config.render.height = 9;
+  EXPECT_THROW(make_perception_network(config, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpv::data

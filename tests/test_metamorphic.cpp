@@ -1,0 +1,180 @@
+// Metamorphic test suite: known input/output transformations whose effect
+// on solver results is predictable. These catch the silent-corruption
+// class of bugs (wrong sign, wrong scaling, order dependence) that
+// example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "lp/simplex.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "verify/range_analysis.hpp"
+#include "verify/verifier.hpp"
+
+namespace dpv {
+namespace {
+
+constexpr double kTol = 1e-6;
+
+lp::LpProblem random_feasible_lp(Rng& rng, std::size_t n, std::size_t m,
+                                 std::vector<std::vector<double>>* rows_out = nullptr) {
+  lp::LpProblem p;
+  std::vector<double> interior(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double lo = rng.uniform(-4.0, 0.0);
+    const double hi = rng.uniform(0.5, 4.0);
+    p.add_variable(lo, hi);
+    interior[i] = 0.5 * (lo + hi);
+  }
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<lp::LinearTerm> terms;
+    std::vector<double> coeffs(n);
+    double activity = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      coeffs[c] = rng.uniform(-2.0, 2.0);
+      terms.push_back({c, coeffs[c]});
+      activity += coeffs[c] * interior[c];
+    }
+    p.add_row(terms, lp::RowSense::kLessEqual, activity + rng.uniform(0.5, 2.0));
+    if (rows_out) rows_out->push_back(coeffs);
+  }
+  std::vector<lp::LinearTerm> obj;
+  for (std::size_t c = 0; c < n; ++c) obj.push_back({c, rng.uniform(-1.0, 1.0)});
+  p.set_objective(obj, lp::Objective::kMinimize);
+  return p;
+}
+
+class LpMetamorphic : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpMetamorphic, ObjectiveScalingScalesOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 5 + 1);
+  lp::LpProblem p = random_feasible_lp(rng, 4, 5);
+  const lp::LpSolution base = lp::SimplexSolver().solve(p);
+  ASSERT_EQ(base.status, lp::SolveStatus::kOptimal);
+
+  // Scale objective by 3: optimum value must scale by 3.
+  std::vector<lp::LinearTerm> scaled = p.objective_terms();
+  for (auto& t : scaled) t.coeff *= 3.0;
+  p.set_objective(scaled, lp::Objective::kMinimize);
+  const lp::LpSolution triple = lp::SimplexSolver().solve(p);
+  ASSERT_EQ(triple.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(triple.objective, 3.0 * base.objective, kTol);
+}
+
+TEST_P(LpMetamorphic, MinMaxDuality) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 11 + 3);
+  lp::LpProblem p = random_feasible_lp(rng, 4, 4);
+  const lp::LpSolution min_sol = lp::SimplexSolver().solve(p);
+  ASSERT_EQ(min_sol.status, lp::SolveStatus::kOptimal);
+  // Negate objective and maximize: same optimum value, negated.
+  std::vector<lp::LinearTerm> negated = p.objective_terms();
+  for (auto& t : negated) t.coeff *= -1.0;
+  p.set_objective(negated, lp::Objective::kMaximize);
+  const lp::LpSolution max_sol = lp::SimplexSolver().solve(p);
+  ASSERT_EQ(max_sol.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(max_sol.objective, -min_sol.objective, kTol);
+}
+
+TEST_P(LpMetamorphic, RedundantRowDoesNotChangeOptimum) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 5);
+  std::vector<std::vector<double>> rows;
+  lp::LpProblem p = random_feasible_lp(rng, 3, 3, &rows);
+  const lp::LpSolution base = lp::SimplexSolver().solve(p);
+  ASSERT_EQ(base.status, lp::SolveStatus::kOptimal);
+  // Duplicate the first row with a slacker rhs: cannot cut the optimum.
+  std::vector<lp::LinearTerm> terms;
+  for (std::size_t c = 0; c < rows[0].size(); ++c) terms.push_back({c, rows[0][c]});
+  p.add_row(terms, lp::RowSense::kLessEqual, p.rows()[0].rhs + 1.0);
+  const lp::LpSolution with_redundant = lp::SimplexSolver().solve(p);
+  ASSERT_EQ(with_redundant.status, lp::SolveStatus::kOptimal);
+  EXPECT_NEAR(with_redundant.objective, base.objective, kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpMetamorphic, ::testing::Range(0, 10));
+
+nn::Network random_tail(Rng& rng, std::size_t in_n, std::size_t hidden) {
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(in_n, hidden);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{hidden}));
+  auto d2 = std::make_unique<nn::Dense>(hidden, 1);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+  return net;
+}
+
+class VerifierMetamorphic : public ::testing::TestWithParam<int> {};
+
+TEST_P(VerifierMetamorphic, OutputBiasShiftTranslatesRange) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 23 + 7);
+  nn::Network net = random_tail(rng, 3, 5);
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(3, -1.0, 1.0);
+  const verify::RangeResult base = verify::output_range(q, 0);
+  ASSERT_TRUE(base.exact);
+
+  // Shift the final bias by +2.5: the reachable range translates exactly.
+  auto& last = static_cast<nn::Dense&>(net.layer(2));
+  Tensor w = last.weight();
+  Tensor b = last.bias();
+  b[0] += 2.5;
+  last.set_parameters(std::move(w), std::move(b));
+  const verify::RangeResult shifted = verify::output_range(q, 0);
+  ASSERT_TRUE(shifted.exact);
+  EXPECT_NEAR(shifted.range.lo, base.range.lo + 2.5, kTol);
+  EXPECT_NEAR(shifted.range.hi, base.range.hi + 2.5, kTol);
+}
+
+TEST_P(VerifierMetamorphic, OutputScalingScalesRange) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 29 + 9);
+  nn::Network net = random_tail(rng, 3, 4);
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(3, -1.0, 1.0);
+  const verify::RangeResult base = verify::output_range(q, 0);
+  ASSERT_TRUE(base.exact);
+
+  auto& last = static_cast<nn::Dense&>(net.layer(2));
+  Tensor w = last.weight();
+  Tensor b = last.bias();
+  for (std::size_t i = 0; i < w.numel(); ++i) w[i] *= -2.0;
+  b[0] *= -2.0;
+  last.set_parameters(std::move(w), std::move(b));
+  const verify::RangeResult scaled = verify::output_range(q, 0);
+  ASSERT_TRUE(scaled.exact);
+  // Negative scaling flips and stretches the interval.
+  EXPECT_NEAR(scaled.range.lo, -2.0 * base.range.hi, 1e-5);
+  EXPECT_NEAR(scaled.range.hi, -2.0 * base.range.lo, 1e-5);
+}
+
+TEST_P(VerifierMetamorphic, VerdictMatchesRangeAnalysis) {
+  // SAFE(output >= t) must hold exactly when t > reachable max.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 11);
+  nn::Network net = random_tail(rng, 3, 5);
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(3, -1.0, 1.0);
+  const verify::RangeResult range = verify::output_range(q, 0);
+  ASSERT_TRUE(range.exact);
+
+  verify::VerificationQuery above = q;
+  above.risk.output_at_least(0, 1, range.range.hi + 0.01);
+  EXPECT_EQ(verify::TailVerifier().verify(above).verdict, verify::Verdict::kSafe);
+
+  verify::VerificationQuery below = q;
+  below.risk.output_at_least(0, 1, range.range.hi - 0.01);
+  EXPECT_EQ(verify::TailVerifier().verify(below).verdict, verify::Verdict::kUnsafe);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifierMetamorphic, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace dpv

@@ -1,0 +1,188 @@
+// Branch & bound MILP tests: knapsack instances with known optima,
+// feasibility/infeasibility proofs, big-M ReLU gadgets, and randomized
+// cross-checks against brute-force enumeration of binary assignments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace dpv::milp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+TEST(Milp, SolvesSmallKnapsack) {
+  // max 10a + 13b + 7c s.t. 3a + 4b + 2c <= 6; optimum a=c? enumerate:
+  // a+c: w=5 v=17; b+c: w=6 v=20; a+b: w=7 infeasible. Optimum 20.
+  MilpProblem p;
+  const std::size_t a = p.add_variable(VarType::kBinary, 0.0, 1.0, "a");
+  const std::size_t b = p.add_variable(VarType::kBinary, 0.0, 1.0, "b");
+  const std::size_t c = p.add_variable(VarType::kBinary, 0.0, 1.0, "c");
+  p.add_row({{a, 3.0}, {b, 4.0}, {c, 2.0}}, lp::RowSense::kLessEqual, 6.0);
+  p.set_objective({{a, 10.0}, {b, 13.0}, {c, 7.0}}, lp::Objective::kMaximize);
+
+  const MilpResult r = BranchAndBoundSolver().solve(p);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 20.0, kTol);
+  EXPECT_NEAR(r.values[a], 0.0, kTol);
+  EXPECT_NEAR(r.values[b], 1.0, kTol);
+  EXPECT_NEAR(r.values[c], 1.0, kTol);
+}
+
+TEST(Milp, IntegralityMatters) {
+  // LP relaxation of max x s.t. 2x <= 3 with x binary gives 1.5 -> the
+  // MILP must return 1.
+  MilpProblem p;
+  const std::size_t x = p.add_variable(VarType::kBinary, 0.0, 1.0, "x");
+  p.add_row({{x, 2.0}}, lp::RowSense::kLessEqual, 3.0);
+  p.set_objective({{x, 1.0}}, lp::Objective::kMaximize);
+  const MilpResult r = BranchAndBoundSolver().solve(p);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, kTol);
+}
+
+TEST(Milp, ProvesIntegerInfeasibility) {
+  // 0.4 <= x <= 0.6 admits no binary x even though the LP relaxation is
+  // feasible.
+  MilpProblem p;
+  const std::size_t x = p.add_variable(VarType::kBinary, 0.0, 1.0, "x");
+  p.add_row({{x, 1.0}}, lp::RowSense::kGreaterEqual, 0.4);
+  p.add_row({{x, 1.0}}, lp::RowSense::kLessEqual, 0.6);
+  const MilpResult r = BranchAndBoundSolver().solve(p);
+  EXPECT_EQ(r.status, MilpStatus::kInfeasible);
+}
+
+TEST(Milp, MixedContinuousBinary) {
+  // max y s.t. y <= 2 + 3z, y <= 7 - 4z, y in [0, 10], z binary.
+  // z=0 -> y<=2; z=1 -> y<=3 (7-4=3 and 2+3=5). Optimum 3 at z=1.
+  MilpProblem p;
+  const std::size_t y = p.add_variable(VarType::kContinuous, 0.0, 10.0, "y");
+  const std::size_t z = p.add_variable(VarType::kBinary, 0.0, 1.0, "z");
+  p.add_row({{y, 1.0}, {z, -3.0}}, lp::RowSense::kLessEqual, 2.0);
+  p.add_row({{y, 1.0}, {z, 4.0}}, lp::RowSense::kLessEqual, 7.0);
+  p.set_objective({{y, 1.0}}, lp::Objective::kMaximize);
+  const MilpResult r = BranchAndBoundSolver().solve(p);
+  ASSERT_EQ(r.status, MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 3.0, kTol);
+  EXPECT_NEAR(r.values[z], 1.0, kTol);
+}
+
+TEST(Milp, FeasibilityModeStopsEarly) {
+  MilpProblem p;
+  std::vector<std::size_t> vars;
+  for (int i = 0; i < 8; ++i)
+    vars.push_back(p.add_variable(VarType::kBinary, 0.0, 1.0));
+  // sum = 4 has many solutions; feasibility mode should find one quickly.
+  std::vector<lp::LinearTerm> sum;
+  for (const std::size_t v : vars) sum.push_back({v, 1.0});
+  p.add_row(sum, lp::RowSense::kEqual, 4.0);
+
+  BranchAndBoundOptions options;
+  options.stop_at_first_feasible = true;
+  const MilpResult r = BranchAndBoundSolver(options).solve(p);
+  ASSERT_EQ(r.status, MilpStatus::kFeasible);
+  double total = 0.0;
+  for (const std::size_t v : vars) {
+    EXPECT_NEAR(r.values[v], std::round(r.values[v]), 1e-6);
+    total += r.values[v];
+  }
+  EXPECT_NEAR(total, 4.0, kTol);
+}
+
+TEST(Milp, BigMReluGadgetBothPhases) {
+  // Encode y = relu(x) for x in [-2, 3] with the verifier's big-M rows
+  // and check that forcing x to each side yields the right y.
+  for (const double x_fixed : {-1.5, 2.0}) {
+    MilpProblem p;
+    const std::size_t x = p.add_variable(VarType::kContinuous, x_fixed, x_fixed, "x");
+    const std::size_t y = p.add_variable(VarType::kContinuous, 0.0, 3.0, "y");
+    const std::size_t z = p.add_variable(VarType::kBinary, 0.0, 1.0, "z");
+    p.add_row({{y, 1.0}, {x, -1.0}}, lp::RowSense::kGreaterEqual, 0.0);
+    p.add_row({{y, 1.0}, {z, -3.0}}, lp::RowSense::kLessEqual, 0.0);
+    p.add_row({{y, 1.0}, {x, -1.0}, {z, 2.0}}, lp::RowSense::kLessEqual, 2.0);
+    p.set_objective({{y, 1.0}}, lp::Objective::kMaximize);
+    const MilpResult r = BranchAndBoundSolver().solve(p);
+    ASSERT_EQ(r.status, MilpStatus::kOptimal);
+    EXPECT_NEAR(r.values[y], std::max(x_fixed, 0.0), kTol) << "x = " << x_fixed;
+  }
+}
+
+TEST(Milp, NodeLimitReportsUnknown) {
+  MilpProblem p;
+  std::vector<lp::LinearTerm> parity;
+  for (int i = 0; i < 10; ++i)
+    parity.push_back({p.add_variable(VarType::kBinary, 0.0, 1.0), 1.0});
+  // sum == 5.5 is integrally infeasible but needs search to prove.
+  p.add_row(parity, lp::RowSense::kEqual, 5.5);
+  BranchAndBoundOptions options;
+  options.max_nodes = 1;  // starve the solver
+  const MilpResult r = BranchAndBoundSolver(options).solve(p);
+  EXPECT_EQ(r.status, MilpStatus::kNodeLimit);
+}
+
+// Property sweep: random small MILPs cross-checked against brute force
+// over all binary assignments (continuous part solved by LP).
+class MilpBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(MilpBruteForce, MatchesEnumeration) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  const std::size_t n_bin = static_cast<std::size_t>(rng.uniform_int(2, 5));
+  const std::size_t n_rows = static_cast<std::size_t>(rng.uniform_int(1, 4));
+
+  MilpProblem p;
+  std::vector<std::size_t> bins;
+  for (std::size_t i = 0; i < n_bin; ++i)
+    bins.push_back(p.add_variable(VarType::kBinary, 0.0, 1.0));
+  std::vector<std::vector<double>> coeffs(n_rows, std::vector<double>(n_bin));
+  std::vector<double> rhs(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    std::vector<lp::LinearTerm> terms;
+    for (std::size_t c = 0; c < n_bin; ++c) {
+      coeffs[r][c] = rng.uniform(-3.0, 3.0);
+      terms.push_back({bins[c], coeffs[r][c]});
+    }
+    rhs[r] = rng.uniform(-2.0, 4.0);
+    p.add_row(terms, lp::RowSense::kLessEqual, rhs[r]);
+  }
+  std::vector<double> obj(n_bin);
+  std::vector<lp::LinearTerm> obj_terms;
+  for (std::size_t c = 0; c < n_bin; ++c) {
+    obj[c] = rng.uniform(-2.0, 2.0);
+    obj_terms.push_back({bins[c], obj[c]});
+  }
+  p.set_objective(obj_terms, lp::Objective::kMaximize);
+
+  // Brute force.
+  double best = -1e100;
+  bool any = false;
+  for (std::size_t mask = 0; mask < (1u << n_bin); ++mask) {
+    bool feasible = true;
+    for (std::size_t r = 0; r < n_rows && feasible; ++r) {
+      double act = 0.0;
+      for (std::size_t c = 0; c < n_bin; ++c)
+        if (mask & (1u << c)) act += coeffs[r][c];
+      feasible = act <= rhs[r] + 1e-9;
+    }
+    if (!feasible) continue;
+    any = true;
+    double value = 0.0;
+    for (std::size_t c = 0; c < n_bin; ++c)
+      if (mask & (1u << c)) value += obj[c];
+    best = std::max(best, value);
+  }
+
+  const MilpResult r = BranchAndBoundSolver().solve(p);
+  if (!any) {
+    EXPECT_EQ(r.status, MilpStatus::kInfeasible) << "seed " << GetParam();
+  } else {
+    ASSERT_EQ(r.status, MilpStatus::kOptimal) << "seed " << GetParam();
+    EXPECT_NEAR(r.objective, best, 1e-5) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMilps, MilpBruteForce, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dpv::milp

@@ -1,0 +1,135 @@
+// Serialization round-trip tests for every layer kind and malformed-input
+// rejection.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/perception_model.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pool2d.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dpv::nn {
+namespace {
+
+Network make_mixed_network(Rng& rng) {
+  Network net;
+  auto conv = std::make_unique<Conv2D>(1, 4, 4, 2, 3, 1, 1);
+  conv->init_he(rng);
+  net.add(std::move(conv));
+  net.add(std::make_unique<ReLU>(Shape{2, 4, 4}));
+  net.add(std::make_unique<MaxPool2D>(2, 4, 4, 2));
+  net.add(std::make_unique<Flatten>(Shape{2, 2, 2}));
+  auto dense = std::make_unique<Dense>(8, 4);
+  dense->init_he(rng);
+  net.add(std::move(dense));
+  auto bn = std::make_unique<BatchNorm>(4);
+  bn->set_affine(Tensor::vector1d({1.0, 2.0, 0.5, 1.5}),
+                 Tensor::vector1d({0.1, -0.1, 0.0, 0.2}));
+  bn->set_statistics(Tensor::vector1d({0.2, -0.3, 0.0, 0.1}),
+                     Tensor::vector1d({1.0, 2.0, 0.5, 1.2}));
+  net.add(std::move(bn));
+  net.add(std::make_unique<Tanh>(Shape{4}));
+  auto out = std::make_unique<Dense>(4, 2);
+  out->init_he(rng);
+  net.add(std::move(out));
+  net.add(std::make_unique<Sigmoid>(Shape{2}));
+  return net;
+}
+
+TEST(Serialize, RoundTripPreservesBehaviourBitExactly) {
+  Rng rng(31);
+  Network original = make_mixed_network(rng);
+  std::stringstream buffer;
+  save(original, buffer);
+  Network restored = load(buffer);
+
+  ASSERT_EQ(restored.layer_count(), original.layer_count());
+  Rng probe_rng(77);
+  for (int probe = 0; probe < 5; ++probe) {
+    const Tensor x = Tensor::randn(Shape{1, 4, 4}, probe_rng, 1.0);
+    EXPECT_EQ(max_abs_diff(original.forward(x), restored.forward(x)), 0.0);
+  }
+}
+
+TEST(Serialize, RoundTripPerceptionFactoryModel) {
+  Rng rng(5);
+  data::PerceptionConfig config;
+  config.render.width = 16;
+  config.render.height = 8;
+  config.embedding = 8;
+  config.features = 6;
+  config.tail_hidden = 6;
+  data::PerceptionModel model = data::make_perception_network(config, rng);
+  std::stringstream buffer;
+  save(model.network, buffer);
+  Network restored = load(buffer);
+  const Tensor x = Tensor::randn(Shape{1, 8, 16}, rng, 0.3);
+  EXPECT_EQ(max_abs_diff(model.network.forward(x), restored.forward(x)), 0.0);
+}
+
+TEST(Serialize, AvgPoolRoundTrip) {
+  Network net;
+  net.add(std::make_unique<AvgPool2D>(1, 4, 4, 2));
+  std::stringstream buffer;
+  save(net, buffer);
+  Network restored = load(buffer);
+  EXPECT_EQ(restored.layer(0).kind(), LayerKind::kAvgPool2D);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Rng rng(9);
+  Network net;
+  auto dense = std::make_unique<Dense>(3, 3);
+  dense->init_he(rng);
+  net.add(std::move(dense));
+  const std::string path = ::testing::TempDir() + "/dpv_net.txt";
+  save_file(net, path);
+  Network restored = load_file(path);
+  const Tensor x = Tensor::vector1d({0.1, -0.2, 0.3});
+  EXPECT_EQ(max_abs_diff(net.forward(x), restored.forward(x)), 0.0);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buffer("not-a-network 1\nlayers 0\n");
+  EXPECT_THROW(load(buffer), ContractViolation);
+}
+
+TEST(Serialize, RejectsUnsupportedVersion) {
+  std::stringstream buffer("dpv-network 99\nlayers 0\n");
+  EXPECT_THROW(load(buffer), ContractViolation);
+}
+
+TEST(Serialize, RejectsUnknownLayerKind) {
+  std::stringstream buffer("dpv-network 1\nlayers 1\nwavelet 4\n");
+  EXPECT_THROW(load(buffer), ContractViolation);
+}
+
+TEST(Serialize, RejectsTruncatedTensor) {
+  Rng rng(4);
+  Network net;
+  auto dense = std::make_unique<Dense>(2, 2);
+  dense->init_he(rng);
+  net.add(std::move(dense));
+  std::stringstream buffer;
+  save(net, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);  // chop the payload
+  std::stringstream truncated(text);
+  EXPECT_THROW(load(truncated), ContractViolation);
+}
+
+TEST(Serialize, RejectsMissingFile) {
+  EXPECT_THROW(load_file("/nonexistent/dpv.txt"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpv::nn

@@ -1,0 +1,66 @@
+// PGM export/import round-trip tests.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "data/pgm.hpp"
+#include "data/renderer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dpv::data {
+namespace {
+
+TEST(Pgm, RoundTripWithinQuantization) {
+  Rng rng(3);
+  RoadScenario s = sample_scenario(rng);
+  const RenderConfig config;
+  const Tensor image = render_road_image(s, config);
+  const std::string path = ::testing::TempDir() + "/dpv_frame.pgm";
+  write_pgm(image, path);
+  const Tensor restored = read_pgm(path);
+  ASSERT_EQ(restored.shape(), image.shape());
+  // 8-bit quantization: error at most half a step.
+  EXPECT_LE(max_abs_diff(image, restored), 0.5 / 255.0 + 1e-12);
+}
+
+TEST(Pgm, AcceptsRank2Tensors) {
+  Tensor image(Shape{2, 3});
+  image.at2(0, 0) = 1.0;
+  image.at2(1, 2) = 0.5;
+  const std::string path = ::testing::TempDir() + "/dpv_rank2.pgm";
+  write_pgm(image, path);
+  const Tensor restored = read_pgm(path);
+  EXPECT_EQ(restored.shape(), (Shape{1, 2, 3}));
+  EXPECT_NEAR(restored.at3(0, 0, 0), 1.0, 1e-9);
+}
+
+TEST(Pgm, ClampsOutOfRangeValues) {
+  Tensor image(Shape{1, 1, 2});
+  image[0] = -3.0;
+  image[1] = 7.0;
+  const std::string path = ::testing::TempDir() + "/dpv_clamp.pgm";
+  write_pgm(image, path);
+  const Tensor restored = read_pgm(path);
+  EXPECT_DOUBLE_EQ(restored[0], 0.0);
+  EXPECT_DOUBLE_EQ(restored[1], 1.0);
+}
+
+TEST(Pgm, RejectsMultiChannelAndBadRank) {
+  EXPECT_THROW(write_pgm(Tensor(Shape{3, 4, 4}), "/tmp/x.pgm"), ContractViolation);
+  EXPECT_THROW(write_pgm(Tensor(Shape{8}), "/tmp/x.pgm"), ContractViolation);
+}
+
+TEST(Pgm, RejectsMissingOrMalformedFiles) {
+  EXPECT_THROW(read_pgm("/nonexistent/file.pgm"), ContractViolation);
+  const std::string path = ::testing::TempDir() + "/dpv_bad.pgm";
+  {
+    std::ofstream out(path);
+    out << "P5\n2 2\n255\n";
+  }
+  EXPECT_THROW(read_pgm(path), ContractViolation);
+}
+
+}  // namespace
+}  // namespace dpv::data

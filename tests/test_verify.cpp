@@ -1,0 +1,312 @@
+// Verifier unit tests on hand-constructed tails with known verdicts:
+// risk specs, big-M encodings, stable-neuron elimination, the
+// characterizer constraint, the adjacent-difference strengthening (the
+// paper's E4 mechanism), BatchNorm tails, and LP bound tightening.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/dense.hpp"
+#include "nn/network.hpp"
+#include "nn/pool2d.hpp"
+#include "verify/verifier.hpp"
+
+namespace dpv::verify {
+namespace {
+
+using absint::Interval;
+
+/// network computing out = [n1 - n0] from two inputs (identity tail).
+nn::Network make_difference_net() {
+  nn::Network net;
+  auto d = std::make_unique<nn::Dense>(2, 1);
+  d->set_parameters(Tensor(Shape{1, 2}, {-1.0, 1.0}), Tensor::vector1d({0.0}));
+  net.add(std::move(d));
+  return net;
+}
+
+TEST(RiskSpec, SatisfactionSemantics) {
+  RiskSpec risk("test");
+  risk.output_at_most(0, 2, 0.5).output_at_least(1, 2, -1.0);
+  EXPECT_TRUE(risk.satisfied_by(Tensor::vector1d({0.4, 0.0})));
+  EXPECT_FALSE(risk.satisfied_by(Tensor::vector1d({0.6, 0.0})));
+  EXPECT_FALSE(risk.satisfied_by(Tensor::vector1d({0.4, -2.0})));
+  EXPECT_EQ(risk.inequalities().size(), 2u);
+}
+
+TEST(RiskSpec, RangeHelper) {
+  RiskSpec risk;
+  risk.output_in_range(0, 1, -0.1, 0.1);
+  EXPECT_TRUE(risk.satisfied_by(Tensor::vector1d({0.05})));
+  EXPECT_FALSE(risk.satisfied_by(Tensor::vector1d({0.2})));
+  EXPECT_THROW(risk.output_in_range(0, 1, 1.0, -1.0), ContractViolation);
+}
+
+TEST(RiskSpec, RejectsOutOfRangeIndex) {
+  RiskSpec risk;
+  EXPECT_THROW(risk.output_at_most(2, 2, 0.0), ContractViolation);
+}
+
+VerificationQuery make_query(const nn::Network& net, absint::Box box, RiskSpec risk) {
+  VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = std::move(box);
+  q.risk = std::move(risk);
+  return q;
+}
+
+TEST(TailVerifier, SafeWhenRiskUnreachable) {
+  const nn::Network net = make_difference_net();
+  // n0, n1 in [0, 1] -> out in [-1, 1]; risk out >= 1.5 unreachable.
+  RiskSpec risk("impossible");
+  risk.output_at_least(0, 1, 1.5);
+  const VerificationResult r =
+      TailVerifier().verify(make_query(net, absint::uniform_box(2, 0.0, 1.0), risk));
+  EXPECT_EQ(r.verdict, Verdict::kSafe);
+}
+
+TEST(TailVerifier, UnsafeProducesValidatedCounterexample) {
+  const nn::Network net = make_difference_net();
+  RiskSpec risk("reachable");
+  risk.output_at_least(0, 1, 0.9);
+  const VerificationResult r =
+      TailVerifier().verify(make_query(net, absint::uniform_box(2, 0.0, 1.0), risk));
+  ASSERT_EQ(r.verdict, Verdict::kUnsafe);
+  EXPECT_TRUE(r.counterexample_validated);
+  EXPECT_GE(r.counterexample_output[0], 0.9 - 1e-6);
+  // And the activation really lies in the box.
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(r.counterexample_activation[i], -1e-9);
+    EXPECT_LE(r.counterexample_activation[i], 1.0 + 1e-9);
+  }
+}
+
+TEST(TailVerifier, DiffBoundsFlipVerdictToSafe) {
+  // The paper's Sec. V observation operationalized: the box alone admits
+  // the corner (n0, n1) = (0, 1) with out = 0.9+, but the recorded
+  // adjacent-difference bound n1 - n0 in [-0.2, 0.2] excludes it.
+  const nn::Network net = make_difference_net();
+  RiskSpec risk("corner-only");
+  risk.output_at_least(0, 1, 0.9);
+
+  VerificationQuery box_only = make_query(net, absint::uniform_box(2, 0.0, 1.0), risk);
+  const VerificationResult without = TailVerifier().verify(box_only);
+  EXPECT_EQ(without.verdict, Verdict::kUnsafe);
+
+  VerificationQuery with_diff = box_only;
+  with_diff.diff_bounds = {Interval(-0.2, 0.2)};
+  const VerificationResult with = TailVerifier().verify(with_diff);
+  EXPECT_EQ(with.verdict, Verdict::kSafe);
+}
+
+TEST(TailVerifier, CharacterizerConstraintExcludesRegion) {
+  // Tail: out = n0. Characterizer logit = n0 - 0.5 (h = 1 iff n0 >= 0.5).
+  // Risk out <= 0.3 is reachable in the box but not under h = 1.
+  nn::Network net;
+  auto d = std::make_unique<nn::Dense>(2, 1);
+  d->set_parameters(Tensor(Shape{1, 2}, {1.0, 0.0}), Tensor::vector1d({0.0}));
+  net.add(std::move(d));
+
+  nn::Network charac;
+  auto hc = std::make_unique<nn::Dense>(2, 1);
+  hc->set_parameters(Tensor(Shape{1, 2}, {1.0, 0.0}), Tensor::vector1d({-0.5}));
+  charac.add(std::move(hc));
+
+  RiskSpec risk("low-output");
+  risk.output_at_most(0, 1, 0.3);
+
+  VerificationQuery without = make_query(net, absint::uniform_box(2, 0.0, 1.0), risk);
+  EXPECT_EQ(TailVerifier().verify(without).verdict, Verdict::kUnsafe);
+
+  VerificationQuery with = without;
+  with.characterizer = &charac;
+  const VerificationResult r = TailVerifier().verify(with);
+  EXPECT_EQ(r.verdict, Verdict::kSafe);
+}
+
+TEST(TailVerifier, CharacterizerLogitReportedOnCounterexample) {
+  nn::Network net = make_difference_net();
+  nn::Network charac;
+  auto hc = std::make_unique<nn::Dense>(2, 1);
+  hc->set_parameters(Tensor(Shape{1, 2}, {0.0, 1.0}), Tensor::vector1d({-0.2}));
+  charac.add(std::move(hc));
+  RiskSpec risk("reachable");
+  risk.output_at_least(0, 1, 0.5);
+  VerificationQuery q = make_query(net, absint::uniform_box(2, 0.0, 1.0), risk);
+  q.characterizer = &charac;
+  const VerificationResult r = TailVerifier().verify(q);
+  ASSERT_EQ(r.verdict, Verdict::kUnsafe);
+  EXPECT_GE(r.characterizer_logit, -1e-6);
+  EXPECT_TRUE(r.counterexample_validated);
+}
+
+nn::Network make_relu_tail() {
+  // out = relu(n0 - n1) - relu(n1 - n0) mapped through a final dense.
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(2, 2);
+  d1->set_parameters(Tensor(Shape{2, 2}, {1.0, -1.0, -1.0, 1.0}),
+                     Tensor::vector1d({0.0, 0.0}));
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{2}));
+  auto d2 = std::make_unique<nn::Dense>(2, 1);
+  d2->set_parameters(Tensor(Shape{1, 2}, {1.0, -1.0}), Tensor::vector1d({0.0}));
+  net.add(std::move(d2));
+  return net;
+}
+
+TEST(TailVerifier, ReluTailExactSemantics) {
+  // The net computes n0 - n1 exactly (relu(a) - relu(-a) = a). Risk
+  // "out >= 0.9" is reachable at (1, 0) but safe when bounds shrink.
+  const nn::Network net = make_relu_tail();
+  RiskSpec risk("high");
+  risk.output_at_least(0, 1, 0.9);
+  const VerificationResult wide =
+      TailVerifier().verify(make_query(net, absint::uniform_box(2, 0.0, 1.0), risk));
+  EXPECT_EQ(wide.verdict, Verdict::kUnsafe);
+  EXPECT_TRUE(wide.counterexample_validated);
+  const VerificationResult narrow =
+      TailVerifier().verify(make_query(net, absint::uniform_box(2, 0.0, 0.4), risk));
+  EXPECT_EQ(narrow.verdict, Verdict::kSafe);
+}
+
+TEST(TailVerifier, StableReluElimination) {
+  // All-positive box -> the first ReLU is provably active everywhere,
+  // so no binaries are needed.
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(2, 2);
+  d1->set_parameters(Tensor(Shape{2, 2}, {1.0, 0.0, 0.0, 1.0}),
+                     Tensor::vector1d({1.0, 1.0}));
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{2}));
+  auto d2 = std::make_unique<nn::Dense>(2, 1);
+  d2->set_parameters(Tensor(Shape{1, 2}, {1.0, 1.0}), Tensor::vector1d({0.0}));
+  net.add(std::move(d2));
+
+  RiskSpec risk("sum-high");
+  risk.output_at_least(0, 1, 10.0);
+  VerificationQuery q = make_query(net, absint::uniform_box(2, 0.5, 1.0), risk);
+
+  TailVerifierOptions with_elim;
+  const VerificationResult r1 = TailVerifier(with_elim).verify(q);
+  EXPECT_EQ(r1.verdict, Verdict::kSafe);
+  EXPECT_EQ(r1.encoding.binaries, 0u);
+  EXPECT_EQ(r1.encoding.stable_relus, 2u);
+
+  TailVerifierOptions no_elim;
+  no_elim.encode.eliminate_stable_relus = false;
+  const VerificationResult r2 = TailVerifier(no_elim).verify(q);
+  EXPECT_EQ(r2.verdict, Verdict::kSafe);
+  EXPECT_EQ(r2.encoding.binaries, 2u);
+}
+
+TEST(TailVerifier, BatchNormTailIsEncodedExactly) {
+  nn::Network net;
+  auto bn = std::make_unique<nn::BatchNorm>(2, 1e-9);
+  bn->set_affine(Tensor::vector1d({2.0, 1.0}), Tensor::vector1d({0.0, 1.0}));
+  bn->set_statistics(Tensor::vector1d({0.5, 0.0}), Tensor::vector1d({1.0, 4.0}));
+  net.add(std::move(bn));
+  auto d = std::make_unique<nn::Dense>(2, 1);
+  d->set_parameters(Tensor(Shape{1, 2}, {1.0, 1.0}), Tensor::vector1d({0.0}));
+  net.add(std::move(d));
+
+  // y = 2*(n0-0.5) + (n1/2 + 1); over [0,1]^2: y in [0, 2.5].
+  RiskSpec unreachable("too-high");
+  unreachable.output_at_least(0, 1, 2.6);
+  EXPECT_EQ(TailVerifier()
+                .verify(make_query(net, absint::uniform_box(2, 0.0, 1.0), unreachable))
+                .verdict,
+            Verdict::kSafe);
+  RiskSpec reachable("attainable");
+  reachable.output_at_least(0, 1, 2.4);
+  const VerificationResult r = TailVerifier().verify(
+      make_query(net, absint::uniform_box(2, 0.0, 1.0), reachable));
+  EXPECT_EQ(r.verdict, Verdict::kUnsafe);
+  EXPECT_TRUE(r.counterexample_validated);
+}
+
+TEST(TailVerifier, LpTighteningReducesBinaries) {
+  // Chain of dense+relu whose interval bounds are loose; LP tightening
+  // should classify at least as many ReLUs stable as intervals do.
+  Rng rng(17);
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(3, 6);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{6}));
+  auto d2 = std::make_unique<nn::Dense>(6, 6);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+  net.add(std::make_unique<nn::ReLU>(Shape{6}));
+  auto d3 = std::make_unique<nn::Dense>(6, 1);
+  d3->init_he(rng);
+  net.add(std::move(d3));
+
+  RiskSpec risk("probe");
+  risk.output_at_least(0, 1, 100.0);
+  VerificationQuery q = make_query(net, absint::uniform_box(3, -1.0, 1.0), risk);
+
+  TailVerifierOptions interval_opts;
+  const VerificationResult ri = TailVerifier(interval_opts).verify(q);
+  TailVerifierOptions lp_opts;
+  lp_opts.encode.bounds = BoundMethod::kLpTightening;
+  const VerificationResult rl = TailVerifier(lp_opts).verify(q);
+  EXPECT_EQ(ri.verdict, Verdict::kSafe);
+  EXPECT_EQ(rl.verdict, Verdict::kSafe);
+  EXPECT_LE(rl.encoding.binaries, ri.encoding.binaries);
+  EXPECT_GT(rl.encoding.tightening_lps, 0u);
+}
+
+TEST(Encoder, RejectsConvolutionInTail) {
+  nn::Network net;
+  net.add(std::make_unique<nn::MaxPool2D>(1, 2, 2, 2));
+  VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(4, 0.0, 1.0);
+  q.risk.output_at_least(0, 1, 0.0);
+  EXPECT_THROW(encode_tail_query(q, {}), ContractViolation);
+}
+
+TEST(Encoder, RejectsMismatchedBox) {
+  const nn::Network net = make_difference_net();
+  RiskSpec risk;
+  risk.output_at_least(0, 1, 0.0);
+  VerificationQuery q = make_query(net, absint::uniform_box(3, 0.0, 1.0), risk);
+  EXPECT_THROW(encode_tail_query(q, {}), ContractViolation);
+}
+
+TEST(Encoder, RejectsEmptyRisk) {
+  const nn::Network net = make_difference_net();
+  VerificationQuery q = make_query(net, absint::uniform_box(2, 0.0, 1.0), RiskSpec{});
+  EXPECT_THROW(encode_tail_query(q, {}), ContractViolation);
+}
+
+TEST(Encoder, RejectsWrongDiffBoundCount) {
+  const nn::Network net = make_difference_net();
+  RiskSpec risk;
+  risk.output_at_least(0, 1, 0.0);
+  VerificationQuery q = make_query(net, absint::uniform_box(2, 0.0, 1.0), risk);
+  q.diff_bounds = {Interval(0, 1), Interval(0, 1)};
+  EXPECT_THROW(encode_tail_query(q, {}), ContractViolation);
+}
+
+TEST(Encoder, StatsAreConsistent) {
+  const nn::Network net = make_relu_tail();
+  RiskSpec risk;
+  risk.output_at_least(0, 1, 0.5);
+  VerificationQuery q = make_query(net, absint::uniform_box(2, 0.0, 1.0), risk);
+  const TailEncoding enc = encode_tail_query(q, {});
+  EXPECT_EQ(enc.stats.relu_neurons, 2u);
+  EXPECT_EQ(enc.stats.binaries + enc.stats.stable_relus, 2u);
+  EXPECT_EQ(enc.input_vars.size(), 2u);
+  EXPECT_EQ(enc.output_vars.size(), 1u);
+  EXPECT_EQ(enc.stats.variables, enc.problem.variable_count());
+}
+
+}  // namespace
+}  // namespace dpv::verify

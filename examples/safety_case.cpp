@@ -67,8 +67,14 @@ int main() {
 
   core::WorkflowConfig config;
   config.characterizer.trainer.epochs = 100;
+  // Fan the battery out over a worker pool (reports stay deterministic)
+  // and cap each entry's MILP search so one hard query cannot starve the
+  // table.
+  config.campaign_threads = 4;
+  config.entry_node_budget = 50000;
 
-  std::printf("running %zu-entry safety campaign...\n\n", entries.size());
+  std::printf("running %zu-entry safety campaign (%zu workers)...\n\n", entries.size(),
+              config.campaign_threads);
   const core::CampaignReport report =
       core::run_campaign(model.network, model.attach_layer, entries, config);
   std::printf("%s\n", report.format_table().c_str());

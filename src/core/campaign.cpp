@@ -1,7 +1,12 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <exception>
 #include <iomanip>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "common/check.hpp"
 
@@ -35,11 +40,51 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   check(!entries.empty(), "run_campaign: no entries");
   const SafetyWorkflow workflow(perception, attach_layer);
 
+  // Per-entry solver budget: an override applied uniformly so one
+  // pathological entry cannot starve the rest of the battery.
+  WorkflowConfig entry_config = config;
+  if (config.entry_node_budget > 0)
+    entry_config.assume_guarantee.verifier.milp.max_nodes = config.entry_node_budget;
+
+  // Entries are independent (each workflow run seeds its own RNGs from
+  // the config), so they fan out over a worker pool; results land in
+  // their entry slot, keeping report ordering deterministic regardless
+  // of thread count or completion order.
+  std::vector<WorkflowReport> results(entries.size());
+  std::atomic<std::size_t> next_entry{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  const auto run_entries = [&] {
+    while (true) {
+      const std::size_t i = next_entry.fetch_add(1);
+      if (i >= entries.size()) return;
+      try {
+        results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
+                                  entries[i].property_val, entries[i].risk, entry_config);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  const std::size_t thread_count =
+      std::min(std::max<std::size_t>(config.campaign_threads, 1), entries.size());
+  if (thread_count <= 1) {
+    run_entries();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(run_entries);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+
   CampaignReport report;
   report.reports.reserve(entries.size());
-  for (const CampaignEntry& entry : entries) {
-    WorkflowReport wr = workflow.run(entry.property_name, entry.property_train,
-                                     entry.property_val, entry.risk, config);
+  for (WorkflowReport& wr : results) {
     if (!wr.characterizer_usable) {
       ++report.uncharacterizable_count;
     } else {

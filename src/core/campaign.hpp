@@ -36,6 +36,13 @@ struct CampaignReport {
 };
 
 /// Runs the workflow for every entry against the same perception network.
+///
+/// Entries execute on a worker pool of `config.campaign_threads` (<= 1:
+/// serial). Each entry's workflow is independently and deterministically
+/// seeded, and results land in entry order, so reports are bit-identical
+/// across thread counts. `config.entry_node_budget` (when nonzero) caps
+/// each entry's MILP node budget so one hard query cannot starve the
+/// battery.
 CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_layer,
                             const std::vector<CampaignEntry>& entries,
                             const WorkflowConfig& config);

@@ -27,6 +27,14 @@ struct WorkflowConfig {
   /// Validation accuracy below which the property is reported as
   /// uncharacterizable at layer l (the paper's coin-flip observation).
   double min_separability = 0.75;
+  /// Worker pool size for run_campaign (<= 1: serial). Entries are
+  /// independent and deterministically seeded, so reports are
+  /// bit-identical across thread counts; only wall time changes.
+  std::size_t campaign_threads = 1;
+  /// Per-entry MILP node budget applied by run_campaign on top of the
+  /// verifier configuration (0 = keep assume_guarantee.verifier.milp
+  /// .max_nodes as configured).
+  std::size_t entry_node_budget = 0;
 };
 
 struct WorkflowReport {

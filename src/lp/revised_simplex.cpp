@@ -1,0 +1,442 @@
+#include "lp/revised_simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace dpv::lp {
+
+namespace {
+
+constexpr double kInf = 1e30;
+constexpr double kPrimalTol = 1e-7;
+constexpr double kZeroTol = 1e-9;
+constexpr double kPivotTol = 1e-8;
+constexpr std::size_t kRefactorInterval = 96;
+
+}  // namespace
+
+void RevisedSimplex::load(const LpProblem& problem) {
+  n_ = problem.variable_count();
+  m_ = problem.row_count();
+  total_ = n_ + m_;
+
+  lo_.assign(total_, 0.0);
+  up_.assign(total_, 0.0);
+  for (std::size_t v = 0; v < n_; ++v) {
+    lo_[v] = problem.lower_bound(v);
+    up_[v] = problem.upper_bound(v);
+    internal_check(lo_[v] <= up_[v], "RevisedSimplex: inconsistent bounds");
+  }
+
+  cols_.assign(n_, {});
+  const auto& rows = problem.rows();
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (const LinearTerm& term : rows[i].terms) {
+      internal_check(term.var < n_, "RevisedSimplex: row references unknown variable");
+      cols_[term.var].emplace_back(i, term.coeff);
+    }
+    const std::size_t s = n_ + i;
+    switch (rows[i].sense) {
+      case RowSense::kLessEqual:
+        lo_[s] = -kInf;
+        up_[s] = rows[i].rhs;
+        break;
+      case RowSense::kGreaterEqual:
+        lo_[s] = rows[i].rhs;
+        up_[s] = kInf;
+        break;
+      case RowSense::kEqual:
+        lo_[s] = rows[i].rhs;
+        up_[s] = rows[i].rhs;
+        break;
+    }
+  }
+  // Merge duplicate (row, var) entries so each column has one coefficient
+  // per row — simplifies every later dot product.
+  for (auto& col : cols_) {
+    std::sort(col.begin(), col.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < col.size(); ++k) {
+      if (out > 0 && col[out - 1].first == col[k].first)
+        col[out - 1].second += col[k].second;
+      else
+        col[out++] = col[k];
+    }
+    col.resize(out);
+  }
+
+  cost_.assign(total_, 0.0);
+  objective_sign_ = problem.objective_direction() == Objective::kMinimize ? 1.0 : -1.0;
+  for (const LinearTerm& term : problem.objective_terms())
+    cost_[term.var] += objective_sign_ * term.coeff;
+  all_costs_zero_ = true;
+  for (std::size_t j = 0; j < n_; ++j)
+    if (cost_[j] != 0.0) all_costs_zero_ = false;
+
+  basic_.clear();
+  status_.clear();
+  binv_.clear();
+  xb_.clear();
+}
+
+void RevisedSimplex::set_bounds(std::size_t var, double lo, double up) {
+  internal_check(var < n_, "RevisedSimplex::set_bounds: variable out of range");
+  internal_check(lo <= up, "RevisedSimplex::set_bounds: inverted bounds");
+  lo_[var] = lo;
+  up_[var] = up;
+}
+
+double RevisedSimplex::nonbasic_value(std::size_t j) const {
+  return status_[j] == kAtUpper ? up_[j] : lo_[j];
+}
+
+double RevisedSimplex::row_dot_column(const double* rho, std::size_t j) const {
+  if (j >= n_) return -rho[j - n_];
+  double sum = 0.0;
+  for (const auto& [row, coeff] : cols_[j]) sum += rho[row] * coeff;
+  return sum;
+}
+
+void RevisedSimplex::reset_to_logical_basis() {
+  basic_.resize(m_);
+  status_.assign(total_, kAtLower);
+  for (std::size_t i = 0; i < m_; ++i) {
+    basic_[i] = static_cast<std::int32_t>(n_ + i);
+    status_[n_ + i] = kBasic;
+  }
+  // Park each structural variable at the bound its cost favours: with the
+  // all-logical basis the duals are zero, so d_j = c_j and this choice is
+  // dual feasible (d >= 0 at lower, d <= 0 at upper) for the true
+  // objective — no phase-1 needed, the dual simplex does everything.
+  for (std::size_t j = 0; j < n_; ++j)
+    status_[j] = cost_[j] < 0.0 ? kAtUpper : kAtLower;
+  // B = -I is its own inverse.
+  binv_.assign(m_ * m_, 0.0);
+  for (std::size_t i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
+  recompute_basic_values();
+  pivots_since_refactor_ = 0;
+}
+
+bool RevisedSimplex::install_basis(const SimplexBasis& basis) {
+  if (basis.basic.size() != m_ || basis.at_upper.size() != total_) return false;
+  std::vector<std::int8_t> status(total_, kAtLower);
+  for (std::size_t j = 0; j < total_; ++j)
+    if (basis.at_upper[j]) status[j] = kAtUpper;
+  for (const std::int32_t j : basis.basic) {
+    if (j < 0 || static_cast<std::size_t>(j) >= total_) return false;
+    if (status[j] == kBasic) return false;  // duplicate basic entry
+    status[j] = kBasic;
+  }
+  // A nonbasic variable must rest at a finite bound.
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (status[j] == kAtLower && lo_[j] <= -kInf) return false;
+    if (status[j] == kAtUpper && up_[j] >= kInf) return false;
+  }
+  basic_.assign(basis.basic.begin(), basis.basic.end());
+  status_ = std::move(status);
+  if (!refactorize()) return false;
+  recompute_basic_values();
+  return true;
+}
+
+SimplexBasis RevisedSimplex::capture_basis() const {
+  SimplexBasis basis;
+  if (basic_.empty()) return basis;
+  basis.basic = basic_;
+  basis.at_upper.assign(total_, 0);
+  for (std::size_t j = 0; j < total_; ++j)
+    if (status_[j] == kAtUpper) basis.at_upper[j] = 1;
+  return basis;
+}
+
+bool RevisedSimplex::refactorize() {
+  // Assemble B column-by-column, then invert via Gauss-Jordan with
+  // partial pivoting: [B | I] -> [I | B^{-1}].
+  std::vector<double> work(m_ * 2 * m_, 0.0);
+  const std::size_t w = 2 * m_;
+  for (std::size_t k = 0; k < m_; ++k) {
+    const std::size_t j = static_cast<std::size_t>(basic_[k]);
+    if (j >= n_) {
+      work[(j - n_) * w + k] = -1.0;
+    } else {
+      for (const auto& [row, coeff] : cols_[j]) work[row * w + k] += coeff;
+    }
+    work[k * w + m_ + k] = 1.0;
+  }
+  for (std::size_t col = 0; col < m_; ++col) {
+    std::size_t pivot = col;
+    double best = std::abs(work[col * w + col]);
+    for (std::size_t r = col + 1; r < m_; ++r) {
+      const double a = std::abs(work[r * w + col]);
+      if (a > best) {
+        best = a;
+        pivot = r;
+      }
+    }
+    if (best < 1e-11) return false;  // singular basis
+    if (pivot != col)
+      for (std::size_t c = 0; c < w; ++c) std::swap(work[pivot * w + c], work[col * w + c]);
+    const double inv = 1.0 / work[col * w + col];
+    for (std::size_t c = 0; c < w; ++c) work[col * w + c] *= inv;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == col) continue;
+      const double factor = work[r * w + col];
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < w; ++c) work[r * w + c] -= factor * work[col * w + c];
+    }
+  }
+  binv_.assign(m_ * m_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r)
+    for (std::size_t c = 0; c < m_; ++c) binv_[r * m_ + c] = work[r * w + m_ + c];
+  pivots_since_refactor_ = 0;
+  return true;
+}
+
+void RevisedSimplex::recompute_basic_values() {
+  // xB = B^{-1} (0 - N x_N): accumulate the nonbasic activity, then apply
+  // the inverse.
+  std::vector<double> residual(m_, 0.0);
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (status_[j] == kBasic) continue;
+    const double v = nonbasic_value(j);
+    if (v == 0.0) continue;
+    if (j >= n_) {
+      residual[j - n_] += v;  // logical column is -e_i
+    } else {
+      for (const auto& [row, coeff] : cols_[j]) residual[row] -= coeff * v;
+    }
+  }
+  xb_.assign(m_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r) {
+    double sum = 0.0;
+    const double* row = &binv_[r * m_];
+    for (std::size_t c = 0; c < m_; ++c) sum += row[c] * residual[c];
+    xb_[r] = sum;
+  }
+}
+
+void RevisedSimplex::run_dual(LpSolution& solution) {
+  std::vector<double> duals(m_);
+  std::vector<double> w(m_);
+  std::size_t iterations = 0;
+
+  while (true) {
+    if (iterations >= options_.max_iterations) {
+      solution.status = SolveStatus::kIterationLimit;
+      solution.iterations = iterations;
+      return;
+    }
+    const bool use_bland = iterations >= options_.bland_after;
+
+    // Leaving row: the basic variable with the worst bound violation
+    // (Bland: the smallest variable index among the violated).
+    std::size_t leave_row = m_;
+    double worst = kPrimalTol;
+    bool below = false;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const std::size_t j = static_cast<std::size_t>(basic_[r]);
+      double viol = 0.0;
+      bool this_below = false;
+      if (xb_[r] < lo_[j] - kPrimalTol) {
+        viol = lo_[j] - xb_[r];
+        this_below = true;
+      } else if (xb_[r] > up_[j] + kPrimalTol) {
+        viol = xb_[r] - up_[j];
+      } else {
+        continue;
+      }
+      const bool take = use_bland
+                            ? (leave_row == m_ ||
+                               basic_[r] < basic_[leave_row])
+                            : viol > worst;
+      if (take) {
+        worst = use_bland ? worst : viol;
+        leave_row = r;
+        below = this_below;
+      }
+    }
+    if (leave_row == m_) {
+      solution.status = SolveStatus::kOptimal;
+      solution.iterations = iterations;
+      return;
+    }
+
+    // Duals y = c_B^T B^{-1}; skipped entirely for pure feasibility
+    // problems (every reduced cost is zero — the verifier's common case).
+    if (!all_costs_zero_) {
+      std::fill(duals.begin(), duals.end(), 0.0);
+      for (std::size_t k = 0; k < m_; ++k) {
+        const double cb = cost_[basic_[k]];
+        if (cb == 0.0) continue;
+        const double* row = &binv_[k * m_];
+        for (std::size_t c = 0; c < m_; ++c) duals[c] += cb * row[c];
+      }
+    }
+
+    const double* rho = &binv_[leave_row * m_];
+    const double dir = below ? 1.0 : -1.0;  // wanted sign of d(xB_r)
+
+    // Dual ratio test over eligible nonbasic columns. alpha~ = dir*alpha;
+    // eligible: at-lower needs alpha~ < 0, at-upper needs alpha~ > 0.
+    // Among columns attaining the minimal ratio |d_j|/|alpha_j| we keep
+    // the largest |alpha| (stability); Bland keeps the smallest index.
+    std::size_t entering = total_;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    double best_alpha = 0.0;
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == kBasic) continue;
+      if (up_[j] - lo_[j] < kZeroTol) continue;  // fixed: can never move
+      const double alpha = row_dot_column(rho, j);
+      const double signed_alpha = dir * alpha;
+      if (status_[j] == kAtLower ? signed_alpha >= -kPivotTol
+                                 : signed_alpha <= kPivotTol)
+        continue;
+      double d = 0.0;
+      if (!all_costs_zero_) {
+        d = cost_[j] - (j >= n_ ? -duals[j - n_] : [&] {
+          double sum = 0.0;
+          for (const auto& [row, coeff] : cols_[j]) sum += duals[row] * coeff;
+          return sum;
+        }());
+      }
+      const double ratio = std::max(std::abs(d), 0.0) / std::abs(alpha);
+      const bool take =
+          use_bland
+              ? (ratio < best_ratio - kZeroTol ||
+                 (ratio < best_ratio + kZeroTol &&
+                  (entering == total_ || j < entering)))
+              : (ratio < best_ratio - kZeroTol ||
+                 (ratio < best_ratio + kZeroTol && std::abs(alpha) > std::abs(best_alpha)));
+      if (take) {
+        if (ratio < best_ratio) best_ratio = ratio;
+        best_alpha = alpha;
+        entering = j;
+      }
+    }
+    if (entering == total_) {
+      // The violated row cannot be repaired by any movable column: the
+      // primal is infeasible (a Farkas certificate in basis terms).
+      solution.status = SolveStatus::kInfeasible;
+      solution.iterations = iterations;
+      return;
+    }
+
+    // Pivot column w = B^{-1} A_q.
+    const std::size_t q = entering;
+    if (q >= n_) {
+      for (std::size_t r = 0; r < m_; ++r) w[r] = -binv_[r * m_ + (q - n_)];
+    } else {
+      std::fill(w.begin(), w.end(), 0.0);
+      for (const auto& [row, coeff] : cols_[q])
+        for (std::size_t r = 0; r < m_; ++r) w[r] += binv_[r * m_ + row] * coeff;
+    }
+    if (std::abs(w[leave_row]) < kPivotTol) {
+      // Too small a pivot to trust: refactorize and retry the iteration
+      // with clean data.
+      if (!refactorize()) {
+        solution.status = SolveStatus::kIterationLimit;
+        solution.iterations = iterations;
+        return;
+      }
+      recompute_basic_values();
+      ++iterations;
+      continue;
+    }
+
+    // Step: the leaving variable exits exactly at its violated bound.
+    const std::size_t leave_var = static_cast<std::size_t>(basic_[leave_row]);
+    const double target = below ? lo_[leave_var] : up_[leave_var];
+    const double t = (xb_[leave_row] - target) / w[leave_row];
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == leave_row) continue;
+      xb_[r] -= t * w[r];
+    }
+    xb_[leave_row] = nonbasic_value(q) + t;
+    status_[leave_var] = below ? kAtLower : kAtUpper;
+    status_[q] = kBasic;
+    basic_[leave_row] = static_cast<std::int32_t>(q);
+
+    // Update B^{-1}: eliminate column w against the pivot row.
+    const double inv = 1.0 / w[leave_row];
+    double* prow = &binv_[leave_row * m_];
+    for (std::size_t c = 0; c < m_; ++c) prow[c] *= inv;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == leave_row) continue;
+      const double factor = w[r];
+      if (factor == 0.0) continue;
+      double* row = &binv_[r * m_];
+      for (std::size_t c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+    }
+
+    ++iterations;
+    if (++pivots_since_refactor_ >= kRefactorInterval) {
+      if (!refactorize()) {
+        solution.status = SolveStatus::kIterationLimit;
+        solution.iterations = iterations;
+        return;
+      }
+      recompute_basic_values();
+    }
+  }
+}
+
+void RevisedSimplex::extract(LpSolution& solution) const {
+  solution.values.assign(n_, 0.0);
+  for (std::size_t j = 0; j < n_; ++j)
+    if (status_[j] != kBasic) solution.values[j] = nonbasic_value(j);
+  for (std::size_t r = 0; r < m_; ++r) {
+    const std::size_t j = static_cast<std::size_t>(basic_[r]);
+    if (j < n_) {
+      // Clamp basic values into the box: dual termination guarantees
+      // feasibility only up to kPrimalTol.
+      solution.values[j] = std::clamp(xb_[r], lo_[j], up_[j]);
+    }
+  }
+  double raw = 0.0;
+  for (std::size_t j = 0; j < n_; ++j) raw += cost_[j] * solution.values[j];
+  solution.objective = objective_sign_ * raw;
+}
+
+LpSolution RevisedSimplex::solve() {
+  internal_check(loaded() || (n_ == 0 && m_ == 0),
+                 "RevisedSimplex::solve before load");
+  LpSolution solution;
+  // Infeasible boxes are caught before any pivoting.
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (lo_[j] <= up_[j] + kPrimalTol) continue;
+    solution.status = SolveStatus::kInfeasible;
+    return solution;
+  }
+  reset_to_logical_basis();
+  run_dual(solution);
+  if (solution.status == SolveStatus::kOptimal) extract(solution);
+  return solution;
+}
+
+LpSolution RevisedSimplex::resolve(const SimplexBasis& basis) {
+  LpSolution solution;
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (lo_[j] <= up_[j] + kPrimalTol) continue;
+    solution.status = SolveStatus::kInfeasible;
+    last_resolve_was_warm_ = false;
+    return solution;
+  }
+  last_resolve_was_warm_ = !basis.empty() && install_basis(basis);
+  if (!last_resolve_was_warm_) return solve();
+  run_dual(solution);
+  if (solution.status == SolveStatus::kOptimal) extract(solution);
+  if (solution.status == SolveStatus::kIterationLimit) {
+    // A warm basis that leads nowhere numerically: one cold retry.
+    last_resolve_was_warm_ = false;
+    const std::size_t warm_iterations = solution.iterations;
+    solution = solve();
+    solution.iterations += warm_iterations;
+  }
+  return solution;
+}
+
+}  // namespace dpv::lp

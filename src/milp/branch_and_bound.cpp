@@ -1,7 +1,14 @@
 #include "milp/branch_and_bound.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <exception>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -23,106 +30,229 @@ const char* milp_status_name(MilpStatus status) {
 
 namespace {
 
-/// Bound overrides along one branch of the search tree.
+/// Bound overrides along one branch of the search tree, plus the optimal
+/// basis of the parent relaxation (shared between sibling nodes) for
+/// warm-started re-solves.
 struct Node {
   std::vector<std::pair<std::size_t, double>> fixings;  // (binary var, 0 or 1)
+  std::shared_ptr<const solver::WarmBasis> parent_basis;
+};
+
+/// Search state shared by the worker pool. All fields are guarded by
+/// `mutex`; `cv` wakes idle workers on pushes, incumbent updates and
+/// termination.
+struct SharedSearch {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Node> stack;
+  std::size_t active_workers = 0;
+  std::size_t nodes_explored = 0;
+
+  bool have_incumbent = false;
+  double incumbent_objective = 0.0;
+  std::vector<double> incumbent_values;
+  bool found_first_feasible = false;
+
+  bool stop = false;  ///< early cancel: budget, first-feasible, or error
+  bool node_budget_exhausted = false;
+  bool lp_iteration_limit_hit = false;
+  std::exception_ptr error;
+};
+
+class Worker {
+ public:
+  Worker(const MilpProblem& problem, const BranchAndBoundOptions& options,
+         SharedSearch& shared)
+      : problem_(problem), options_(options), shared_(shared),
+        backend_(solver::make_lp_backend(options.backend, options.lp_options)) {
+    backend_->load(problem.relaxation());
+  }
+
+  void run() {
+    try {
+      loop();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(shared_.mutex);
+      if (!shared_.error) shared_.error = std::current_exception();
+      shared_.stop = true;
+      shared_.cv.notify_all();
+    }
+  }
+
+  const solver::SolverStats& stats() const { return backend_->stats(); }
+
+ private:
+  void loop() {
+    const bool minimize =
+        problem_.relaxation().objective_direction() == lp::Objective::kMinimize;
+    const auto better = [minimize](double a, double b) {
+      return minimize ? a < b : a > b;
+    };
+
+    std::unique_lock<std::mutex> lock(shared_.mutex);
+    while (true) {
+      shared_.cv.wait(lock, [&] {
+        return shared_.stop || !shared_.stack.empty() || shared_.active_workers == 0;
+      });
+      if (shared_.stop) return;
+      if (shared_.stack.empty()) return;  // active_workers == 0: tree exhausted
+      if (shared_.nodes_explored >= options_.max_nodes) {
+        shared_.node_budget_exhausted = true;
+        shared_.stop = true;
+        shared_.cv.notify_all();
+        return;
+      }
+      Node node = std::move(shared_.stack.back());
+      shared_.stack.pop_back();
+      ++shared_.nodes_explored;
+      ++shared_.active_workers;
+      lock.unlock();
+
+      // ---- LP solve outside the lock -------------------------------
+      apply_fixings(node);
+      const lp::LpSolution lp = node.parent_basis
+                                    ? backend_->resolve(*node.parent_basis)
+                                    : backend_->solve();
+
+      // Most-fractional binary (independent of the incumbent).
+      std::size_t branch_var = problem_.variable_count();
+      if (lp.status == lp::SolveStatus::kOptimal) {
+        double worst_frac_distance = options_.integrality_tolerance;
+        for (const std::size_t b : problem_.binary_variables()) {
+          const double v = lp.values[b];
+          const double dist = std::abs(v - std::round(v));
+          if (dist > worst_frac_distance) {
+            worst_frac_distance = dist;
+            branch_var = b;
+          }
+        }
+      }
+      std::shared_ptr<const solver::WarmBasis> basis;
+      if (lp.status == lp::SolveStatus::kOptimal &&
+          branch_var != problem_.variable_count() && backend_->supports_warm_start())
+        basis = std::make_shared<const solver::WarmBasis>(backend_->capture_basis());
+
+      // ---- Publish the outcome -------------------------------------
+      lock.lock();
+      --shared_.active_workers;
+      if (lp.status == lp::SolveStatus::kOptimal &&
+          branch_var == problem_.variable_count()) {
+        // Integral: new incumbent. Published even when a concurrent
+        // stop was set — a feasible integral point is sound evidence
+        // regardless of why the search is ending (a counterexample in
+        // hand beats "node budget exhausted").
+        if (!shared_.have_incumbent || better(lp.objective, shared_.incumbent_objective)) {
+          shared_.have_incumbent = true;
+          shared_.incumbent_objective = lp.objective;
+          shared_.incumbent_values = lp.values;
+        }
+        if (options_.stop_at_first_feasible) {
+          shared_.found_first_feasible = true;
+          shared_.stop = true;
+        }
+        shared_.cv.notify_all();
+        if (shared_.stop) return;
+        continue;
+      }
+      if (shared_.stop) {
+        shared_.cv.notify_all();
+        return;
+      }
+      if (lp.status == lp::SolveStatus::kInfeasible) {
+        shared_.cv.notify_all();
+        continue;  // pruned
+      }
+      if (lp.status != lp::SolveStatus::kOptimal) {
+        // A node whose relaxation could not be solved (iteration limit /
+        // numerical trouble) cannot be pruned soundly; the search result
+        // is inconclusive. Report resource exhaustion rather than guess.
+        shared_.lp_iteration_limit_hit = true;
+        shared_.node_budget_exhausted = true;
+        shared_.stop = true;
+        shared_.cv.notify_all();
+        return;
+      }
+      // Bound pruning against the incumbent.
+      if (shared_.have_incumbent && !better(lp.objective, shared_.incumbent_objective)) {
+        shared_.cv.notify_all();
+        continue;
+      }
+
+      // Children: push the rounded-toward branch last so it pops first
+      // (dive toward integrality).
+      Node zero{node.fixings, basis};
+      zero.fixings.emplace_back(branch_var, 0.0);
+      Node one{std::move(node.fixings), std::move(basis)};
+      one.fixings.emplace_back(branch_var, 1.0);
+      if (lp.values[branch_var] >= 0.5) {
+        shared_.stack.push_back(std::move(zero));
+        shared_.stack.push_back(std::move(one));
+      } else {
+        shared_.stack.push_back(std::move(one));
+        shared_.stack.push_back(std::move(zero));
+      }
+      shared_.cv.notify_all();
+    }
+  }
+
+  /// Resets the previous node's overrides, then applies this node's.
+  void apply_fixings(const Node& node) {
+    const lp::LpProblem& base = problem_.relaxation();
+    for (const std::size_t var : overridden_)
+      backend_->set_bounds(var, base.lower_bound(var), base.upper_bound(var));
+    overridden_.clear();
+    for (const auto& [var, value] : node.fixings) {
+      backend_->set_bounds(var, value, value);
+      overridden_.push_back(var);
+    }
+  }
+
+  const MilpProblem& problem_;
+  const BranchAndBoundOptions& options_;
+  SharedSearch& shared_;
+  std::unique_ptr<solver::LpBackend> backend_;
+  std::vector<std::size_t> overridden_;
 };
 
 }  // namespace
 
 MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
+  SharedSearch shared;
+  shared.stack.push_back(Node{});
+
+  const std::size_t thread_count = std::max<std::size_t>(options_.threads, 1);
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(thread_count);
+  for (std::size_t t = 0; t < thread_count; ++t)
+    workers.push_back(std::make_unique<Worker>(problem, options_, shared));
+
+  if (thread_count == 1) {
+    workers[0]->run();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (auto& worker : workers)
+      pool.emplace_back([&worker] { worker->run(); });
+    for (std::thread& t : pool) t.join();
+  }
+  if (shared.error) std::rethrow_exception(shared.error);
+
   MilpResult result;
-  const lp::SimplexSolver lp_solver(options_.lp_options);
-  const bool minimize =
-      problem.relaxation().objective_direction() == lp::Objective::kMinimize;
-
-  // Signed comparison helper: value `a` is better than `b`.
-  const auto better = [minimize](double a, double b) { return minimize ? a < b : a > b; };
-
-  double incumbent_objective =
-      minimize ? std::numeric_limits<double>::infinity()
-               : -std::numeric_limits<double>::infinity();
-  bool have_incumbent = false;
-  bool node_budget_exhausted = false;
-
-  std::vector<Node> stack;
-  stack.push_back(Node{});
-
-  // The relaxation is copied once per node to apply branch fixings.
-  while (!stack.empty()) {
-    if (result.nodes_explored >= options_.max_nodes) {
-      node_budget_exhausted = true;
-      break;
-    }
-    const Node node = std::move(stack.back());
-    stack.pop_back();
-    ++result.nodes_explored;
-
-    lp::LpProblem relaxed = problem.relaxation();
-    for (const auto& [var, value] : node.fixings) relaxed.set_bounds(var, value, value);
-
-    const lp::LpSolution lp = lp_solver.solve(relaxed);
-    result.lp_iterations += lp.iterations;
-    if (lp.status == lp::SolveStatus::kInfeasible) continue;
-    if (lp.status != lp::SolveStatus::kOptimal) {
-      // A node whose relaxation could not be solved (iteration limit /
-      // numerical trouble) cannot be pruned soundly; the search result is
-      // inconclusive. Report resource exhaustion rather than guessing.
-      node_budget_exhausted = true;
-      break;
-    }
-
-    // Bound pruning against the incumbent.
-    if (have_incumbent && !better(lp.objective, incumbent_objective)) continue;
-
-    // Most-fractional binary.
-    std::size_t branch_var = problem.variable_count();
-    double worst_frac_distance = options_.integrality_tolerance;
-    for (std::size_t b : problem.binary_variables()) {
-      const double v = lp.values[b];
-      const double dist = std::abs(v - std::round(v));
-      if (dist > worst_frac_distance) {
-        worst_frac_distance = dist;
-        branch_var = b;
-      }
-    }
-
-    if (branch_var == problem.variable_count()) {
-      // Integral: new incumbent.
-      if (!have_incumbent || better(lp.objective, incumbent_objective)) {
-        have_incumbent = true;
-        incumbent_objective = lp.objective;
-        result.values = lp.values;
-        result.objective = lp.objective;
-      }
-      if (options_.stop_at_first_feasible) {
-        result.status = MilpStatus::kFeasible;
-        return result;
-      }
-      continue;
-    }
-
-    // Children: explore the rounded-toward branch last so DFS pops it
-    // first (dive toward integrality).
-    const double frac = lp.values[branch_var];
-    Node zero = node;
-    zero.fixings.emplace_back(branch_var, 0.0);
-    Node one = node;
-    one.fixings.emplace_back(branch_var, 1.0);
-    if (frac >= 0.5) {
-      stack.push_back(std::move(zero));
-      stack.push_back(std::move(one));
-    } else {
-      stack.push_back(std::move(one));
-      stack.push_back(std::move(zero));
-    }
+  result.nodes_explored = shared.nodes_explored;
+  for (const auto& worker : workers) result.solver_stats.merge(worker->stats());
+  result.lp_iterations = result.solver_stats.lp_iterations;
+  result.lp_iteration_limit_hit = shared.lp_iteration_limit_hit;
+  if (shared.have_incumbent) {
+    result.objective = shared.incumbent_objective;
+    result.values = std::move(shared.incumbent_values);
   }
-
-  if (node_budget_exhausted) {
-    result.status = have_incumbent ? MilpStatus::kFeasible : MilpStatus::kNodeLimit;
-    return result;
+  if (shared.found_first_feasible) {
+    result.status = MilpStatus::kFeasible;
+  } else if (shared.node_budget_exhausted) {
+    result.status = shared.have_incumbent ? MilpStatus::kFeasible : MilpStatus::kNodeLimit;
+  } else {
+    result.status = shared.have_incumbent ? MilpStatus::kOptimal : MilpStatus::kInfeasible;
   }
-  result.status = have_incumbent ? MilpStatus::kOptimal : MilpStatus::kInfeasible;
   return result;
 }
 

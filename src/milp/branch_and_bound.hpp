@@ -6,6 +6,16 @@
 // returns as soon as any integral point is found — the common mode for
 // safety verification, where any feasible point is a counterexample and
 // exhaustive infeasibility is the proof.
+//
+// Node relaxations are solved through the pluggable solver backend layer
+// (src/solver/): each node carries its parent's optimal basis, and since
+// branching only tightens a single variable's box, a warm-startable
+// backend re-solves with a handful of dual-simplex pivots instead of a
+// full cold solve. With `threads > 1` the tree is explored by a worker
+// pool sharing one work stack, an incumbent, and the node budget; each
+// worker owns a private backend instance. Verdicts (and optimal
+// objective values) are thread-count-invariant; the specific incumbent
+// point and node counts may differ between runs.
 #pragma once
 
 #include <cstddef>
@@ -13,6 +23,7 @@
 
 #include "lp/simplex.hpp"
 #include "milp/milp_problem.hpp"
+#include "solver/lp_backend.hpp"
 
 namespace dpv::milp {
 
@@ -32,6 +43,12 @@ struct MilpResult {
   std::vector<double> values;  ///< incumbent (valid for kOptimal/kFeasible)
   std::size_t nodes_explored = 0;
   std::size_t lp_iterations = 0;
+  /// True when some node relaxation hit the LP iteration limit — the
+  /// search is then inconclusive for a resource reason distinct from the
+  /// node budget (surfaced by the verifier as an explained UNKNOWN).
+  bool lp_iteration_limit_hit = false;
+  /// Warm-start and iteration accounting, merged across workers.
+  solver::SolverStats solver_stats;
 };
 
 struct BranchAndBoundOptions {
@@ -40,6 +57,10 @@ struct BranchAndBoundOptions {
   /// Return at the first integral solution (feasibility mode).
   bool stop_at_first_feasible = false;
   lp::SimplexOptions lp_options = {};
+  /// Which LP backend solves the node relaxations.
+  solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
+  /// Worker threads for parallel node exploration (<= 1: serial).
+  std::size_t threads = 1;
 };
 
 class BranchAndBoundSolver {

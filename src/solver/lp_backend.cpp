@@ -1,0 +1,127 @@
+#include "solver/lp_backend.hpp"
+
+#include "common/check.hpp"
+
+namespace dpv::solver {
+
+const char* lp_backend_kind_name(LpBackendKind kind) {
+  switch (kind) {
+    case LpBackendKind::kDenseTableau:
+      return "dense-tableau";
+    case LpBackendKind::kRevisedBounded:
+      return "revised-bounded";
+  }
+  return "unknown";
+}
+
+void SolverStats::merge(const SolverStats& other) {
+  lp_solves += other.lp_solves;
+  warm_attempts += other.warm_attempts;
+  warm_hits += other.warm_hits;
+  lp_iterations += other.lp_iterations;
+  warm_iterations += other.warm_iterations;
+}
+
+double SolverStats::warm_hit_rate() const {
+  return warm_attempts == 0 ? 0.0
+                            : static_cast<double>(warm_hits) /
+                                  static_cast<double>(warm_attempts);
+}
+
+namespace {
+
+/// Reference backend: the stateless dense-tableau solver. Bounds edits
+/// land on a private problem copy; every resolve is a cold solve.
+class DenseTableauBackend final : public LpBackend {
+ public:
+  explicit DenseTableauBackend(const lp::SimplexOptions& options) : solver_(options) {}
+
+  LpBackendKind kind() const override { return LpBackendKind::kDenseTableau; }
+  bool supports_warm_start() const override { return false; }
+
+  void load(const lp::LpProblem& problem) override {
+    problem_ = problem;
+    loaded_ = true;
+  }
+
+  void set_bounds(std::size_t var, double lo, double up) override {
+    check(loaded_, "DenseTableauBackend::set_bounds before load");
+    problem_.set_bounds(var, lo, up);
+  }
+
+  lp::LpSolution solve() override {
+    check(loaded_, "DenseTableauBackend::solve before load");
+    const lp::LpSolution solution = solver_.solve(problem_);
+    ++stats_.lp_solves;
+    stats_.lp_iterations += solution.iterations;
+    return solution;
+  }
+
+  lp::LpSolution resolve(const WarmBasis& basis) override {
+    if (!basis.empty()) ++stats_.warm_attempts;  // attempted, never hits
+    return solve();
+  }
+
+  WarmBasis capture_basis() const override { return {}; }
+
+ private:
+  lp::SimplexSolver solver_;
+  lp::LpProblem problem_;
+  bool loaded_ = false;
+};
+
+/// Warm-startable backend over the bounded-variable revised simplex.
+class RevisedBoundedBackend final : public LpBackend {
+ public:
+  explicit RevisedBoundedBackend(const lp::SimplexOptions& options) : simplex_(options) {}
+
+  LpBackendKind kind() const override { return LpBackendKind::kRevisedBounded; }
+  bool supports_warm_start() const override { return true; }
+
+  void load(const lp::LpProblem& problem) override { simplex_.load(problem); }
+
+  void set_bounds(std::size_t var, double lo, double up) override {
+    simplex_.set_bounds(var, lo, up);
+  }
+
+  lp::LpSolution solve() override {
+    const lp::LpSolution solution = simplex_.solve();
+    ++stats_.lp_solves;
+    stats_.lp_iterations += solution.iterations;
+    return solution;
+  }
+
+  lp::LpSolution resolve(const WarmBasis& basis) override {
+    if (basis.empty()) return solve();
+    const lp::LpSolution solution = simplex_.resolve(basis);
+    ++stats_.lp_solves;
+    ++stats_.warm_attempts;
+    stats_.lp_iterations += solution.iterations;
+    if (simplex_.last_resolve_was_warm()) {
+      ++stats_.warm_hits;
+      stats_.warm_iterations += solution.iterations;
+    }
+    return solution;
+  }
+
+  WarmBasis capture_basis() const override { return simplex_.capture_basis(); }
+
+ private:
+  lp::RevisedSimplex simplex_;
+};
+
+}  // namespace
+
+std::unique_ptr<LpBackend> make_lp_backend(LpBackendKind kind,
+                                           const lp::SimplexOptions& options) {
+  switch (kind) {
+    case LpBackendKind::kDenseTableau:
+      return std::make_unique<DenseTableauBackend>(options);
+    case LpBackendKind::kRevisedBounded:
+      return std::make_unique<RevisedBoundedBackend>(options);
+  }
+  internal_check(false, "make_lp_backend: unknown backend kind");
+  return nullptr;
+}
+
+}  // namespace dpv::solver

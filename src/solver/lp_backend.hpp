@@ -1,0 +1,86 @@
+// Pluggable LP backend layer.
+//
+// Everything above the raw simplex codes (branch & bound, the verifier,
+// benchmarks) talks to this interface instead of a concrete solver, so
+// backends can be swapped per query and compared head-to-head:
+//   * kDenseTableau   — the original stateless two-phase dense-tableau
+//                       SimplexSolver; every resolve is a cold solve.
+//                       Kept as the reference implementation for parity.
+//   * kRevisedBounded — bounded-variable revised simplex; variables keep
+//                       their boxes natively and a resolve warm-starts
+//                       from a caller-supplied basis via the dual simplex
+//                       (the ideal case after a single bound tightening,
+//                       which is exactly what branch & bound does).
+//
+// See src/solver/README.md for the warm-start contract.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "lp/lp_problem.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+
+namespace dpv::solver {
+
+enum class LpBackendKind { kDenseTableau, kRevisedBounded };
+
+const char* lp_backend_kind_name(LpBackendKind kind);
+
+/// Opaque restart token passed between solves; produced by
+/// LpBackend::capture_basis and consumed by LpBackend::resolve.
+using WarmBasis = lp::SimplexBasis;
+
+/// Counters aggregated across the solves issued through one backend (or
+/// merged across backends by the MILP layer).
+struct SolverStats {
+  std::size_t lp_solves = 0;       ///< total solve/resolve calls
+  std::size_t warm_attempts = 0;   ///< resolves offered a non-empty basis
+  std::size_t warm_hits = 0;       ///< resolves that actually ran warm
+  std::size_t lp_iterations = 0;   ///< simplex iterations, all solves
+  std::size_t warm_iterations = 0; ///< iterations spent inside warm runs
+
+  void merge(const SolverStats& other);
+  /// Fraction of warm attempts that did not fall back to a cold solve.
+  double warm_hit_rate() const;
+};
+
+/// One loaded LP instance with mutable variable boxes. Not thread-safe;
+/// parallel searches give each worker its own backend.
+class LpBackend {
+ public:
+  virtual ~LpBackend() = default;
+
+  virtual LpBackendKind kind() const = 0;
+  virtual bool supports_warm_start() const = 0;
+
+  /// Copies `problem` into the backend. Must precede any solve.
+  virtual void load(const lp::LpProblem& problem) = 0;
+
+  /// Overrides the box of `var` on the loaded copy (lo <= up).
+  virtual void set_bounds(std::size_t var, double lo, double up) = 0;
+
+  /// Solves with the current boxes from scratch.
+  virtual lp::LpSolution solve() = 0;
+
+  /// Solves with the current boxes, warm-starting from `basis` when
+  /// supported and the basis fits; otherwise a cold solve. Backends
+  /// record hit/miss in stats().
+  virtual lp::LpSolution resolve(const WarmBasis& basis) = 0;
+
+  /// Basis snapshot after a successful solve; empty when unsupported.
+  virtual WarmBasis capture_basis() const = 0;
+
+  const SolverStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ protected:
+  SolverStats stats_;
+};
+
+/// Factory for the kind; `options` bounds the per-solve iteration budget.
+std::unique_ptr<LpBackend> make_lp_backend(LpBackendKind kind,
+                                           const lp::SimplexOptions& options = {});
+
+}  // namespace dpv::solver

@@ -23,8 +23,12 @@ std::string VerificationResult::summary() const {
   std::ostringstream out;
   out << verdict_name(verdict) << " (relu=" << encoding.relu_neurons
       << ", stable=" << encoding.stable_relus << ", binaries=" << encoding.binaries
-      << ", nodes=" << milp_nodes << ", lp-iters=" << lp_iterations << ", "
-      << solve_seconds << "s)";
+      << ", nodes=" << milp_nodes << ", lp-iters=" << lp_iterations << ", backend="
+      << solver::lp_backend_kind_name(backend);
+  if (solver_stats.warm_attempts > 0)
+    out << ", warm-hit=" << solver_stats.warm_hit_rate();
+  out << ", " << solve_seconds << "s)";
+  if (!note.empty()) out << " [" << note << "]";
   return out.str();
 }
 
@@ -44,6 +48,8 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   const milp::MilpResult milp_result = solver.solve(encoding.problem);
   result.milp_nodes = milp_result.nodes_explored;
   result.lp_iterations = milp_result.lp_iterations;
+  result.backend = options_.milp.backend;
+  result.solver_stats = milp_result.solver_stats;
 
   switch (milp_result.status) {
     case milp::MilpStatus::kInfeasible:
@@ -73,6 +79,13 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
     }
     case milp::MilpStatus::kNodeLimit:
       result.verdict = Verdict::kUnknown;
+      // Distinguish "some node relaxation hit the LP iteration limit"
+      // from an exhausted node budget: the former is a per-LP resource
+      // failure the caller may fix by raising lp_options.max_iterations.
+      result.note = milp_result.lp_iteration_limit_hit
+                        ? "LP iteration limit hit before a proof; raise "
+                          "lp_options.max_iterations or simplify the query"
+                        : "node budget exhausted before a proof";
       break;
   }
 

@@ -39,12 +39,21 @@ struct VerificationResult {
   std::size_t milp_nodes = 0;
   std::size_t lp_iterations = 0;
   double solve_seconds = 0.0;
+  /// Which LP backend solved the node relaxations.
+  solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
+  /// Warm-start hit rate and iteration accounting from the MILP search.
+  solver::SolverStats solver_stats;
+  /// Set when the verdict is kUnknown for a reason worth surfacing (e.g.
+  /// an LP iteration limit rather than the node budget).
+  std::string note;
 
   std::string summary() const;
 };
 
 struct TailVerifierOptions {
   EncodeOptions encode = {};
+  /// MILP search options; `milp.backend` selects the LP backend and
+  /// `milp.threads` enables parallel node exploration.
   milp::BranchAndBoundOptions milp = {};
   /// Tolerance for re-validating counterexamples on the concrete tail.
   double validation_tolerance = 1e-6;

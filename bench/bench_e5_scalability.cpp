@@ -14,7 +14,10 @@
 // exhaust the branch & bound tree — the worst case for verification.
 //
 // Machine-readable results land in BENCH_e5.json (cwd) so the perf
-// trajectory is tracked across PRs.
+// trajectory is tracked across PRs; the bounds-method x encoding-cache
+// battery additionally writes BENCH_encoding.json (binaries, stable
+// ReLUs and encode time per bound method, plus the cached stamp-out
+// speedup after the first entry).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -29,6 +32,7 @@
 #include "nn/activations.hpp"
 #include "nn/dense.hpp"
 #include "solver/lp_backend.hpp"
+#include "verify/encoding_cache.hpp"
 #include "verify/verifier.hpp"
 
 namespace {
@@ -176,6 +180,178 @@ double run_battery_pooled(const std::vector<Query>& queries, std::size_t pool) {
   return std::chrono::duration<double>(end - start).count();
 }
 
+// --------------------------------------------------------------------
+// Bounds-method x encoding-cache battery: one fixed tail, many (risk)
+// entries — the campaign shape where only the risk rows differ. Fresh
+// encoding rebuilds the tail per entry; the cache freezes it once and
+// stamps the rest.
+
+struct EncodingSweep {
+  std::string bounds;
+  std::size_t relu_neurons = 0;
+  std::size_t stable_relus = 0;
+  std::size_t binaries = 0;
+  double fresh_encode_per_entry = 0.0;   ///< mean encode s/entry, no cache
+  double cached_first_encode = 0.0;      ///< entry 1 with cache (base freeze)
+  double cached_rest_per_entry = 0.0;    ///< mean encode s/entry after the first
+  double encode_speedup_after_first = 0.0;
+  double fresh_wall_seconds = 0.0;       ///< end-to-end battery, cache off
+  double cached_wall_seconds = 0.0;      ///< end-to-end battery, cache on
+  bool verdict_parity = true;
+};
+
+/// Tight layer-l hull of the kind a runtime monitor records from
+/// training data (the paper's S̃): narrow, skewed positive. Here
+/// interval propagation loses the inter-neuron correlations layer over
+/// layer, so the tighter zonotope/symbolic tiers prove substantially
+/// more ReLUs stable and drop their binaries.
+absint::Box battery_box(std::size_t width) { return absint::uniform_box(width, 0.35, 0.45); }
+
+std::vector<double> battery_thresholds(const nn::Network& net, std::size_t width, Rng& rng) {
+  // Half the entries unreachable (fast SAFE via an infeasible root),
+  // half easily reachable (fast UNSAFE at the first feasible point):
+  // real verdict mix at minimal solve cost, so encode time dominates.
+  const absint::Box box = battery_box(width);
+  std::vector<double> thresholds;
+  double sampled_max = -1e100;
+  for (int i = 0; i < 200; ++i) {
+    Tensor x(Shape{width});
+    for (std::size_t j = 0; j < width; ++j) x[j] = rng.uniform(box[j].lo, box[j].hi);
+    sampled_max = std::max(sampled_max, net.forward(x)[0]);
+  }
+  for (int i = 0; i < 8; ++i) {
+    thresholds.push_back(sampled_max + 1e4 + i);  // unreachable
+    thresholds.push_back(sampled_max - 5.0 - i);  // comfortably reachable
+  }
+  return thresholds;
+}
+
+EncodingSweep run_encoding_battery(const nn::Network& net, std::size_t width,
+                                   const std::vector<double>& thresholds,
+                                   verify::BoundMethod bounds) {
+  EncodingSweep sweep;
+  sweep.bounds = verify::bound_method_name(bounds);
+
+  verify::TailVerifierOptions fresh_options;
+  fresh_options.encode.bounds = bounds;
+  fresh_options.milp.max_nodes = 2000;
+  verify::TailVerifierOptions cached_options = fresh_options;
+  cached_options.encoding_cache = std::make_shared<verify::EncodingCache>();
+
+  const auto make_entry_query = [&](double threshold) {
+    verify::VerificationQuery q;
+    q.network = &net;
+    q.attach_layer = 0;
+    q.input_box = battery_box(width);
+    q.risk.output_at_least(0, 2, threshold);
+    return q;
+  };
+
+  std::vector<verify::Verdict> fresh_verdicts, cached_verdicts;
+  const auto fresh_start = std::chrono::steady_clock::now();
+  double fresh_encode_total = 0.0;
+  for (const double threshold : thresholds) {
+    const verify::VerificationResult r =
+        verify::TailVerifier(fresh_options).verify(make_entry_query(threshold));
+    fresh_encode_total += r.encode_seconds;
+    fresh_verdicts.push_back(r.verdict);
+    sweep.relu_neurons = r.encoding.relu_neurons;
+    sweep.stable_relus = r.encoding.stable_relus;
+    sweep.binaries = r.encoding.binaries;
+  }
+  sweep.fresh_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - fresh_start).count();
+
+  const auto cached_start = std::chrono::steady_clock::now();
+  double cached_rest_total = 0.0;
+  for (std::size_t i = 0; i < thresholds.size(); ++i) {
+    const verify::VerificationResult r =
+        verify::TailVerifier(cached_options).verify(make_entry_query(thresholds[i]));
+    if (i == 0)
+      sweep.cached_first_encode = r.encode_seconds;
+    else
+      cached_rest_total += r.encode_seconds;
+    cached_verdicts.push_back(r.verdict);
+  }
+  sweep.cached_wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - cached_start).count();
+
+  sweep.fresh_encode_per_entry = fresh_encode_total / thresholds.size();
+  sweep.cached_rest_per_entry =
+      thresholds.size() > 1 ? cached_rest_total / (thresholds.size() - 1) : 0.0;
+  sweep.encode_speedup_after_first =
+      sweep.cached_rest_per_entry > 0.0
+          ? sweep.fresh_encode_per_entry / sweep.cached_rest_per_entry
+          : 0.0;
+  sweep.verdict_parity = fresh_verdicts == cached_verdicts;
+  return sweep;
+}
+
+void emit_encoding_json(const std::vector<EncodingSweep>& sweeps, std::size_t entries,
+                        bool zonotope_leq_interval) {
+  std::FILE* f = std::fopen("BENCH_encoding.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_encoding.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e5_encoding_cache\",\n  \"battery_entries\": %zu,\n",
+               entries);
+  std::fprintf(f, "  \"methods\": [\n");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const EncodingSweep& s = sweeps[i];
+    std::fprintf(
+        f,
+        "    {\"bounds\": \"%s\", \"relu_neurons\": %zu, \"stable_relus\": %zu, "
+        "\"binaries\": %zu, \"fresh_encode_seconds_per_entry\": %.9f, "
+        "\"cached_first_encode_seconds\": %.9f, "
+        "\"cached_rest_encode_seconds_per_entry\": %.9f, "
+        "\"encode_speedup_after_first\": %.2f, \"fresh_wall_seconds\": %.6f, "
+        "\"cached_wall_seconds\": %.6f, \"verdict_parity\": %s}%s\n",
+        s.bounds.c_str(), s.relu_neurons, s.stable_relus, s.binaries,
+        s.fresh_encode_per_entry, s.cached_first_encode, s.cached_rest_per_entry,
+        s.encode_speedup_after_first, s.fresh_wall_seconds, s.cached_wall_seconds,
+        s.verdict_parity ? "true" : "false", i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"zonotope_binaries_leq_interval\": %s\n}\n",
+               zonotope_leq_interval ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_encoding.json\n");
+}
+
+void print_encoding_report() {
+  Rng rng(4242);
+  const std::size_t width = 24;
+  const nn::Network net = make_tail(width, 2, rng);
+  const std::vector<double> thresholds = battery_thresholds(net, width, rng);
+  std::printf("\n=== E5: bound method x encoding cache (one tail, %zu risk entries) ===\n",
+              thresholds.size());
+
+  std::printf("%10s | %6s | %8s | %8s | %13s | %13s | %9s | %7s\n", "bounds", "relu",
+              "stable", "binaries", "fresh enc/ent", "cached rest/e", "enc-spdup",
+              "parity");
+  std::printf("-----------+--------+----------+----------+---------------+---------------+-----------+--------\n");
+  std::vector<EncodingSweep> sweeps;
+  for (const verify::BoundMethod bounds :
+       {verify::BoundMethod::kInterval, verify::BoundMethod::kZonotope,
+        verify::BoundMethod::kSymbolic}) {
+    sweeps.push_back(run_encoding_battery(net, width, thresholds, bounds));
+    const EncodingSweep& s = sweeps.back();
+    std::printf("%10s | %6zu | %8zu | %8zu | %12.2fus | %12.2fus | %8.1fx | %7s\n",
+                s.bounds.c_str(), s.relu_neurons, s.stable_relus, s.binaries,
+                s.fresh_encode_per_entry * 1e6, s.cached_rest_per_entry * 1e6,
+                s.encode_speedup_after_first, s.verdict_parity ? "OK" : "FAIL");
+  }
+  const bool zonotope_leq_interval = sweeps[1].binaries <= sweeps[0].binaries;
+  std::printf("zonotope binaries <= interval binaries: %s\n",
+              zonotope_leq_interval ? "OK" : "VIOLATION");
+  std::printf("battery wall (cache off -> on): interval %.3fs -> %.3fs, zonotope %.3fs -> "
+              "%.3fs, symbolic %.3fs -> %.3fs\n",
+              sweeps[0].fresh_wall_seconds, sweeps[0].cached_wall_seconds,
+              sweeps[1].fresh_wall_seconds, sweeps[1].cached_wall_seconds,
+              sweeps[2].fresh_wall_seconds, sweeps[2].cached_wall_seconds);
+  emit_encoding_json(sweeps, thresholds.size(), zonotope_leq_interval);
+}
+
 void emit_json(const std::vector<SweepResult>& sweeps, bool verdicts_match,
                std::size_t battery_entries, double battery_serial,
                double battery_pool4) {
@@ -260,6 +436,8 @@ void print_report() {
                 "      verdict parity above is the correctness evidence.\n");
 
   emit_json(sweeps, verdicts_match, queries.size(), serial, pooled);
+
+  print_encoding_report();
 
   std::printf("\npaper shape: cost grows steeply with tail size -- verifying the full\n"
               "million-neuron perception network is hopeless, verifying the layer-l tail\n"

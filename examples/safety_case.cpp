@@ -78,6 +78,7 @@ int main() {
   const core::CampaignReport report =
       core::run_campaign(model.network, model.attach_layer, entries, config);
   std::printf("%s\n", report.format_table().c_str());
+  std::printf("\n%s\n", report.format_encoding_summary().c_str());
 
   std::printf("\nnotes:\n"
               "* SAFE (conditional) entries require deploying the runtime monitor.\n"

@@ -1,6 +1,10 @@
 #include "absint/zonotope.hpp"
 
+#include "absint/box_domain.hpp"
+
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.hpp"
 #include "nn/batchnorm.hpp"
@@ -106,49 +110,142 @@ Zonotope Zonotope::relu() const {
   return out;
 }
 
+Zonotope Zonotope::reduce(std::size_t max_generators) const {
+  if (max_generators == 0 || generators_.size() <= max_generators) return *this;
+  const std::size_t n = center_.size();
+  // Keep the heaviest generators outright; the rest are boxed. Reserve
+  // room for up to one axis generator per dimension so the result stays
+  // within the budget whenever max_generators > dimensions().
+  const std::size_t keep = max_generators > n ? max_generators - n : 0;
+
+  std::vector<std::size_t> order(generators_.size());
+  for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+  std::vector<double> mass(generators_.size(), 0.0);
+  for (std::size_t k = 0; k < generators_.size(); ++k)
+    for (double g : generators_[k]) mass[k] += std::abs(g);
+  // Heaviest first; index tie-break keeps the reduction deterministic.
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (mass[a] != mass[b]) return mass[a] > mass[b];
+    return a < b;
+  });
+
+  Zonotope out;
+  out.center_ = center_;
+  out.generators_.reserve(keep + n);
+  for (std::size_t k = 0; k < keep; ++k) out.generators_.push_back(generators_[order[k]]);
+  std::vector<double> residual(n, 0.0);
+  for (std::size_t k = keep; k < order.size(); ++k)
+    for (std::size_t i = 0; i < n; ++i) residual[i] += std::abs(generators_[order[k]][i]);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (residual[i] == 0.0) continue;
+    std::vector<double> gen(n, 0.0);
+    gen[i] = residual[i];
+    out.generators_.push_back(std::move(gen));
+  }
+  return out;
+}
+
+namespace {
+
+/// The zonotope transformer of one layer (the shared step of range and
+/// trace propagation).
+Zonotope zonotope_step(const nn::Layer& layer, Zonotope z) {
+  switch (layer.kind()) {
+    case nn::LayerKind::kDense: {
+      const auto& d = static_cast<const nn::Dense&>(layer);
+      const std::size_t out_n = d.output_shape().dim(0);
+      const std::size_t in_n = d.input_shape().dim(0);
+      std::vector<std::vector<double>> weight(out_n, std::vector<double>(in_n));
+      std::vector<double> bias(out_n);
+      for (std::size_t r = 0; r < out_n; ++r) {
+        bias[r] = d.bias()[r];
+        for (std::size_t c = 0; c < in_n; ++c) weight[r][c] = d.weight().at2(r, c);
+      }
+      return z.affine(weight, bias);
+    }
+    case nn::LayerKind::kReLU:
+      return z.relu();
+    case nn::LayerKind::kBatchNorm: {
+      const auto& bn = static_cast<const nn::BatchNorm&>(layer);
+      const std::size_t n = bn.input_shape().dim(0);
+      std::vector<double> scale(n), shift(n);
+      for (std::size_t f = 0; f < n; ++f) {
+        scale[f] = bn.effective_scale(f);
+        shift[f] = bn.effective_shift(f);
+      }
+      return z.scale_shift(scale, shift);
+    }
+    case nn::LayerKind::kFlatten:
+      return z;  // reshape only
+    default:
+      throw ContractViolation("propagate_zonotope_range: unsupported layer kind '" +
+                              nn::layer_kind_name(layer.kind()) +
+                              "' (zonotopes cover verified tails: dense/relu/batchnorm)");
+  }
+}
+
+}  // namespace
+
 Zonotope propagate_zonotope_range(const nn::Network& net, Zonotope z, std::size_t from_layer,
-                                  std::size_t to_layer) {
+                                  std::size_t to_layer, std::size_t max_generators) {
   check(from_layer <= to_layer && to_layer <= net.layer_count(),
         "propagate_zonotope_range: invalid layer range");
   for (std::size_t i = from_layer; i < to_layer; ++i) {
-    const nn::Layer& layer = net.layer(i);
-    switch (layer.kind()) {
-      case nn::LayerKind::kDense: {
-        const auto& d = static_cast<const nn::Dense&>(layer);
-        const std::size_t out_n = d.output_shape().dim(0);
-        const std::size_t in_n = d.input_shape().dim(0);
-        std::vector<std::vector<double>> weight(out_n, std::vector<double>(in_n));
-        std::vector<double> bias(out_n);
-        for (std::size_t r = 0; r < out_n; ++r) {
-          bias[r] = d.bias()[r];
-          for (std::size_t c = 0; c < in_n; ++c) weight[r][c] = d.weight().at2(r, c);
-        }
-        z = z.affine(weight, bias);
-        break;
-      }
-      case nn::LayerKind::kReLU:
-        z = z.relu();
-        break;
-      case nn::LayerKind::kBatchNorm: {
-        const auto& bn = static_cast<const nn::BatchNorm&>(layer);
-        const std::size_t n = bn.input_shape().dim(0);
-        std::vector<double> scale(n), shift(n);
-        for (std::size_t f = 0; f < n; ++f) {
-          scale[f] = bn.effective_scale(f);
-          shift[f] = bn.effective_shift(f);
-        }
-        z = z.scale_shift(scale, shift);
-        break;
-      }
-      case nn::LayerKind::kFlatten:
-        break;  // reshape only
-      default:
-        throw ContractViolation("propagate_zonotope_range: unsupported layer kind '" +
-                                nn::layer_kind_name(layer.kind()) +
-                                "' (zonotopes cover verified tails: dense/relu/batchnorm)");
-    }
+    z = zonotope_step(net.layer(i), std::move(z));
+    if (max_generators > 0) z = z.reduce(max_generators);
   }
   return z;
+}
+
+bool zonotope_supported(const nn::Network& net, std::size_t from_layer, std::size_t to_layer) {
+  check(from_layer <= to_layer && to_layer <= net.layer_count(),
+        "zonotope_supported: invalid layer range");
+  for (std::size_t i = from_layer; i < to_layer; ++i) {
+    switch (net.layer(i).kind()) {
+      case nn::LayerKind::kDense:
+      case nn::LayerKind::kReLU:
+      case nn::LayerKind::kBatchNorm:
+      case nn::LayerKind::kFlatten:
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Box> propagate_zonotope_trace(const nn::Network& net, const Box& input_box,
+                                          std::size_t from_layer, std::size_t to_layer,
+                                          std::size_t max_generators) {
+  check(from_layer <= to_layer && to_layer <= net.layer_count(),
+        "propagate_zonotope_trace: invalid layer range");
+  std::vector<Box> trace;
+  trace.reserve(to_layer - from_layer);
+  Zonotope z = Zonotope::from_box(input_box);
+  // The DeepZ ReLU transformer preserves correlations but its box can be
+  // locally looser than plain intervals (the midline form dips below 0).
+  // Running interval propagation alongside — seeded each layer from the
+  // previous *intersected* box — makes every trace entry at least as
+  // tight as pure interval propagation while keeping the zonotope's
+  // correlation wins.
+  Box interval_box = input_box;
+  for (std::size_t i = from_layer; i < to_layer; ++i) {
+    z = zonotope_step(net.layer(i), std::move(z));
+    if (max_generators > 0) z = z.reduce(max_generators);
+    interval_box = propagate_box(net.layer(i), interval_box);
+    const Box zono_box = z.to_box();
+    check(zono_box.size() == interval_box.size(),
+          "propagate_zonotope_trace: arity mismatch between domains");
+    for (std::size_t d = 0; d < interval_box.size(); ++d) {
+      const double lo = std::max(interval_box[d].lo, zono_box[d].lo);
+      const double hi = std::min(interval_box[d].hi, zono_box[d].hi);
+      // Both domains are sound, so the intersection is non-empty up to
+      // rounding; the guard keeps it well-formed either way.
+      interval_box[d] = Interval(std::min(lo, hi), std::max(lo, hi));
+    }
+    trace.push_back(interval_box);
+  }
+  return trace;
 }
 
 }  // namespace dpv::absint

@@ -47,6 +47,16 @@ class Zonotope {
   /// ReLU transformer (sound over-approximation; may add generators).
   Zonotope relu() const;
 
+  /// Order reduction (Girard's method): when the zonotope carries more
+  /// than `max_generators` noise symbols, the smallest ones (by L1 mass,
+  /// ties broken by index for determinism) are collapsed into at most one
+  /// axis-aligned generator per dimension. Sound over-approximation; the
+  /// per-dimension concretization radius is preserved exactly — only
+  /// cross-dimension correlation is lost. Budgets below `dimensions()`
+  /// degrade gracefully toward a pure box. `max_generators == 0` means
+  /// unlimited (returns *this unchanged).
+  Zonotope reduce(std::size_t max_generators) const;
+
  private:
   Zonotope() = default;
 
@@ -56,8 +66,25 @@ class Zonotope {
 };
 
 /// Propagates a zonotope through layers [from_layer, to_layer) of `net`.
-/// Throws ContractViolation for unsupported layer kinds.
+/// Throws ContractViolation for unsupported layer kinds. A nonzero
+/// `max_generators` applies `Zonotope::reduce` after every layer so wide
+/// tails cannot blow up quadratically in noise symbols (every unstable
+/// ReLU adds one).
 Zonotope propagate_zonotope_range(const nn::Network& net, Zonotope z, std::size_t from_layer,
-                                  std::size_t to_layer);
+                                  std::size_t to_layer, std::size_t max_generators = 0);
+
+/// True when every layer in [from_layer, to_layer) is covered by the
+/// zonotope transformers (dense / relu / batchnorm / flatten). Callers
+/// use this to fall back to interval bounds where the domain does not
+/// apply (e.g. LeakyReLU tails).
+bool zonotope_supported(const nn::Network& net, std::size_t from_layer, std::size_t to_layer);
+
+/// Concrete per-layer boxes for layers [from_layer, to_layer) starting
+/// from `input_box`: result[k] is the concretization after layer
+/// from_layer + k. The zonotope analogue of `symbolic_bounds_trace`,
+/// used by the MILP encoder's kZonotope bound pre-pass.
+std::vector<Box> propagate_zonotope_trace(const nn::Network& net, const Box& input_box,
+                                          std::size_t from_layer, std::size_t to_layer,
+                                          std::size_t max_generators = 0);
 
 }  // namespace dpv::absint

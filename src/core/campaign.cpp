@@ -4,6 +4,7 @@
 #include <atomic>
 #include <exception>
 #include <iomanip>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -34,6 +35,21 @@ std::string CampaignReport::format_table() const {
   return out.str();
 }
 
+std::string CampaignReport::format_encoding_summary() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(6);
+  out << "encoding: " << encode_seconds << "s encode vs " << solve_seconds
+      << "s solve across " << reports.size() << " entries";
+  if (encoding_cache_hits + encoding_cache_misses > 0) {
+    out << "; cache " << encoding_cache_hits << " hits / " << encoding_cache_misses
+        << " misses, " << encoding_reused_rows << " rows + " << encoding_reused_variables
+        << " variables stamped from frozen bases";
+  } else {
+    out << "; encoding cache off (every entry re-encoded its tail)";
+  }
+  return out.str();
+}
+
 CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_layer,
                             const std::vector<CampaignEntry>& entries,
                             const WorkflowConfig& config) {
@@ -45,6 +61,17 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   WorkflowConfig entry_config = config;
   if (config.entry_node_budget > 0)
     entry_config.assume_guarantee.verifier.milp.max_nodes = config.entry_node_budget;
+
+  // One encoding cache shared across the worker pool: entries with the
+  // same abstraction reuse the frozen tail and only append their own
+  // characterizer and risk rows. Copy-on-freeze, so no mutex — workers
+  // copy the immutable base and never mutate it.
+  std::shared_ptr<verify::EncodingCache> cache =
+      entry_config.assume_guarantee.verifier.encoding_cache;
+  if (config.share_tail_encodings && cache == nullptr) {
+    cache = std::make_shared<verify::EncodingCache>();
+    entry_config.assume_guarantee.verifier.encoding_cache = cache;
+  }
 
   // Entries are independent (each workflow run seeds its own RNGs from
   // the config), so they fan out over a worker pool; results land in
@@ -83,8 +110,17 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   if (error) std::rethrow_exception(error);
 
   CampaignReport report;
+  if (cache != nullptr) {
+    const verify::EncodingCache::Stats cs = cache->stats();
+    report.encoding_cache_hits = cs.hits;
+    report.encoding_cache_misses = cs.misses;
+    report.encoding_reused_rows = cs.reused_rows;
+    report.encoding_reused_variables = cs.reused_variables;
+  }
   report.reports.reserve(entries.size());
   for (WorkflowReport& wr : results) {
+    report.encode_seconds += wr.safety.verification.encode_seconds;
+    report.solve_seconds += wr.safety.verification.solve_seconds;
     if (!wr.characterizer_usable) {
       ++report.uncharacterizable_count;
     } else {

@@ -31,8 +31,26 @@ struct CampaignReport {
   std::size_t unknown_count = 0;
   std::size_t uncharacterizable_count = 0;
 
+  /// Shared-encoding accounting (zero when share_tail_encodings is off).
+  /// Note: hit/miss split may vary with thread interleaving (concurrent
+  /// first touches of one key both count as misses); verdicts never do.
+  std::size_t encoding_cache_hits = 0;
+  std::size_t encoding_cache_misses = 0;
+  std::size_t encoding_reused_rows = 0;       ///< rows inherited across all hits
+  std::size_t encoding_reused_variables = 0;  ///< variables inherited across all hits
+  double encode_seconds = 0.0;  ///< total per-entry encode (or stamp) wall time
+  double solve_seconds = 0.0;   ///< total branch & bound wall time
+
   /// Aggregated table (one line per entry) plus a verdict tally.
+  /// Deterministic: bit-identical across thread counts and between
+  /// fresh-encode and cached-encode runs (perf numbers live in
+  /// format_encoding_summary instead).
   std::string format_table() const;
+
+  /// Encode-vs-solve seconds and encoding-cache reuse, the measurable
+  /// win of the shared-tail design. Kept out of format_table so that
+  /// table stays bit-identical across caching modes.
+  std::string format_encoding_summary() const;
 };
 
 /// Runs the workflow for every entry against the same perception network.

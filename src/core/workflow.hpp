@@ -35,6 +35,14 @@ struct WorkflowConfig {
   /// verifier configuration (0 = keep assume_guarantee.verifier.milp
   /// .max_nodes as configured).
   std::size_t entry_node_budget = 0;
+  /// Share one verify::EncodingCache across all campaign entries: the
+  /// query-independent tail encoding is frozen on first use and entries
+  /// with the same abstraction only append their characterizer and risk
+  /// rows. Verdicts, counterexamples and report tables are bit-identical
+  /// either way (stamped problems equal fresh encodes row for row); only
+  /// encode time changes. Ignored when the verifier options already
+  /// carry a cache.
+  bool share_tail_encodings = true;
 };
 
 struct WorkflowReport {

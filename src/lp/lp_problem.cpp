@@ -27,6 +27,11 @@ void LpProblem::add_row(std::vector<LinearTerm> terms, RowSense sense, double rh
   rows_.push_back(Row{std::move(terms), sense, rhs});
 }
 
+void LpProblem::add_rows(std::vector<Row> rows) {
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) add_row(std::move(row.terms), row.sense, row.rhs);
+}
+
 void LpProblem::set_objective(std::vector<LinearTerm> terms, Objective direction) {
   for (const LinearTerm& t : terms) {
     check_var(t.var, "set_objective");

@@ -39,6 +39,10 @@ class LpProblem {
   /// Adds a linear constraint over existing variables.
   void add_row(std::vector<LinearTerm> terms, RowSense sense, double rhs);
 
+  /// Appends a batch of constraints (the incremental-encoding path:
+  /// per-query rows stamped onto a copied base problem).
+  void add_rows(std::vector<Row> rows);
+
   /// Sets the objective (default: minimize 0, i.e. pure feasibility).
   void set_objective(std::vector<LinearTerm> terms, Objective direction);
 

@@ -22,6 +22,8 @@ void MilpProblem::add_row(std::vector<lp::LinearTerm> terms, lp::RowSense sense,
   relaxation_.add_row(std::move(terms), sense, rhs);
 }
 
+void MilpProblem::add_rows(std::vector<lp::Row> rows) { relaxation_.add_rows(std::move(rows)); }
+
 void MilpProblem::set_objective(std::vector<lp::LinearTerm> terms, lp::Objective direction) {
   relaxation_.set_objective(std::move(terms), direction);
 }

@@ -24,6 +24,10 @@ class MilpProblem {
 
   void add_row(std::vector<lp::LinearTerm> terms, lp::RowSense sense, double rhs);
 
+  /// Appends a batch of rows in order — the encoding cache's stamp-out
+  /// entry point (copy the frozen base, then append per-query rows).
+  void add_rows(std::vector<lp::Row> rows);
+
   /// Defaults to minimize 0 (feasibility problem).
   void set_objective(std::vector<lp::LinearTerm> terms, lp::Objective direction);
 

@@ -1,10 +1,12 @@
 #include "verify/encoder.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
 
 #include "absint/linear_bounds.hpp"
+#include "absint/zonotope.hpp"
 #include "common/check.hpp"
 #include "lp/simplex.hpp"
 #include "nn/activations.hpp"
@@ -12,6 +14,20 @@
 #include "nn/dense.hpp"
 
 namespace dpv::verify {
+
+const char* bound_method_name(BoundMethod method) {
+  switch (method) {
+    case BoundMethod::kInterval:
+      return "interval";
+    case BoundMethod::kZonotope:
+      return "zonotope";
+    case BoundMethod::kSymbolic:
+      return "symbolic";
+    case BoundMethod::kLpTightening:
+      return "lp-tightening";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -32,11 +48,18 @@ class NetworkEncoder {
 
   void encode_range(const nn::Network& net, std::size_t from_layer, std::size_t to_layer,
                     const std::string& prefix) {
-    // The symbolic pre-pass computes per-layer bounds over the whole
-    // range up front; the walk below intersects them in after each layer.
+    // The symbolic / zonotope pre-passes compute per-layer bounds over
+    // the whole range up front; the walk below intersects them in after
+    // each layer, so neither can ever be looser than plain intervals.
+    // Zonotopes fall back to intervals where the domain does not apply
+    // (e.g. LeakyReLU tails).
     std::vector<absint::Box> trace;
     if (options_.bounds == BoundMethod::kSymbolic)
       trace = absint::symbolic_bounds_trace(net, bounds_, from_layer, to_layer);
+    else if (options_.bounds == BoundMethod::kZonotope &&
+             absint::zonotope_supported(net, from_layer, to_layer))
+      trace = absint::propagate_zonotope_trace(net, bounds_, from_layer, to_layer,
+                                               options_.zonotope_generator_budget);
 
     for (std::size_t i = from_layer; i < to_layer; ++i) {
       const nn::Layer& layer = net.layer(i);
@@ -281,7 +304,8 @@ class NetworkEncoder {
 
 }  // namespace
 
-TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptions& options) {
+TailEncoding encode_tail_base(const VerificationQuery& query, const EncodeOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
   check(query.network != nullptr, "encode_tail_query: null network");
   const nn::Network& net = *query.network;
   check(query.attach_layer < net.layer_count(), "encode_tail_query: attach layer out of range");
@@ -291,7 +315,6 @@ TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptio
             " does not match layer-l width " + std::to_string(feature_n));
   check(query.diff_bounds.empty() || query.diff_bounds.size() + 1 == feature_n,
         "encode_tail_query: diff bound count must be layer width - 1");
-  check(!query.risk.empty(), "encode_tail_query: empty risk condition");
 
   TailEncoding enc;
 
@@ -328,8 +351,21 @@ TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptio
   tail.encode_range(net, query.attach_layer, net.layer_count(), "tail");
   enc.output_vars = tail.vars();
 
-  // Risk condition psi over the outputs.
+  enc.stats.variables = enc.problem.variable_count();
+  enc.stats.rows = enc.problem.relaxation().row_count();
+  enc.stats.encode_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return enc;
+}
+
+void append_query_rows(TailEncoding& enc, const VerificationQuery& query,
+                       const EncodeOptions& options) {
+  check(!query.risk.empty(), "encode_tail_query: empty risk condition");
+
+  // Risk condition psi over the outputs, appended as one batch.
   const std::size_t out_n = enc.output_vars.size();
+  std::vector<lp::Row> risk_rows;
+  risk_rows.reserve(query.risk.inequalities().size());
   for (const OutputInequality& ineq : query.risk.inequalities()) {
     check(ineq.coeffs.size() == out_n,
           "encode_tail_query: risk inequality dimension mismatch");
@@ -337,11 +373,13 @@ TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptio
     for (std::size_t i = 0; i < out_n; ++i)
       if (ineq.coeffs[i] != 0.0) terms.push_back({enc.output_vars[i], ineq.coeffs[i]});
     check(!terms.empty(), "encode_tail_query: risk inequality with all-zero coefficients");
-    enc.problem.add_row(std::move(terms), ineq.sense, ineq.rhs);
+    risk_rows.push_back({std::move(terms), ineq.sense, ineq.rhs});
   }
+  enc.problem.add_rows(std::move(risk_rows));
 
   // Characterizer sharing the layer-l variables, constrained to h = 1.
   if (query.characterizer != nullptr) {
+    const std::size_t feature_n = enc.input_vars.size();
     check(query.characterizer->input_shape().numel() == feature_n,
           "encode_tail_query: characterizer input width mismatch");
     check(query.characterizer->output_shape().numel() == 1,
@@ -356,6 +394,15 @@ TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptio
 
   enc.stats.variables = enc.problem.variable_count();
   enc.stats.rows = enc.problem.relaxation().row_count();
+}
+
+TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  check(!query.risk.empty(), "encode_tail_query: empty risk condition");
+  TailEncoding enc = encode_tail_base(query, options);
+  append_query_rows(enc, query, options);
+  enc.stats.encode_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
   return enc;
 }
 

@@ -27,11 +27,18 @@
 namespace dpv::verify {
 
 /// How pre-activation bounds for big-M are obtained.
+/// Cost and tightness both grow down the list:
+///   interval ⊆ zonotope ⊆ symbolic ⊆ LP-tightening
+/// (every method's boxes are intersected with plain interval propagation,
+/// so none is ever looser than kInterval).
 enum class BoundMethod {
   kInterval,      ///< interval arithmetic layer by layer
+  kZonotope,      ///< affine-form pre-pass (absint::propagate_zonotope_trace)
   kSymbolic,      ///< DeepPoly-style linear bounds (absint::symbolic_bounds_trace)
   kLpTightening,  ///< per-neuron min/max LPs on the partial relaxation
 };
+
+const char* bound_method_name(BoundMethod method);
 
 struct EncodeOptions {
   BoundMethod bounds = BoundMethod::kInterval;
@@ -42,6 +49,11 @@ struct EncodeOptions {
   /// the exact MILP (implied by the big-M rows + integrality) but
   /// strengthens the LP relaxation, pruning branch & bound nodes.
   bool triangle_relaxation = true;
+  /// Generator budget for the kZonotope pre-pass: every unstable ReLU
+  /// adds a noise symbol, so wide tails grow quadratically without order
+  /// reduction. 0 = unlimited. Reduction preserves per-neuron radii, so
+  /// bounds stay sound (and never looser than interval) at any budget.
+  std::size_t zonotope_generator_budget = 256;
   lp::SimplexOptions lp_options = {};
 };
 
@@ -52,6 +64,14 @@ struct EncodingStats {
   std::size_t variables = 0;
   std::size_t rows = 0;
   std::size_t tightening_lps = 0;
+  /// Wall seconds spent building this problem: a full fresh encode, or —
+  /// when `from_cache` — just the stamp-out (base copy + per-query rows).
+  double encode_seconds = 0.0;
+  /// True when the tail came from a SharedTailEncoding instead of being
+  /// re-encoded; `reused_*` then count the inherited base problem.
+  bool from_cache = false;
+  std::size_t reused_variables = 0;
+  std::size_t reused_rows = 0;
 };
 
 /// The encoded problem plus the variable bookkeeping needed to extract
@@ -96,6 +116,25 @@ struct VerificationQuery {
 /// Builds the MILP whose feasibility is equivalent (over S̃) to the
 /// existence of a counterexample. Throws ContractViolation when the tail
 /// contains layer kinds outside {dense, relu, batchnorm, flatten}.
+///
+/// Equivalent to encode_tail_base followed by append_query_rows; kept as
+/// the one-shot entry point for callers without a SharedTailEncoding.
 TailEncoding encode_tail_query(const VerificationQuery& query, const EncodeOptions& options);
+
+/// The query-independent part of the encoding: layer-l variables, the
+/// abstraction rows (box / diff / pair bounds) and the verified tail.
+/// The risk condition and characterizer of `query` are ignored (the risk
+/// spec may be empty here). This is what a SharedTailEncoding freezes
+/// and re-stamps across queries.
+TailEncoding encode_tail_base(const VerificationQuery& query, const EncodeOptions& options);
+
+/// Appends the per-query rows — the risk condition over the output
+/// variables and, when present, the characterizer network constrained to
+/// h = 1 — to a base built by encode_tail_base for the same query key.
+/// Row/variable order matches encode_tail_query exactly, so stamped-out
+/// problems are bit-identical to fresh encodes (same branch & bound
+/// trajectory, same counterexample).
+void append_query_rows(TailEncoding& encoding, const VerificationQuery& query,
+                       const EncodeOptions& options);
 
 }  // namespace dpv::verify

@@ -9,14 +9,21 @@
 // is the worst heading the tail can emit inside the monitored set?").
 #pragma once
 
+#include <memory>
+
 #include "absint/interval.hpp"
 #include "verify/encoder.hpp"
+#include "verify/encoding_cache.hpp"
 
 namespace dpv::verify {
 
 struct RangeAnalysisOptions {
   EncodeOptions encode = {};
   milp::BranchAndBoundOptions milp = {};
+  /// When set, the probe encoding is stamped out from the shared base
+  /// instead of being rebuilt (the tail is identical across range
+  /// queries; only the probe row and objective differ).
+  std::shared_ptr<EncodingCache> encoding_cache;
 };
 
 struct RangeResult {
@@ -26,6 +33,9 @@ struct RangeResult {
   /// search but must not be used as an over-approximation).
   bool exact = false;
   std::size_t nodes_explored = 0;
+  /// Wall seconds to build the one shared encoding both optimization
+  /// directions reuse (stamp-out time when the cache served it).
+  double encode_seconds = 0.0;
 };
 
 /// Reachable range of output `output_index` over the query's abstraction

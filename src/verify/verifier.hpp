@@ -10,9 +10,11 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "verify/encoder.hpp"
+#include "verify/encoding_cache.hpp"
 
 namespace dpv::verify {
 
@@ -38,6 +40,10 @@ struct VerificationResult {
   EncodingStats encoding;
   std::size_t milp_nodes = 0;
   std::size_t lp_iterations = 0;
+  /// Wall seconds to build the MILP (fresh encode, or cache stamp-out
+  /// when `encoding.from_cache`); mirrors encoding.encode_seconds.
+  double encode_seconds = 0.0;
+  /// Wall seconds in the branch & bound search (excludes encoding).
   double solve_seconds = 0.0;
   /// Which LP backend solved the node relaxations.
   solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
@@ -57,6 +63,12 @@ struct TailVerifierOptions {
   milp::BranchAndBoundOptions milp = {};
   /// Tolerance for re-validating counterexamples on the concrete tail.
   double validation_tolerance = 1e-6;
+  /// When set, the verifier routes encoding through this cache: the
+  /// query-independent tail is frozen once per key and per-query
+  /// problems are stamped out by appending only risk + characterizer
+  /// rows. Null = fresh encode per query. The cache is thread-safe and
+  /// meant to be shared across a campaign's worker pool.
+  std::shared_ptr<EncodingCache> encoding_cache;
 };
 
 class TailVerifier {

@@ -14,7 +14,9 @@
 // exhaust the branch & bound tree — the worst case for verification.
 //
 // Machine-readable results land in BENCH_e5.json (cwd) so the perf
-// trajectory is tracked across PRs; the bounds-method x encoding-cache
+// trajectory is tracked across PRs; the cutting-plane axis writes
+// BENCH_cuts.json (B&B node counts with the cut engine off / root /
+// root+local at verdict parity), and the bounds-method x encoding-cache
 // battery additionally writes BENCH_encoding.json (binaries, stable
 // ReLUs and encode time per bound method, plus the cached stamp-out
 // speedup after the first entry).
@@ -111,7 +113,8 @@ std::vector<Query> make_query_set() {
 }
 
 verify::VerificationResult verify_tail(const Query& query, solver::LpBackendKind backend,
-                                       std::size_t threads) {
+                                       std::size_t threads, std::size_t cut_rounds = 0,
+                                       bool local_cuts = false) {
   verify::VerificationQuery vq;
   vq.network = &query.net;
   vq.attach_layer = 0;
@@ -123,6 +126,8 @@ verify::VerificationResult verify_tail(const Query& query, solver::LpBackendKind
   options.milp.max_nodes = 4000;
   options.milp.backend = backend;
   options.milp.threads = threads;
+  options.milp.cuts.root_rounds = cut_rounds;
+  options.milp.cuts.local = local_cuts;
   return verify::TailVerifier(options).verify(vq);
 }
 
@@ -178,6 +183,92 @@ double run_battery_pooled(const std::vector<Query>& queries, std::size_t pool) {
   for (std::thread& t : workers) t.join();
   const auto end = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(end - start).count();
+}
+
+// --------------------------------------------------------------------
+// Cutting-plane axis: the same SAFE-proof battery with the cut engine
+// off, root-only, and root+local. Cuts attack the tree size itself —
+// the cost PR 1 (cheap node solves) and PR 2 (cheap problem builds)
+// left standing — so the headline number is the B&B node reduction at
+// verdict parity.
+
+struct CutsSweep {
+  std::string config;
+  std::size_t rounds = 0;
+  bool local = false;
+  std::size_t nodes = 0;
+  std::size_t lp_iterations = 0;
+  std::size_t cuts_added = 0;
+  double wall_seconds = 0.0;
+  std::string verdicts;
+};
+
+CutsSweep run_cuts_sweep(const std::vector<Query>& queries, const char* config,
+                         std::size_t rounds, bool local) {
+  CutsSweep sweep;
+  sweep.config = config;
+  sweep.rounds = rounds;
+  sweep.local = local;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Query& query : queries) {
+    const verify::VerificationResult r =
+        verify_tail(query, solver::LpBackendKind::kRevisedBounded, 1, rounds, local);
+    sweep.nodes += r.milp_nodes;
+    sweep.lp_iterations += r.lp_iterations;
+    sweep.cuts_added += r.solver_stats.cuts_added;
+    if (!sweep.verdicts.empty()) sweep.verdicts += ',';
+    sweep.verdicts += verify::verdict_name(r.verdict);
+  }
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return sweep;
+}
+
+void emit_cuts_json(const std::vector<CutsSweep>& sweeps, bool parity) {
+  std::FILE* f = std::fopen("BENCH_cuts.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_cuts.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e5_cuts\",\n  \"sweeps\": [\n");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const CutsSweep& s = sweeps[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"root_rounds\": %zu, \"local\": %s, "
+                 "\"nodes\": %zu, \"lp_iterations\": %zu, \"cuts_added\": %zu, "
+                 "\"wall_seconds\": %.6f, \"verdicts\": \"%s\"}%s\n",
+                 s.config.c_str(), s.rounds, s.local ? "true" : "false", s.nodes,
+                 s.lp_iterations, s.cuts_added, s.wall_seconds, s.verdicts.c_str(),
+                 i + 1 < sweeps.size() ? "," : "");
+  }
+  const double base = static_cast<double>(sweeps.front().nodes);
+  std::fprintf(f, "  ],\n  \"node_reduction_root\": %.3f,\n",
+               sweeps[1].nodes > 0 ? base / sweeps[1].nodes : 0.0);
+  std::fprintf(f, "  \"node_reduction_root_local\": %.3f,\n",
+               sweeps[2].nodes > 0 ? base / sweeps[2].nodes : 0.0);
+  std::fprintf(f, "  \"verdict_parity\": %s\n}\n", parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_cuts.json\n");
+}
+
+void print_cuts_report(const std::vector<Query>& queries) {
+  std::printf("\n=== E5: cutting-plane axis (same SAFE-proof battery, revised backend) ===\n");
+  std::printf("%14s | %7s | %9s | %9s | %9s | %9s\n", "config", "cuts", "nodes",
+              "lp-iter", "wall s", "nodes/off");
+  std::printf("---------------+---------+-----------+-----------+-----------+-----------\n");
+  std::vector<CutsSweep> sweeps;
+  sweeps.push_back(run_cuts_sweep(queries, "cuts-off", 0, false));
+  sweeps.push_back(run_cuts_sweep(queries, "root-8", 8, false));
+  sweeps.push_back(run_cuts_sweep(queries, "root-8+local", 8, true));
+  bool parity = true;
+  for (const CutsSweep& s : sweeps) {
+    if (s.verdicts != sweeps.front().verdicts) parity = false;
+    std::printf("%14s | %7zu | %9zu | %9zu | %9.3f | %9.2f\n", s.config.c_str(),
+                s.cuts_added, s.nodes, s.lp_iterations, s.wall_seconds,
+                s.nodes > 0 ? static_cast<double>(sweeps.front().nodes) / s.nodes : 0.0);
+  }
+  std::printf("verdict parity across cut configurations: %s\n", parity ? "OK" : "MISMATCH");
+  emit_cuts_json(sweeps, parity);
 }
 
 // --------------------------------------------------------------------
@@ -436,6 +527,8 @@ void print_report() {
                 "      verdict parity above is the correctness evidence.\n");
 
   emit_json(sweeps, verdicts_match, queries.size(), serial, pooled);
+
+  print_cuts_report(queries);
 
   print_encoding_report();
 

@@ -47,6 +47,10 @@ std::string CampaignReport::format_encoding_summary() const {
   } else {
     out << "; encoding cache off (every entry re-encoded its tail)";
   }
+  if (cuts_added > 0 || cut_rounds > 0) {
+    out << "; cuts: " << cuts_added << " added over " << cut_rounds
+        << " root rounds, " << milp_nodes << " B&B nodes total";
+  }
   return out.str();
 }
 
@@ -121,6 +125,9 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   for (WorkflowReport& wr : results) {
     report.encode_seconds += wr.safety.verification.encode_seconds;
     report.solve_seconds += wr.safety.verification.solve_seconds;
+    report.cuts_added += wr.safety.verification.solver_stats.cuts_added;
+    report.cut_rounds += wr.safety.verification.solver_stats.cut_rounds;
+    report.milp_nodes += wr.safety.verification.milp_nodes;
     if (!wr.characterizer_usable) {
       ++report.uncharacterizable_count;
     } else {

@@ -41,6 +41,14 @@ struct CampaignReport {
   double encode_seconds = 0.0;  ///< total per-entry encode (or stamp) wall time
   double solve_seconds = 0.0;   ///< total branch & bound wall time
 
+  /// Cutting-plane accounting summed across entries (all zero when
+  /// `assume_guarantee.verifier.milp.cuts` leaves the engine off).
+  /// `milp_nodes` totals the B&B nodes so node-count deltas between
+  /// cuts-on and cuts-off campaigns are directly comparable.
+  std::size_t cuts_added = 0;
+  std::size_t cut_rounds = 0;
+  std::size_t milp_nodes = 0;
+
   /// Aggregated table (one line per entry) plus a verdict tally.
   /// Deterministic: bit-identical across thread counts and between
   /// fresh-encode and cached-encode runs (perf numbers live in

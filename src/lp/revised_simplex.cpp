@@ -143,6 +143,21 @@ bool RevisedSimplex::install_basis(const SimplexBasis& basis) {
   return true;
 }
 
+bool RevisedSimplex::tableau_row(std::size_t row, TableauRow& out) const {
+  if (row >= m_ || basic_.empty()) return false;
+  const double* rho = &binv_[row * m_];
+  out.basic_col = basic_[row];
+  out.basic_value = xb_[row];
+  out.entries.clear();
+  for (std::size_t j = 0; j < total_; ++j) {
+    if (status_[j] == kBasic) continue;
+    const double alpha = row_dot_column(rho, j);
+    if (std::abs(alpha) < 1e-11) continue;
+    out.entries.push_back({j, alpha, status_[j] == kAtUpper, lo_[j], up_[j]});
+  }
+  return true;
+}
+
 SimplexBasis RevisedSimplex::capture_basis() const {
   SimplexBasis basis;
   if (basic_.empty()) return basis;

@@ -34,6 +34,29 @@ struct SimplexBasis {
   bool empty() const { return basic.empty(); }
 };
 
+/// One row of the simplex tableau after a solve, expressed over the
+/// loaded problem's columns (structural j < n, logical n + i standing
+/// for row i's activity). For every point x satisfying the loaded rows:
+///
+///   x[basic_col] + sum_entries alpha * x[col] = 0
+///
+/// Nonbasic columns rest at the recorded bound (`at_upper` picks which);
+/// `basic_value` is the basic column's current — possibly fractional —
+/// value. This identity is the raw material for Gomory mixed-integer
+/// cuts (src/milp/cuts/gomory_cuts.cpp).
+struct TableauRow {
+  std::int32_t basic_col = -1;
+  double basic_value = 0.0;
+  struct Entry {
+    std::size_t col = 0;
+    double alpha = 0.0;
+    bool at_upper = false;
+    double lo = 0.0;
+    double up = 0.0;
+  };
+  std::vector<Entry> entries;  ///< nonbasic columns with alpha != 0
+};
+
 /// Stateful revised simplex over one loaded problem. `load` copies the
 /// problem; `set_bounds` overrides variable boxes in place (the branch &
 /// bound fixings); `solve` runs from the all-logical basis while
@@ -60,6 +83,14 @@ class RevisedSimplex {
 
   /// Snapshot of the current basis (valid after a solve).
   SimplexBasis capture_basis() const;
+
+  /// Reads tableau row `row` (0 <= row < row count) of the current
+  /// basis into `out`; valid after a solve that returned kOptimal.
+  /// Returns false before any solve or when `row` is out of range.
+  bool tableau_row(std::size_t row, TableauRow& out) const;
+
+  std::size_t structural_count() const { return n_; }
+  std::size_t basis_row_count() const { return m_; }
 
  private:
   enum : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };

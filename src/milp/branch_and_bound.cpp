@@ -8,9 +8,11 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 
 #include "common/check.hpp"
+#include "milp/cuts/cut_engine.hpp"
 
 namespace dpv::milp {
 
@@ -57,6 +59,13 @@ struct SharedSearch {
   bool node_budget_exhausted = false;
   bool lp_iteration_limit_hit = false;
   std::exception_ptr error;
+
+  /// Node-local cut pool (CutOptions::local): append-only rows every
+  /// worker folds into its backend before the next node solve, plus the
+  /// dedup hashes (seeded with the root cuts). Guarded by `mutex`.
+  std::vector<lp::Row> local_cut_rows;
+  std::unordered_set<std::size_t> cut_hashes;
+  std::size_t local_cuts = 0;
 };
 
 class Worker {
@@ -106,9 +115,28 @@ class Worker {
       shared_.stack.pop_back();
       ++shared_.nodes_explored;
       ++shared_.active_workers;
+      std::vector<lp::Row> pending_cut_rows;
+      if (options_.cuts.local && shared_.local_cut_rows.size() > applied_local_rows_) {
+        pending_cut_rows.assign(shared_.local_cut_rows.begin() +
+                                    static_cast<std::ptrdiff_t>(applied_local_rows_),
+                                shared_.local_cut_rows.end());
+        applied_local_rows_ = shared_.local_cut_rows.size();
+      }
       lock.unlock();
 
       // ---- LP solve outside the lock -------------------------------
+      if (!pending_cut_rows.empty()) {
+        // Fold the grown shared cut pool into this worker's backend.
+        // Bases captured against the old row count no longer fit, so
+        // the next resolve falls back to one cold solve.
+        if (!cut_relaxation_loaded_) {
+          cut_relaxation_ = problem_.relaxation();
+          cut_relaxation_loaded_ = true;
+        }
+        cut_relaxation_.add_rows(std::move(pending_cut_rows));
+        backend_->load(cut_relaxation_);
+        overridden_.clear();
+      }
       apply_fixings(node);
       const lp::LpSolution lp = node.parent_basis
                                     ? backend_->resolve(*node.parent_basis)
@@ -131,6 +159,14 @@ class Worker {
       if (lp.status == lp::SolveStatus::kOptimal &&
           branch_var != problem_.variable_count() && backend_->supports_warm_start())
         basis = std::make_shared<const solver::WarmBasis>(backend_->capture_basis());
+
+      // Node-local separation (globally-valid ReLU-split cuts only),
+      // restricted to shallow nodes about to branch.
+      std::vector<cuts::Cut> node_cuts;
+      if (options_.cuts.local && lp.status == lp::SolveStatus::kOptimal &&
+          branch_var != problem_.variable_count() &&
+          node.fixings.size() < options_.cuts.local_depth_limit)
+        node_cuts = cuts::separate_local_cuts(problem_, lp, options_.cuts);
 
       // ---- Publish the outcome -------------------------------------
       lock.lock();
@@ -178,6 +214,15 @@ class Worker {
         continue;
       }
 
+      // Publish this node's cuts; every worker folds them in before its
+      // next node solve, starting with this node's own children.
+      for (cuts::Cut& cut : node_cuts) {
+        if (shared_.local_cuts >= options_.cuts.max_local_cuts) break;
+        if (!shared_.cut_hashes.insert(cuts::cut_row_hash(cut.row)).second) continue;
+        shared_.local_cut_rows.push_back(std::move(cut.row));
+        ++shared_.local_cuts;
+      }
+
       // Children: push the rounded-toward branch last so it pops first
       // (dive toward integrality).
       Node zero{node.fixings, basis};
@@ -212,19 +257,47 @@ class Worker {
   SharedSearch& shared_;
   std::unique_ptr<solver::LpBackend> backend_;
   std::vector<std::size_t> overridden_;
+  /// Local-cut bookkeeping: how much of the shared pool this worker's
+  /// backend has folded in, and the grown relaxation it is loaded with.
+  std::size_t applied_local_rows_ = 0;
+  lp::LpProblem cut_relaxation_;
+  bool cut_relaxation_loaded_ = false;
 };
 
 }  // namespace
 
 MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
+  // Root cutting-plane rounds run on a working copy appended through
+  // MilpProblem::add_rows, so the caller's problem — possibly a frozen
+  // cache base's stamp-out — is never mutated.
+  // (Local-only separation needs no copy: node cuts land in per-worker
+  // relaxation copies, never in the shared problem.)
+  const bool root_cuts_enabled =
+      options_.cuts.root_rounds > 0 && !problem.binary_variables().empty();
+  MilpProblem working;
+  const MilpProblem* active = &problem;
+  cuts::RootCutReport root_cuts;
+  if (root_cuts_enabled) {
+    working = problem;
+    root_cuts = cuts::run_root_cuts(working, options_.cuts, options_.backend,
+                                    options_.lp_options, options_.integrality_tolerance);
+    active = &working;
+  }
+
   SharedSearch shared;
   shared.stack.push_back(Node{});
+  if (options_.cuts.local && root_cuts.cuts_added > 0) {
+    // Seed dedup so node-local separation cannot re-add a root cut.
+    const std::vector<lp::Row>& rows = active->relaxation().rows();
+    for (std::size_t r = rows.size() - root_cuts.cuts_added; r < rows.size(); ++r)
+      shared.cut_hashes.insert(cuts::cut_row_hash(rows[r]));
+  }
 
   const std::size_t thread_count = std::max<std::size_t>(options_.threads, 1);
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(thread_count);
   for (std::size_t t = 0; t < thread_count; ++t)
-    workers.push_back(std::make_unique<Worker>(problem, options_, shared));
+    workers.push_back(std::make_unique<Worker>(*active, options_, shared));
 
   if (thread_count == 1) {
     workers[0]->run();
@@ -240,6 +313,9 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   MilpResult result;
   result.nodes_explored = shared.nodes_explored;
   for (const auto& worker : workers) result.solver_stats.merge(worker->stats());
+  result.solver_stats.merge(root_cuts.solver_stats);
+  result.solver_stats.cuts_added = root_cuts.cuts_added + shared.local_cuts;
+  result.solver_stats.cut_rounds = root_cuts.rounds;
   result.lp_iterations = result.solver_stats.lp_iterations;
   result.lp_iteration_limit_hit = shared.lp_iteration_limit_hit;
   if (shared.have_incumbent) {

@@ -16,12 +16,19 @@
 // worker owns a private backend instance. Verdicts (and optimal
 // objective values) are thread-count-invariant; the specific incumbent
 // point and node counts may differ between runs.
+//
+// When `options.cuts` enables it, the search is preceded by root-node
+// cutting-plane rounds (ReLU-split + Gomory, see src/milp/cuts/) on a
+// working copy of the problem, and may keep separating globally-valid
+// ReLU-split cuts at shallow tree nodes; cut rows persist for the whole
+// search, so every warm-started node re-solve benefits from them.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "lp/simplex.hpp"
+#include "milp/cuts/cut_generator.hpp"
 #include "milp/milp_problem.hpp"
 #include "solver/lp_backend.hpp"
 
@@ -47,7 +54,9 @@ struct MilpResult {
   /// search is then inconclusive for a resource reason distinct from the
   /// node budget (surfaced by the verifier as an explained UNKNOWN).
   bool lp_iteration_limit_hit = false;
-  /// Warm-start and iteration accounting, merged across workers.
+  /// Warm-start and iteration accounting, merged across workers; also
+  /// carries the cutting-plane counters (`cuts_added`, `cut_rounds`)
+  /// when the engine ran.
   solver::SolverStats solver_stats;
 };
 
@@ -61,6 +70,11 @@ struct BranchAndBoundOptions {
   solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
   /// Worker threads for parallel node exploration (<= 1: serial).
   std::size_t threads = 1;
+  /// Cutting-plane engine (off by default; `cuts.root_rounds > 0`
+  /// enables root separation, `cuts.local` node-local separation). Cuts
+  /// are appended to a working copy of the problem — the caller's
+  /// instance, including cached/stamped encodings, is never mutated.
+  cuts::CutOptions cuts = {};
 };
 
 class BranchAndBoundSolver {

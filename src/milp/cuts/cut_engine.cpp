@@ -1,0 +1,175 @@
+#include "milp/cuts/cut_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <unordered_set>
+
+#include "milp/cuts/gomory_cuts.hpp"
+#include "milp/cuts/relu_split_cuts.hpp"
+
+namespace dpv::milp::cuts {
+
+namespace {
+
+void hash_mix(std::size_t& h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::size_t cut_row_hash(const lp::Row& row) {
+  std::size_t h = 1469598103934665603ull;
+  hash_mix(h, static_cast<std::uint64_t>(row.sense));
+  hash_mix(h, double_bits(row.rhs));
+  for (const lp::LinearTerm& t : row.terms) {
+    hash_mix(h, t.var);
+    hash_mix(h, double_bits(t.coeff));
+  }
+  return h;
+}
+
+bool sanitize_cut(const MilpProblem& problem, const std::vector<double>& values,
+                  const CutOptions& options, Cut& cut) {
+  lp::Row& row = cut.row;
+  if (row.sense == lp::RowSense::kEqual) return false;  // generators emit inequalities
+  const lp::LpProblem& relax = problem.relaxation();
+
+  // Merge duplicate variables so hashing and dropping see one term each.
+  std::sort(row.terms.begin(), row.terms.end(),
+            [](const lp::LinearTerm& a, const lp::LinearTerm& b) { return a.var < b.var; });
+  std::size_t out = 0;
+  for (std::size_t k = 0; k < row.terms.size(); ++k) {
+    if (out > 0 && row.terms[out - 1].var == row.terms[k].var)
+      row.terms[out - 1].coeff += row.terms[k].coeff;
+    else
+      row.terms[out++] = row.terms[k];
+  }
+  row.terms.resize(out);
+
+  double max_abs = 0.0;
+  for (const lp::LinearTerm& t : row.terms) {
+    if (t.var >= relax.variable_count() || !std::isfinite(t.coeff)) return false;
+    max_abs = std::max(max_abs, std::abs(t.coeff));
+  }
+  if (!std::isfinite(row.rhs) || max_abs == 0.0 || max_abs > 1e12) return false;
+
+  // Unit inf-norm: keeps the violation threshold scale-free and the
+  // appended rows well conditioned.
+  const double scale = 1.0 / max_abs;
+  for (lp::LinearTerm& t : row.terms) t.coeff *= scale;
+  row.rhs *= scale;
+
+  // Drop near-zero coefficients, padding the rhs with the dropped
+  // term's worst-case activity over its box so the cut stays valid
+  // (simply deleting a term would *strengthen* the inequality).
+  constexpr double kDropTol = 1e-10;
+  double min_abs = 1.0;
+  out = 0;
+  for (std::size_t k = 0; k < row.terms.size(); ++k) {
+    const lp::LinearTerm& t = row.terms[k];
+    if (std::abs(t.coeff) >= kDropTol) {
+      min_abs = std::min(min_abs, std::abs(t.coeff));
+      row.terms[out++] = t;
+      continue;
+    }
+    const double lo = relax.lower_bound(t.var);
+    const double up = relax.upper_bound(t.var);
+    // >=: subtract max(coeff * x); <=: subtract min(coeff * x).
+    const bool want_max = row.sense == lp::RowSense::kGreaterEqual;
+    const double extreme = (t.coeff >= 0.0) == want_max ? t.coeff * up : t.coeff * lo;
+    if (!std::isfinite(extreme)) return false;
+    row.rhs -= extreme;
+  }
+  row.terms.resize(out);
+  if (row.terms.empty()) return false;
+  if (1.0 / min_abs > options.max_dynamism) return false;
+
+  double activity = 0.0;
+  for (const lp::LinearTerm& t : row.terms) {
+    if (t.var >= values.size()) return false;
+    activity += t.coeff * values[t.var];
+  }
+  cut.violation = row.sense == lp::RowSense::kGreaterEqual ? row.rhs - activity
+                                                           : activity - row.rhs;
+  return std::isfinite(cut.violation) && cut.violation >= options.min_violation;
+}
+
+std::vector<Cut> separate_local_cuts(const MilpProblem& problem, const lp::LpSolution& lp,
+                                     const CutOptions& options) {
+  std::vector<Cut> cuts;
+  if (!options.relu_split || lp.status != lp::SolveStatus::kOptimal) return cuts;
+  const ReluSplitCutGenerator generator;
+  const CutContext ctx{problem, lp, nullptr, options};
+  std::vector<Cut> raw;
+  generator.generate(ctx, raw);
+  for (Cut& cut : raw)
+    if (sanitize_cut(problem, lp.values, options, cut)) cuts.push_back(std::move(cut));
+  std::stable_sort(cuts.begin(), cuts.end(),
+                   [](const Cut& a, const Cut& b) { return a.violation > b.violation; });
+  return cuts;
+}
+
+RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
+                            solver::LpBackendKind backend_kind,
+                            const lp::SimplexOptions& lp_options,
+                            double integrality_tolerance) {
+  RootCutReport report;
+  if (options.root_rounds == 0 || problem.binary_variables().empty()) return report;
+
+  std::vector<std::unique_ptr<CutGenerator>> generators;
+  if (options.relu_split) generators.push_back(std::make_unique<ReluSplitCutGenerator>());
+  if (options.gomory) generators.push_back(std::make_unique<GomoryCutGenerator>());
+  if (generators.empty()) return report;
+
+  const std::unique_ptr<solver::LpBackend> backend =
+      solver::make_lp_backend(backend_kind, lp_options);
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t round = 0; round < options.root_rounds; ++round) {
+    // Rows were appended since the last solve, so the old basis no
+    // longer fits — each round is a cold root solve (cheap next to the
+    // tree it prunes; the search proper still warm-starts node to node).
+    backend->load(problem.relaxation());
+    const lp::LpSolution lp = backend->solve();
+    if (lp.status != lp::SolveStatus::kOptimal) break;  // infeasible/limit: search decides
+    bool fractional = false;
+    for (const std::size_t b : problem.binary_variables()) {
+      if (std::abs(lp.values[b] - std::round(lp.values[b])) > integrality_tolerance) {
+        fractional = true;
+        break;
+      }
+    }
+    if (!fractional) break;  // integral root: nothing to separate
+    ++report.rounds;
+
+    const CutContext ctx{problem, lp, backend.get(), options};
+    std::vector<Cut> candidates;
+    for (const auto& generator : generators) generator->generate(ctx, candidates);
+    std::vector<Cut> kept;
+    for (Cut& cut : candidates) {
+      if (!sanitize_cut(problem, lp.values, options, cut)) continue;
+      if (!seen.insert(cut_row_hash(cut.row)).second) continue;
+      kept.push_back(std::move(cut));
+    }
+    if (kept.empty()) break;  // separation dried up
+    std::stable_sort(kept.begin(), kept.end(),
+                     [](const Cut& a, const Cut& b) { return a.violation > b.violation; });
+    if (kept.size() > options.max_cuts_per_round) kept.resize(options.max_cuts_per_round);
+    std::vector<lp::Row> rows;
+    rows.reserve(kept.size());
+    for (Cut& cut : kept) rows.push_back(std::move(cut.row));
+    report.cuts_added += rows.size();
+    problem.add_rows(std::move(rows));
+  }
+  report.solver_stats = backend->stats();
+  return report;
+}
+
+}  // namespace dpv::milp::cuts

@@ -1,0 +1,56 @@
+// Cutting-plane engine: root separation loop, node-local separation and
+// the shared cut hygiene (normalization, sound coefficient dropping,
+// violation re-measurement, deduplication hashes).
+//
+// Ownership of the search stays with branch & bound; this engine only
+// mutates the problem it is handed — always a working copy, appended
+// through MilpProblem::add_rows, so frozen cache bases and the caller's
+// problem are never touched and stamped-out encodings stay valid.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "milp/cuts/cut_generator.hpp"
+
+namespace dpv::milp::cuts {
+
+/// Outcome of the root separation loop.
+struct RootCutReport {
+  std::size_t rounds = 0;      ///< separation rounds actually run
+  std::size_t cuts_added = 0;  ///< rows appended to the problem
+  /// LP work spent separating (merged into the search's stats).
+  solver::SolverStats solver_stats;
+};
+
+/// Runs up to `options.root_rounds` rounds of root-node separation on
+/// `problem`: solve the relaxation, generate (ReLU-split and, on
+/// tableau-capable backends, Gomory) cuts for the fractional optimum,
+/// sanitize + dedup, append the most violated `max_cuts_per_round`
+/// through MilpProblem::add_rows, repeat. Stops early when the root is
+/// integral, infeasible, unsolved, or a round yields nothing new.
+RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
+                            solver::LpBackendKind backend,
+                            const lp::SimplexOptions& lp_options,
+                            double integrality_tolerance);
+
+/// Node-local separation: ReLU-split cuts only (globally valid by
+/// construction — Gomory derivations bake in node-tightened bounds).
+/// Candidates are sanitized against `lp.values`; deduplication against
+/// the shared pool is the caller's job (cut_row_hash).
+std::vector<Cut> separate_local_cuts(const MilpProblem& problem, const lp::LpSolution& lp,
+                                     const CutOptions& options);
+
+/// Order-sensitive content hash of a row, for cut deduplication.
+std::size_t cut_row_hash(const lp::Row& row);
+
+/// Cleans one candidate in place: merges duplicate variables, scales
+/// the row to unit inf-norm, drops near-zero coefficients by soundly
+/// padding the rhs with the dropped term's worst-case box activity,
+/// then re-measures the violation at `values`. Returns false (cut must
+/// be discarded) on sub-threshold violation, excessive coefficient
+/// dynamism or non-finite data.
+bool sanitize_cut(const MilpProblem& problem, const std::vector<double>& values,
+                  const CutOptions& options, Cut& cut);
+
+}  // namespace dpv::milp::cuts

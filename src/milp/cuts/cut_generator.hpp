@@ -1,0 +1,88 @@
+// Cutting-plane generator interface for the MILP search.
+//
+// A cut is a linear inequality valid for every mixed-integer feasible
+// point of the problem but violated by the current (fractional) LP
+// relaxation optimum. Appending cuts tightens the relaxation, so branch
+// & bound prunes with better bounds and explores smaller trees — the
+// classic complement to warm starts (PR 1) and shared encodings (PR 2),
+// which made individual node solves and problem builds cheap but left
+// the tree size untouched.
+//
+// Two generators ship (see src/milp/README.md for the worked example of
+// adding a third):
+//   * ReluSplitCutGenerator — Anderson-style splits of the encoder's
+//     big-M ReLU blocks, separated from the MilpProblem's ReluSplitInfo
+//     metadata and the frozen variable boxes. Globally valid at any
+//     node, so also used for node-local separation.
+//   * GomoryCutGenerator — textbook Gomory mixed-integer cuts read off
+//     the revised simplex tableau via LpBackend::row_of_basis. Root
+//     only: the derivation bakes in the node's variable bounds, which
+//     branching tightens below the root.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/simplex.hpp"
+#include "milp/milp_problem.hpp"
+#include "solver/lp_backend.hpp"
+
+namespace dpv::milp::cuts {
+
+/// Knobs of the cutting-plane engine; lives in BranchAndBoundOptions as
+/// `cuts`. All defaults keep the engine off (`root_rounds = 0`).
+struct CutOptions {
+  /// Separation rounds at the root node (0 disables the engine).
+  std::size_t root_rounds = 0;
+  /// Keep only the most violated cuts of each root round.
+  std::size_t max_cuts_per_round = 32;
+  bool relu_split = true;  ///< enable the ReLU-split family
+  bool gomory = true;      ///< enable Gomory mixed-integer cuts
+  /// Also separate ReLU-split cuts at tree nodes (near the top of the
+  /// tree); workers reload their backend when the shared pool grows, so
+  /// the first re-solve after a pool growth runs cold.
+  bool local = false;
+  std::size_t local_depth_limit = 4;  ///< max fixings for local separation
+  std::size_t max_local_cuts = 64;    ///< total node-local cut budget
+  /// Minimum violation (after normalizing the row to unit inf-norm) for
+  /// a cut to be kept.
+  double min_violation = 1e-4;
+  /// Gomory guard: skip rows whose basic fractional part is within this
+  /// distance of an integer (weak and numerically fragile cuts).
+  double min_fraction = 0.02;
+  /// Reject cuts whose max/min absolute coefficient ratio exceeds this.
+  double max_dynamism = 1e7;
+};
+
+/// One candidate cut. `violation` is measured at the separated point
+/// after sanitize_cut normalized the row (see cut_engine.hpp).
+struct Cut {
+  lp::Row row;
+  double violation = 0.0;
+  const char* source = "";
+};
+
+/// Everything a generator may look at. `relaxation` is the LP optimum
+/// being separated (values indexed by structural variable). `backend`
+/// is the solver that produced it — null or tableau-less backends simply
+/// disable tableau-based generators.
+struct CutContext {
+  const MilpProblem& problem;
+  const lp::LpSolution& relaxation;
+  const solver::LpBackend* backend = nullptr;
+  const CutOptions& options;
+};
+
+/// Stateless separator: inspects the context and appends violated,
+/// valid cuts. Generators must only emit inequalities that hold for
+/// EVERY mixed-integer feasible point of `ctx.problem` (soundness of
+/// the verifier depends on it — a cut that removes a feasible integer
+/// point can turn a real counterexample into a false SAFE verdict).
+class CutGenerator {
+ public:
+  virtual ~CutGenerator() = default;
+  virtual const char* name() const = 0;
+  virtual void generate(const CutContext& ctx, std::vector<Cut>& out) const = 0;
+};
+
+}  // namespace dpv::milp::cuts

@@ -28,6 +28,16 @@ void MilpProblem::set_objective(std::vector<lp::LinearTerm> terms, lp::Objective
   relaxation_.set_objective(std::move(terms), direction);
 }
 
+void MilpProblem::add_relu_split(ReluSplitInfo info) {
+  check(info.out_var < types_.size() && info.phase_var < types_.size(),
+        "MilpProblem::add_relu_split: variable out of range");
+  check(types_[info.phase_var] == VarType::kBinary,
+        "MilpProblem::add_relu_split: phase variable must be binary");
+  for (const lp::LinearTerm& t : info.pre_terms)
+    check(t.var < types_.size(), "MilpProblem::add_relu_split: pre-term out of range");
+  relu_splits_.push_back(std::move(info));
+}
+
 VarType MilpProblem::variable_type(std::size_t var) const {
   check(var < types_.size(), "MilpProblem::variable_type: index out of range");
   return types_[var];

@@ -16,6 +16,19 @@ namespace dpv::milp {
 
 enum class VarType { kContinuous, kBinary };
 
+/// One unstable ReLU's big-M block as recorded by the encoder: the
+/// affine pre-activation x = pre_terms . v + pre_bias feeds
+/// y = max(0, x) with phase binary z. The cut engine (src/milp/cuts/)
+/// separates Anderson-style "ReLU split" inequalities from this
+/// metadata together with the current boxes of the input variables, so
+/// it must describe the encoded rows exactly.
+struct ReluSplitInfo {
+  std::vector<lp::LinearTerm> pre_terms;
+  double pre_bias = 0.0;
+  std::size_t out_var = 0;    ///< y
+  std::size_t phase_var = 0;  ///< z (binary)
+};
+
 /// A MILP: an LpProblem plus integrality marks.
 class MilpProblem {
  public:
@@ -39,10 +52,18 @@ class MilpProblem {
   const lp::LpProblem& relaxation() const { return relaxation_; }
   lp::LpProblem& relaxation() { return relaxation_; }
 
+  /// Registers one unstable ReLU's big-M block for the cut engine.
+  /// Optional: problems without this metadata simply generate no
+  /// ReLU-split cuts. Copied with the problem, so cached base encodings
+  /// carry it through stamp-out.
+  void add_relu_split(ReluSplitInfo info);
+  const std::vector<ReluSplitInfo>& relu_splits() const { return relu_splits_; }
+
  private:
   lp::LpProblem relaxation_;
   std::vector<VarType> types_;
   std::vector<std::size_t> binaries_;
+  std::vector<ReluSplitInfo> relu_splits_;
 };
 
 }  // namespace dpv::milp

@@ -20,6 +20,8 @@ void SolverStats::merge(const SolverStats& other) {
   warm_hits += other.warm_hits;
   lp_iterations += other.lp_iterations;
   warm_iterations += other.warm_iterations;
+  cuts_added += other.cuts_added;
+  cut_rounds += other.cut_rounds;
 }
 
 double SolverStats::warm_hit_rate() const {
@@ -105,6 +107,12 @@ class RevisedBoundedBackend final : public LpBackend {
   }
 
   WarmBasis capture_basis() const override { return simplex_.capture_basis(); }
+
+  bool supports_tableau() const override { return true; }
+
+  bool row_of_basis(std::size_t row, TableauRow& out) const override {
+    return simplex_.tableau_row(row, out);
+  }
 
  private:
   lp::RevisedSimplex simplex_;

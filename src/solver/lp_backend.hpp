@@ -32,6 +32,11 @@ const char* lp_backend_kind_name(LpBackendKind kind);
 /// LpBackend::capture_basis and consumed by LpBackend::resolve.
 using WarmBasis = lp::SimplexBasis;
 
+/// One simplex tableau row over the loaded problem's columns; see
+/// lp::TableauRow for the identity it encodes. Produced by
+/// LpBackend::row_of_basis on tableau-capable backends.
+using TableauRow = lp::TableauRow;
+
 /// Counters aggregated across the solves issued through one backend (or
 /// merged across backends by the MILP layer).
 struct SolverStats {
@@ -40,6 +45,11 @@ struct SolverStats {
   std::size_t warm_hits = 0;       ///< resolves that actually ran warm
   std::size_t lp_iterations = 0;   ///< simplex iterations, all solves
   std::size_t warm_iterations = 0; ///< iterations spent inside warm runs
+  /// Cutting-plane accounting, filled by the MILP search (see
+  /// src/milp/cuts/): rows appended (root + node-local) and separation
+  /// rounds actually run at the root.
+  std::size_t cuts_added = 0;
+  std::size_t cut_rounds = 0;
 
   void merge(const SolverStats& other);
   /// Fraction of warm attempts that did not fall back to a cold solve.
@@ -71,6 +81,20 @@ class LpBackend {
 
   /// Basis snapshot after a successful solve; empty when unsupported.
   virtual WarmBasis capture_basis() const = 0;
+
+  /// True when row_of_basis can read the simplex tableau of the last
+  /// optimal solve (the raw material for Gomory cuts).
+  virtual bool supports_tableau() const { return false; }
+
+  /// Fills `out` with tableau row `row` (0 <= row < loaded row count)
+  /// of the most recent optimal solve; columns are structural j < n and
+  /// logical n + i for problem row i. Returns false when the backend
+  /// has no tableau, nothing was solved yet, or `row` is out of range.
+  virtual bool row_of_basis(std::size_t row, TableauRow& out) const {
+    (void)row;
+    (void)out;
+    return false;
+  }
 
   const SolverStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <string>
 
 #include "absint/linear_bounds.hpp"
@@ -34,6 +35,16 @@ namespace {
 /// Walks a layer range, adding variables and rows to the shared problem.
 class NetworkEncoder {
  public:
+  /// Affine expansion of a freshly-added variable over the previous
+  /// layer's variables (x = terms . v + bias) — the metadata the cut
+  /// engine needs to split an unstable ReLU's big-M block
+  /// (milp::ReluSplitInfo). Tracked only across the single affine layer
+  /// feeding a ReLU; anything nonlinear clears it.
+  struct AffineExpr {
+    std::vector<lp::LinearTerm> terms;
+    double bias = 0.0;
+  };
+
   NetworkEncoder(milp::MilpProblem& problem, const EncodeOptions& options, EncodingStats& stats)
       : problem_(problem), options_(options), stats_(stats) {}
 
@@ -44,6 +55,7 @@ class NetworkEncoder {
   void start(std::vector<std::size_t> input_vars, absint::Box input_box) {
     vars_ = std::move(input_vars);
     bounds_ = std::move(input_box);
+    affine_.assign(vars_.size(), std::nullopt);
   }
 
   void encode_range(const nn::Network& net, std::size_t from_layer, std::size_t to_layer,
@@ -145,6 +157,7 @@ class NetworkEncoder {
     internal_check(vars_.size() == in_n, "encoder: dense input arity mismatch");
     std::vector<std::size_t> out_vars(out_n);
     absint::Box out_bounds(out_n);
+    std::vector<std::optional<AffineExpr>> out_affine(out_n);
     for (std::size_t r = 0; r < out_n; ++r) {
       std::vector<double> weights(in_n);
       for (std::size_t c = 0; c < in_n; ++c) weights[c] = layer.weight().at2(r, c);
@@ -154,15 +167,21 @@ class NetworkEncoder {
                                 tag + "_n" + std::to_string(r));
       // y - sum w x = b
       std::vector<lp::LinearTerm> terms{{y, 1.0}};
-      for (std::size_t c = 0; c < in_n; ++c)
-        if (weights[c] != 0.0) terms.push_back({vars_[c], -weights[c]});
+      AffineExpr expr{{}, layer.bias()[r]};
+      for (std::size_t c = 0; c < in_n; ++c) {
+        if (weights[c] == 0.0) continue;
+        terms.push_back({vars_[c], -weights[c]});
+        expr.terms.push_back({vars_[c], weights[c]});
+      }
       problem_.add_row(std::move(terms), lp::RowSense::kEqual, layer.bias()[r]);
       iv = tighten(y, iv);
       out_vars[r] = y;
       out_bounds[r] = iv;
+      out_affine[r] = std::move(expr);
     }
     vars_ = std::move(out_vars);
     bounds_ = std::move(out_bounds);
+    affine_ = std::move(out_affine);
   }
 
   void encode_batchnorm(const nn::BatchNorm& layer, const std::string& tag) {
@@ -183,6 +202,9 @@ class NetworkEncoder {
     }
     vars_ = std::move(out_vars);
     bounds_ = std::move(out_bounds);
+    // Single-variable expansions cannot be split (the triangle row is
+    // already the convex hull of one input); drop the tracking.
+    affine_.assign(vars_.size(), std::nullopt);
   }
 
   void encode_relu(const std::string& tag) {
@@ -223,6 +245,11 @@ class NetworkEncoder {
       problem_.add_row({{y, 1.0}, {z, -hi_pos}}, lp::RowSense::kLessEqual, 0.0);
       // y <= x - lo * (1 - z)   <=>   y - x - lo*z <= -lo
       problem_.add_row({{y, 1.0}, {x, -1.0}, {z, -lo_neg}}, lp::RowSense::kLessEqual, -lo_neg);
+      // Register the block for the cut engine when the pre-activation's
+      // affine expansion over the previous layer is known and wide
+      // enough for subset splits to add anything beyond the rows above.
+      if (i < affine_.size() && affine_[i].has_value() && affine_[i]->terms.size() >= 2)
+        problem_.add_relu_split({affine_[i]->terms, affine_[i]->bias, y, z});
       if (options_.triangle_relaxation && lo < 0.0 && hi > 0.0) {
         // Convex upper envelope (the "triangle" of Planet / Ehlers'17):
         //   y <= hi * (x - lo) / (hi - lo)
@@ -235,6 +262,7 @@ class NetworkEncoder {
     }
     vars_ = std::move(out_vars);
     bounds_ = std::move(out_bounds);
+    affine_.assign(vars_.size(), std::nullopt);  // outputs are nonlinear
   }
 
   void encode_leaky_relu(double alpha, const std::string& tag) {
@@ -293,6 +321,7 @@ class NetworkEncoder {
     }
     vars_ = std::move(out_vars);
     bounds_ = std::move(out_bounds);
+    affine_.assign(vars_.size(), std::nullopt);  // outputs are nonlinear
   }
 
   milp::MilpProblem& problem_;
@@ -300,6 +329,10 @@ class NetworkEncoder {
   EncodingStats& stats_;
   std::vector<std::size_t> vars_;
   absint::Box bounds_;
+  /// Per current variable: affine expansion over the previous layer
+  /// (set by encode_dense, consumed by encode_relu, cleared by anything
+  /// nonlinear).
+  std::vector<std::optional<AffineExpr>> affine_;
 };
 
 }  // namespace

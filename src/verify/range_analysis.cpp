@@ -33,6 +33,14 @@ RangeResult output_functional_range(const VerificationQuery& query,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - encode_start).count();
   check(coeffs.size() == enc.output_vars.size(),
         "output_functional_range: coefficient count does not match output arity");
+  // Guard for the in-place objective flip below: the encoding must be
+  // exclusively ours. A non-empty objective means another caller (or a
+  // future shared-encoding code path) is mid-flight on this problem —
+  // fail loudly rather than race on the objective vector.
+  check(enc.problem.relaxation().objective_terms().empty(),
+        "output_functional_range: encoding already carries an objective; "
+        "a TailEncoding must not be shared across concurrent range queries "
+        "(each call needs its own instantiate()/encode copy)");
 
   std::vector<lp::LinearTerm> objective;
   for (std::size_t i = 0; i < coeffs.size(); ++i)
@@ -54,6 +62,9 @@ RangeResult output_functional_range(const VerificationQuery& query,
     if (r.status != milp::MilpStatus::kOptimal) result.exact = false;
     (direction == lp::Objective::kMinimize ? lo : hi) = r.objective;
   }
+  // Leave the encoding the way we found it (objective-free), so the
+  // guard above holds for whoever touches this problem object next.
+  enc.problem.set_objective({}, lp::Objective::kMinimize);
   result.range = absint::Interval(std::min(lo, hi), std::max(lo, hi));
   return result;
 }

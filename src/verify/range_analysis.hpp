@@ -44,6 +44,16 @@ RangeResult output_range(const VerificationQuery& query, std::size_t output_inde
                          const RangeAnalysisOptions& options = {});
 
 /// Reachable range of a linear functional sum_i coeffs[i] * output[i].
+///
+/// Non-reentrancy note: both directions reuse ONE encoding and the
+/// objective is flipped on it *in place* between the two solves — the
+/// encoding must therefore be private to the call. Today it always is
+/// (cache stamp-outs are per-call copies), and the implementation both
+/// asserts the invariant (the encoding must arrive objective-free) and
+/// clears the objective afterwards, so if a future change ever hands
+/// two concurrent callers the same TailEncoding, one of them fails the
+/// assertion loudly instead of racing on the objective vector. The
+/// functions themselves are safe to call concurrently.
 RangeResult output_functional_range(const VerificationQuery& query,
                                     const std::vector<double>& coeffs,
                                     const RangeAnalysisOptions& options = {});

@@ -27,6 +27,9 @@ std::string VerificationResult::summary() const {
       << solver::lp_backend_kind_name(backend);
   if (solver_stats.warm_attempts > 0)
     out << ", warm-hit=" << solver_stats.warm_hit_rate();
+  if (solver_stats.cut_rounds > 0 || solver_stats.cuts_added > 0)
+    out << ", cuts=" << solver_stats.cuts_added << "/" << solver_stats.cut_rounds
+        << "r";
   out << ", encode=" << encode_seconds << "s, solve=" << solve_seconds << "s)";
   if (!note.empty()) out << " [" << note << "]";
   return out.str();

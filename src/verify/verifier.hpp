@@ -47,7 +47,8 @@ struct VerificationResult {
   double solve_seconds = 0.0;
   /// Which LP backend solved the node relaxations.
   solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
-  /// Warm-start hit rate and iteration accounting from the MILP search.
+  /// Warm-start hit rate, iteration accounting and cutting-plane
+  /// counters (`cuts_added`, `cut_rounds`) from the MILP search.
   solver::SolverStats solver_stats;
   /// Set when the verdict is kUnknown for a reason worth surfacing (e.g.
   /// an LP iteration limit rather than the node budget).
@@ -58,8 +59,10 @@ struct VerificationResult {
 
 struct TailVerifierOptions {
   EncodeOptions encode = {};
-  /// MILP search options; `milp.backend` selects the LP backend and
-  /// `milp.threads` enables parallel node exploration.
+  /// MILP search options; `milp.backend` selects the LP backend,
+  /// `milp.threads` enables parallel node exploration and
+  /// `milp.cuts.root_rounds` turns on the cutting-plane engine
+  /// (verdict-preserving; shrinks proof trees on hard SAFE queries).
   milp::BranchAndBoundOptions milp = {};
   /// Tolerance for re-validating counterexamples on the concrete tail.
   double validation_tolerance = 1e-6;

@@ -14,12 +14,14 @@
 // exhaust the branch & bound tree — the worst case for verification.
 //
 // Machine-readable results land in BENCH_e5.json (cwd) so the perf
-// trajectory is tracked across PRs; the cutting-plane axis writes
-// BENCH_cuts.json (B&B node counts with the cut engine off / root /
-// root+local at verdict parity), and the bounds-method x encoding-cache
-// battery additionally writes BENCH_encoding.json (binaries, stable
-// ReLUs and encode time per bound method, plus the cached stamp-out
-// speedup after the first entry).
+// trajectory is tracked across PRs; the basis-factorization axis writes
+// BENCH_simplex.json (dense-inverse vs sparse-LU pivot counts, refactor
+// counts, eta nonzeros and wall time at verdict parity), the
+// cutting-plane axis writes BENCH_cuts.json (B&B node counts with the
+// cut engine off / root / root+local at verdict parity), and the
+// bounds-method x encoding-cache battery additionally writes
+// BENCH_encoding.json (binaries, stable ReLUs and encode time per bound
+// method, plus the cached stamp-out speedup after the first entry).
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -112,9 +114,10 @@ std::vector<Query> make_query_set() {
   return queries;
 }
 
-verify::VerificationResult verify_tail(const Query& query, solver::LpBackendKind backend,
-                                       std::size_t threads, std::size_t cut_rounds = 0,
-                                       bool local_cuts = false) {
+verify::VerificationResult verify_tail(
+    const Query& query, solver::LpBackendKind backend, std::size_t threads,
+    std::size_t cut_rounds = 0, bool local_cuts = false,
+    lp::FactorizationKind factorization = lp::FactorizationKind::kSparseLu) {
   verify::VerificationQuery vq;
   vq.network = &query.net;
   vq.attach_layer = 0;
@@ -128,6 +131,7 @@ verify::VerificationResult verify_tail(const Query& query, solver::LpBackendKind
   options.milp.threads = threads;
   options.milp.cuts.root_rounds = cut_rounds;
   options.milp.cuts.local = local_cuts;
+  options.milp.lp_options.factorization = factorization;
   return verify::TailVerifier(options).verify(vq);
 }
 
@@ -269,6 +273,122 @@ void print_cuts_report(const std::vector<Query>& queries) {
   }
   std::printf("verdict parity across cut configurations: %s\n", parity ? "OK" : "MISMATCH");
   emit_cuts_json(sweeps, parity);
+}
+
+// --------------------------------------------------------------------
+// Basis-factorization axis: the same SAFE-proof battery with the revised
+// backend's dense explicit inverse vs the sparse LU + eta-update engine.
+// Dense pivots cost O(m²) no matter how sparse the basis; the LU engine's
+// cost tracks the nonzeros actually touched, so the gap must widen with
+// the tail (the widest configuration is reported separately).
+
+struct SimplexSweep {
+  std::string factorization;
+  double wall_seconds = 0.0;
+  std::size_t nodes = 0;
+  std::size_t pivots = 0;  ///< simplex iterations across the battery
+  std::size_t factorizations = 0;
+  std::size_t updates = 0;
+  double avg_eta_nnz = 0.0;
+  double factor_seconds = 0.0;
+  double pivot_seconds = 0.0;
+  double widest_seconds = 0.0;  ///< wall on the widest tail of the battery
+  std::string verdicts;
+};
+
+SimplexSweep run_simplex_sweep(const std::vector<Query>& queries,
+                               lp::FactorizationKind kind) {
+  SimplexSweep sweep;
+  sweep.factorization = lp::factorization_kind_name(kind);
+  std::size_t widest = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i)
+    if (queries[i].width * queries[i].depth >=
+        queries[widest].width * queries[widest].depth)
+      widest = i;
+  solver::SolverStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto query_start = std::chrono::steady_clock::now();
+    const verify::VerificationResult r =
+        verify_tail(queries[i], solver::LpBackendKind::kRevisedBounded, 1, 0, false, kind);
+    if (i == widest)
+      sweep.widest_seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - query_start)
+                                 .count();
+    sweep.nodes += r.milp_nodes;
+    sweep.pivots += r.lp_iterations;
+    stats.merge(r.solver_stats);
+    if (!sweep.verdicts.empty()) sweep.verdicts += ',';
+    sweep.verdicts += verify::verdict_name(r.verdict);
+  }
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  sweep.factorizations = stats.basis_factorizations;
+  sweep.updates = stats.basis_updates;
+  sweep.avg_eta_nnz = stats.avg_eta_nonzeros();
+  sweep.factor_seconds = stats.factor_seconds;
+  sweep.pivot_seconds = stats.pivot_seconds;
+  return sweep;
+}
+
+void emit_simplex_json(const std::vector<SimplexSweep>& sweeps, bool parity) {
+  std::FILE* f = std::fopen("BENCH_simplex.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_simplex.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e5_factorization\",\n  \"sweeps\": [\n");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SimplexSweep& s = sweeps[i];
+    std::fprintf(f,
+                 "    {\"factorization\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"widest_tail_seconds\": %.6f, \"nodes\": %zu, \"pivots\": %zu, "
+                 "\"refactorizations\": %zu, \"updates\": %zu, \"avg_eta_nnz\": %.2f, "
+                 "\"factor_seconds\": %.6f, \"pivot_seconds\": %.6f, "
+                 "\"verdicts\": \"%s\"}%s\n",
+                 s.factorization.c_str(), s.wall_seconds, s.widest_seconds, s.nodes,
+                 s.pivots, s.factorizations, s.updates, s.avg_eta_nnz, s.factor_seconds,
+                 s.pivot_seconds, s.verdicts.c_str(), i + 1 < sweeps.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_battery\": %.3f,\n",
+               sweeps[1].wall_seconds > 0 ? sweeps[0].wall_seconds / sweeps[1].wall_seconds
+                                          : 0.0);
+  std::fprintf(f, "  \"speedup_widest_tail\": %.3f,\n",
+               sweeps[1].widest_seconds > 0
+                   ? sweeps[0].widest_seconds / sweeps[1].widest_seconds
+                   : 0.0);
+  std::fprintf(f, "  \"verdict_parity\": %s\n}\n", parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_simplex.json\n");
+}
+
+void print_simplex_report(const std::vector<Query>& queries) {
+  std::printf("\n=== E5: basis factorization axis (same SAFE-proof battery, revised backend) ===\n");
+  std::printf("%14s | %9s | %9s | %8s | %8s | %8s | %9s | %9s\n", "factorization",
+              "wall s", "pivots", "refactor", "updates", "eta-nnz", "factor s",
+              "pivot s");
+  std::printf("---------------+-----------+-----------+----------+----------+----------+-----------+----------\n");
+  std::vector<SimplexSweep> sweeps;
+  sweeps.push_back(run_simplex_sweep(queries, lp::FactorizationKind::kDenseInverse));
+  sweeps.push_back(run_simplex_sweep(queries, lp::FactorizationKind::kSparseLu));
+  bool parity = true;
+  for (const SimplexSweep& s : sweeps) {
+    if (s.verdicts != sweeps.front().verdicts) parity = false;
+    std::printf("%14s | %9.3f | %9zu | %8zu | %8zu | %8.1f | %9.4f | %9.4f\n",
+                s.factorization.c_str(), s.wall_seconds, s.pivots, s.factorizations,
+                s.updates, s.avg_eta_nnz, s.factor_seconds, s.pivot_seconds);
+  }
+  std::printf("verdict parity dense-inverse vs sparse-lu: %s\n",
+              parity ? "OK" : "MISMATCH");
+  std::printf("battery speedup %.2fx; widest tail (w=%zu d=%zu) %.3fs -> %.3fs (%.2fx)\n",
+              sweeps[1].wall_seconds > 0 ? sweeps[0].wall_seconds / sweeps[1].wall_seconds
+                                         : 0.0,
+              queries.back().width, queries.back().depth, sweeps[0].widest_seconds,
+              sweeps[1].widest_seconds,
+              sweeps[1].widest_seconds > 0
+                  ? sweeps[0].widest_seconds / sweeps[1].widest_seconds
+                  : 0.0);
+  emit_simplex_json(sweeps, parity);
 }
 
 // --------------------------------------------------------------------
@@ -527,6 +647,8 @@ void print_report() {
                 "      verdict parity above is the correctness evidence.\n");
 
   emit_json(sweeps, verdicts_match, queries.size(), serial, pooled);
+
+  print_simplex_report(queries);
 
   print_cuts_report(queries);
 

@@ -51,6 +51,16 @@ std::string CampaignReport::format_encoding_summary() const {
     out << "; cuts: " << cuts_added << " added over " << cut_rounds
         << " root rounds, " << milp_nodes << " B&B nodes total";
   }
+  if (solver_totals.basis_factorizations > 0 || solver_totals.basis_updates > 0) {
+    out << "; basis: " << solver_totals.basis_factorizations << " factorizations, "
+        << solver_totals.basis_updates << " updates";
+    if (solver_totals.basis_updates > 0)
+      out << " (avg eta nnz " << solver_totals.avg_eta_nonzeros() << ")";
+    if (solver_totals.singular_recoveries > 0)
+      out << ", " << solver_totals.singular_recoveries << " singular recoveries";
+    out << "; lp time " << solver_totals.factor_seconds << "s factor + "
+        << solver_totals.pivot_seconds << "s pivot";
+  }
   return out.str();
 }
 
@@ -125,9 +135,8 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   for (WorkflowReport& wr : results) {
     report.encode_seconds += wr.safety.verification.encode_seconds;
     report.solve_seconds += wr.safety.verification.solve_seconds;
-    report.cuts_added += wr.safety.verification.solver_stats.cuts_added;
-    report.cut_rounds += wr.safety.verification.solver_stats.cut_rounds;
     report.milp_nodes += wr.safety.verification.milp_nodes;
+    report.solver_totals.merge(wr.safety.verification.solver_stats);
     if (!wr.characterizer_usable) {
       ++report.uncharacterizable_count;
     } else {
@@ -146,6 +155,10 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
     }
     report.reports.push_back(std::move(wr));
   }
+  // The dedicated cut counters mirror the merged totals (kept as
+  // top-level fields for report readers; one accumulation source).
+  report.cuts_added = report.solver_totals.cuts_added;
+  report.cut_rounds = report.solver_totals.cut_rounds;
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/workflow.hpp"
+#include "solver/lp_backend.hpp"
 
 namespace dpv::core {
 
@@ -48,6 +49,13 @@ struct CampaignReport {
   std::size_t cuts_added = 0;
   std::size_t cut_rounds = 0;
   std::size_t milp_nodes = 0;
+
+  /// Full solver accounting merged across entries via
+  /// solver::SolverStats::merge — warm starts, basis-factorization work
+  /// (factorizations, eta updates + nonzeros, singular recoveries) and
+  /// the factor-vs-pivot wall-time split. New SolverStats counters flow
+  /// through without touching this struct.
+  solver::SolverStats solver_totals;
 
   /// Aggregated table (one line per entry) plus a verdict tally.
   /// Deterministic: bit-identical across thread counts and between

@@ -1,0 +1,310 @@
+#include "lp/basis_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpv::lp {
+
+namespace {
+
+/// Absolute floor under which a pivot element is never trusted.
+constexpr double kAbsPivotTol = 1e-11;
+/// Threshold (relative to the column max) for Markowitz pivot stability.
+constexpr double kRelPivotTol = 0.01;
+/// Eta pivots below this force a refactorization instead of an update.
+constexpr double kEtaPivotTol = 1e-10;
+/// Entries below this are dropped from eta columns.
+constexpr double kEtaDropTol = 1e-12;
+/// Eta-file length cap before should_refactorize() fires.
+constexpr std::size_t kMaxEtas = 64;
+
+}  // namespace
+
+bool BasisLu::factorize(const CscMatrix& A, std::size_t n,
+                        const std::vector<std::int32_t>& basic) {
+  m_ = basic.size();
+  valid_ = false;
+  prow_.assign(m_, 0);
+  pcol_.assign(m_, 0);
+  lcols_.assign(m_, {});
+  urows_.assign(m_, {});
+  udiag_.assign(m_, 0.0);
+  lu_nonzeros_ = 0;
+  etas_.clear();
+  eta_file_nonzeros_ = 0;
+  if (m_ == 0) {
+    valid_ = true;
+    return true;
+  }
+
+  // Active submatrix: columns hold the live entries, rows keep a
+  // (possibly stale, deduplicated on use) pattern of touching columns.
+  std::vector<std::vector<std::pair<std::size_t, double>>> colv(m_);
+  std::vector<std::vector<std::size_t>> rowpat(m_);
+  std::vector<std::size_t> rowcount(m_, 0), colcount(m_, 0);
+  std::vector<std::uint8_t> rowactive(m_, 1), colactive(m_, 1);
+
+  for (std::size_t k = 0; k < m_; ++k) {
+    const std::size_t j = static_cast<std::size_t>(basic[k]);
+    if (j >= n) {
+      const std::size_t i = j - n;
+      if (i >= m_) return false;
+      colv[k].emplace_back(i, -1.0);
+    } else {
+      if (j >= A.cols) return false;
+      for (std::size_t e = A.col_start[j]; e < A.col_start[j + 1]; ++e) {
+        if (A.row_index[e] >= m_) return false;
+        colv[k].emplace_back(A.row_index[e], A.value[e]);
+      }
+    }
+    if (colv[k].empty()) return false;  // structurally singular column
+    // Merge duplicate rows defensively (the simplex's CSC is already
+    // merged; hand-built matrices may not be) — the elimination assumes
+    // one entry per (row, column).
+    std::sort(colv[k].begin(), colv[k].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t out = 0;
+    for (std::size_t e = 0; e < colv[k].size(); ++e) {
+      if (out > 0 && colv[k][out - 1].first == colv[k][e].first)
+        colv[k][out - 1].second += colv[k][e].second;
+      else
+        colv[k][out++] = colv[k][e];
+    }
+    colv[k].resize(out);
+    colcount[k] = colv[k].size();
+    for (const auto& [i, v] : colv[k]) {
+      (void)v;
+      rowpat[i].push_back(k);
+      ++rowcount[i];
+    }
+  }
+  for (std::size_t i = 0; i < m_; ++i)
+    if (rowcount[i] == 0) return false;  // structurally singular row
+
+  // Singleton queues: columns/rows that can be pivoted with zero fill.
+  std::vector<std::size_t> col_singletons, row_singletons;
+  for (std::size_t k = 0; k < m_; ++k)
+    if (colcount[k] == 1) col_singletons.push_back(k);
+  for (std::size_t i = 0; i < m_; ++i)
+    if (rowcount[i] == 1) row_singletons.push_back(i);
+
+  // Scratch for scatter updates and per-step rowpat dedup.
+  std::vector<std::size_t> pos(m_, 0);
+  std::vector<std::size_t> stamp(m_, 0);
+  std::size_t stamp_clock = 0;
+
+  const auto note_col = [&](std::size_t c) {
+    if (colactive[c] && colcount[c] == 1) col_singletons.push_back(c);
+  };
+  const auto note_row = [&](std::size_t i) {
+    if (rowactive[i] && rowcount[i] == 1) row_singletons.push_back(i);
+  };
+
+  // One elimination step with pivot at (row ip, basis position jp).
+  const auto do_pivot = [&](std::size_t t, std::size_t ip, std::size_t jp) {
+    prow_[t] = ip;
+    pcol_[t] = jp;
+    double pv = 0.0;
+    for (const auto& [i, v] : colv[jp])
+      if (i == ip) pv = v;
+    udiag_[t] = pv;
+
+    // L: the other rows of the pivot column, scaled. The column leaves
+    // the active submatrix with them.
+    auto& lcol = lcols_[t];
+    for (const auto& [i, v] : colv[jp]) {
+      if (i == ip) continue;
+      lcol.emplace_back(i, v / pv);
+      --rowcount[i];
+      note_row(i);
+    }
+    colactive[jp] = 0;
+    colv[jp].clear();
+
+    // U: the pivot row's remaining entries — extracted, removed, and
+    // (when L is non-trivial) eliminated into their columns.
+    ++stamp_clock;
+    auto& urow = urows_[t];
+    for (const std::size_t c : rowpat[ip]) {
+      if (!colactive[c] || stamp[c] == stamp_clock) continue;
+      stamp[c] = stamp_clock;
+      auto& col = colv[c];
+      double u = 0.0;
+      std::size_t at = col.size();
+      for (std::size_t e = 0; e < col.size(); ++e) {
+        if (col[e].first == ip) {
+          u = col[e].second;
+          at = e;
+          break;
+        }
+      }
+      if (at == col.size()) continue;  // stale pattern entry
+      urow.emplace_back(c, u);
+      col[at] = col.back();
+      col.pop_back();
+      --colcount[c];
+      if (!lcol.empty() && u != 0.0) {
+        for (std::size_t e = 0; e < col.size(); ++e) pos[col[e].first] = e + 1;
+        for (const auto& [i, l] : lcol) {
+          const double delta = -l * u;
+          if (pos[i] != 0) {
+            col[pos[i] - 1].second += delta;
+          } else {
+            col.emplace_back(i, delta);
+            pos[i] = col.size();
+            rowpat[i].push_back(c);
+            ++rowcount[i];
+            ++colcount[c];
+          }
+        }
+        for (std::size_t e = 0; e < col.size(); ++e) pos[col[e].first] = 0;
+      }
+      note_col(c);
+    }
+    rowactive[ip] = 0;
+    rowpat[ip].clear();
+    lu_nonzeros_ += lcol.size() + urow.size() + 1;
+  };
+
+  for (std::size_t t = 0; t < m_; ++t) {
+    std::size_t ip = m_, jp = m_;
+    // Free pivots first: column singletons, then row singletons — the
+    // triangularization that handles the (dominant) logical part of
+    // verification bases in O(nnz).
+    while (!col_singletons.empty() && jp == m_) {
+      const std::size_t k = col_singletons.back();
+      col_singletons.pop_back();
+      if (!colactive[k] || colcount[k] != 1) continue;
+      if (std::abs(colv[k].front().second) < kAbsPivotTol) continue;  // bump decides
+      ip = colv[k].front().first;
+      jp = k;
+    }
+    while (!row_singletons.empty() && jp == m_) {
+      const std::size_t i = row_singletons.back();
+      row_singletons.pop_back();
+      if (!rowactive[i] || rowcount[i] != 1) continue;
+      for (const std::size_t c : rowpat[i]) {
+        if (!colactive[c]) continue;
+        for (const auto& [r, v] : colv[c]) {
+          if (r != i) continue;
+          if (std::abs(v) >= kAbsPivotTol) {
+            ip = i;
+            jp = c;
+          }
+          break;
+        }
+        if (jp != m_) break;
+      }
+    }
+    if (jp == m_) {
+      // Markowitz bump search: minimize (r-1)(c-1) over stability-
+      // acceptable entries of the remaining active submatrix.
+      std::size_t best_cost = static_cast<std::size_t>(-1);
+      double best_abs = 0.0;
+      for (std::size_t k = 0; k < m_; ++k) {
+        if (!colactive[k]) continue;
+        double colmax = 0.0;
+        for (const auto& [i, v] : colv[k]) colmax = std::max(colmax, std::abs(v));
+        const double accept = std::max(kAbsPivotTol, kRelPivotTol * colmax);
+        for (const auto& [i, v] : colv[k]) {
+          const double a = std::abs(v);
+          if (a < accept) continue;
+          const std::size_t cost = (rowcount[i] - 1) * (colcount[k] - 1);
+          if (cost < best_cost || (cost == best_cost && a > best_abs)) {
+            best_cost = cost;
+            best_abs = a;
+            ip = i;
+            jp = k;
+          }
+        }
+        if (best_cost == 0) break;
+      }
+      if (jp == m_) return false;  // numerically singular
+    }
+    do_pivot(t, ip, jp);
+  }
+
+  valid_ = true;
+  return true;
+}
+
+void BasisLu::ftran(std::vector<double>& x) const {
+  // L row operations in pivot order.
+  for (std::size_t t = 0; t < m_; ++t) {
+    const double xp = x[prow_[t]];
+    if (xp == 0.0) continue;
+    for (const auto& [i, l] : lcols_[t]) x[i] -= l * xp;
+  }
+  // Back substitution through U into basis-position space.
+  solve_scratch_.assign(m_, 0.0);
+  std::vector<double>& out = solve_scratch_;
+  for (std::size_t t = m_; t-- > 0;) {
+    double v = x[prow_[t]];
+    for (const auto& [c, u] : urows_[t]) {
+      if (out[c] != 0.0) v -= u * out[c];
+    }
+    out[pcol_[t]] = v / udiag_[t];
+  }
+  x.swap(solve_scratch_);
+  // Eta file, oldest first.
+  for (const Eta& eta : etas_) {
+    const double xr = x[eta.pivot];
+    if (xr == 0.0) continue;
+    const double scaled = xr * eta.inv_pivot;
+    for (const auto& [i, w] : eta.entries) x[i] -= w * scaled;
+    x[eta.pivot] = scaled;
+  }
+}
+
+void BasisLu::btran(std::vector<double>& x) const {
+  // Eta transposes, newest first.
+  for (std::size_t e = etas_.size(); e-- > 0;) {
+    const Eta& eta = etas_[e];
+    double acc = x[eta.pivot];
+    for (const auto& [i, w] : eta.entries) acc -= w * x[i];
+    x[eta.pivot] = acc * eta.inv_pivot;
+  }
+  // Forward solve through Uᵀ (column-oriented scatter), result lands in
+  // constraint-row space.
+  solve_scratch_.assign(m_, 0.0);
+  std::vector<double>& out = solve_scratch_;
+  for (std::size_t t = 0; t < m_; ++t) {
+    const double v = x[pcol_[t]] / udiag_[t];
+    out[prow_[t]] = v;
+    if (v == 0.0) continue;
+    for (const auto& [c, u] : urows_[t]) x[c] -= u * v;
+  }
+  // Lᵀ gathers in reverse pivot order.
+  for (std::size_t t = m_; t-- > 0;) {
+    if (lcols_[t].empty()) continue;
+    double acc = out[prow_[t]];
+    for (const auto& [i, l] : lcols_[t]) acc -= l * out[i];
+    out[prow_[t]] = acc;
+  }
+  x.swap(solve_scratch_);
+}
+
+bool BasisLu::update(std::size_t r, const std::vector<double>& w) {
+  if (!valid_ || r >= m_) return false;
+  const double pivot = w[r];
+  if (std::abs(pivot) < kEtaPivotTol) return false;
+  Eta eta;
+  eta.pivot = r;
+  eta.inv_pivot = 1.0 / pivot;
+  for (std::size_t i = 0; i < m_; ++i) {
+    if (i == r || std::abs(w[i]) <= kEtaDropTol) continue;
+    eta.entries.emplace_back(i, w[i]);
+  }
+  eta_file_nonzeros_ += eta.entries.size() + 1;
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+bool BasisLu::should_refactorize() const {
+  if (etas_.size() >= kMaxEtas) return true;
+  // Every eta taxes every later solve; once the file outweighs the LU
+  // factors several times over, refactorizing is the cheaper steady state.
+  return eta_file_nonzeros_ > 4 * (lu_nonzeros_ + m_);
+}
+
+}  // namespace dpv::lp

@@ -1,0 +1,128 @@
+// Sparse LU basis factorization with product-form (eta) updates — the
+// factorization engine behind the revised simplex.
+//
+// Verification bases are overwhelmingly sparse: big-M ReLU rows touch a
+// handful of neurons, characterizer and cut rows a few more, and most
+// basis columns are logicals (-e_i). A dense m×m inverse makes every
+// pivot O(m²) regardless; this engine factorizes the basis matrix B as
+// P B Q = L U with Markowitz-style pivoting (free singleton
+// triangularization first, then a (r-1)(c-1) fill-minimizing search over
+// the residual bump with threshold stability), and absorbs simplex
+// pivots as sparse eta columns in product form:
+//
+//   B_k^{-1} = E_k · ... · E_1 · B_0^{-1},   E_j an identity except for
+//   one column built from the FTRAN'd entering column.
+//
+// FTRAN (B x = b) applies the recorded L row-operations in pivot order,
+// back-substitutes through U, then applies the eta file; BTRAN (Bᵀ x = b)
+// runs the transposes in reverse. All solves skip zero entries, so work
+// scales with the nonzeros actually touched (the hyper-sparse case —
+// unit BTRAN rhs for the dual pivot row — stays far below O(m)).
+//
+// Refactorization policy: `should_refactorize()` fires when the eta file
+// grows past a fixed length or its accumulated nonzeros dwarf the LU
+// factors (each eta makes every later solve more expensive, so the
+// O(nnz) refactorization eventually pays for itself); numerical-drift
+// triggers live in the simplex (it cross-checks the FTRAN'd pivot
+// element against the BTRAN'd pivot row). `update()` refuses tiny eta
+// pivots, which also forces a refactorization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dpv::lp {
+
+/// Compressed sparse column matrix: the loaded constraint matrix's
+/// structural columns. Entries within a column are sorted by row.
+struct CscMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::size_t> col_start;  ///< size cols + 1
+  std::vector<std::size_t> row_index;  ///< size nnz
+  std::vector<double> value;           ///< size nnz
+
+  std::size_t nonzeros() const { return row_index.size(); }
+};
+
+/// Cumulative factorization-engine counters. Kept by the simplex across
+/// loads (the backend layer reports per-solve deltas into SolverStats).
+struct BasisFactorStats {
+  std::size_t factorizations = 0;       ///< full (re)factorizations
+  std::size_t updates = 0;              ///< pivots absorbed as updates
+  std::size_t eta_nonzeros = 0;         ///< nnz appended to the eta file
+  std::size_t singular_recoveries = 0;  ///< crash-basis fallbacks
+  double factor_seconds = 0.0;          ///< wall time inside factorize/refactorize
+  double pivot_seconds = 0.0;           ///< wall time pivoting (solve loop minus factor)
+};
+
+/// Sparse LU factors of one basis matrix plus the eta file of pivots
+/// applied since the last factorization. Input/output index spaces:
+/// FTRAN maps constraint-row space to basis-position space, BTRAN the
+/// reverse — matching B's shape (rows × basis positions).
+class BasisLu {
+ public:
+  /// Factorizes the basis selected by `basic` (size m): entry j < n is
+  /// structural column j of `A`, entry j >= n the logical column
+  /// -e_{j-n}. Clears the eta file. Returns false (and invalidates the
+  /// engine) when the basis is numerically singular.
+  bool factorize(const CscMatrix& A, std::size_t n,
+                 const std::vector<std::int32_t>& basic);
+
+  bool valid() const { return valid_; }
+  std::size_t dimension() const { return m_; }
+
+  /// x := B^{-1} x (x dense, size m; zeros are skipped, not scanned-free).
+  void ftran(std::vector<double>& x) const;
+
+  /// x := B^{-T} x (x dense, size m).
+  void btran(std::vector<double>& x) const;
+
+  /// Absorbs a simplex pivot replacing basis position `r`, where `w` is
+  /// the FTRAN'd entering column (w = B^{-1} a_q). Returns false when
+  /// |w[r]| is too small to trust as an eta pivot — the caller must
+  /// refactorize instead.
+  bool update(std::size_t r, const std::vector<double>& w);
+
+  /// Eta-file-driven refactorization trigger (see file comment).
+  bool should_refactorize() const;
+
+  std::size_t eta_count() const { return etas_.size(); }
+  std::size_t lu_nonzeros() const { return lu_nonzeros_; }
+  std::size_t eta_file_nonzeros() const { return eta_file_nonzeros_; }
+
+ private:
+  struct Eta {
+    std::size_t pivot = 0;  ///< basis position replaced
+    double inv_pivot = 0.0; ///< 1 / w[pivot]
+    std::vector<std::pair<std::size_t, double>> entries;  ///< (i, w[i]), i != pivot
+  };
+
+  std::size_t m_ = 0;
+  bool valid_ = false;
+
+  // Pivot order: step t eliminated row prow_[t] against basis position
+  // pcol_[t].
+  std::vector<std::size_t> prow_;
+  std::vector<std::size_t> pcol_;
+
+  /// L as row operations in pivot order: at step t, x[i] -= mult * x[prow_[t]].
+  std::vector<std::vector<std::pair<std::size_t, double>>> lcols_;
+  /// U rows in pivot order: entries (basis position, coeff) right of the
+  /// diagonal; udiag_[t] is the pivot element.
+  std::vector<std::vector<std::pair<std::size_t, double>>> urows_;
+  std::vector<double> udiag_;
+  std::size_t lu_nonzeros_ = 0;
+
+  std::vector<Eta> etas_;
+  std::size_t eta_file_nonzeros_ = 0;
+
+  /// Solve scratch reused across ftran/btran calls (no per-call heap
+  /// allocation in the pivot loop). BasisLu is single-owner,
+  /// single-threaded — parallel searches give each worker its own
+  /// simplex and therefore its own engine.
+  mutable std::vector<double> solve_scratch_;
+};
+
+}  // namespace dpv::lp

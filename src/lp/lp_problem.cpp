@@ -32,6 +32,28 @@ void LpProblem::add_rows(std::vector<Row> rows) {
   for (Row& row : rows) add_row(std::move(row.terms), row.sense, row.rhs);
 }
 
+void LpProblem::remove_rows(const std::vector<std::size_t>& sorted_indices) {
+  if (sorted_indices.empty()) return;
+  // Validate before mutating so a bad index list cannot leave the
+  // problem half-compacted.
+  for (std::size_t k = 0; k < sorted_indices.size(); ++k) {
+    check(sorted_indices[k] < rows_.size(), "LpProblem::remove_rows: index out of range");
+    check(k == 0 || sorted_indices[k - 1] < sorted_indices[k],
+          "LpProblem::remove_rows: indices must be strictly ascending");
+  }
+  std::size_t next = 0;  // next removal candidate in sorted_indices
+  std::size_t out = 0;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (next < sorted_indices.size() && sorted_indices[next] == r) {
+      ++next;
+      continue;
+    }
+    if (out != r) rows_[out] = std::move(rows_[r]);
+    ++out;
+  }
+  rows_.resize(out);
+}
+
 void LpProblem::set_objective(std::vector<LinearTerm> terms, Objective direction) {
   for (const LinearTerm& t : terms) {
     check_var(t.var, "set_objective");

@@ -43,6 +43,11 @@ class LpProblem {
   /// per-query rows stamped onto a copied base problem).
   void add_rows(std::vector<Row> rows);
 
+  /// Removes the rows at `sorted_indices` (strictly ascending, in
+  /// range); later rows shift down. Used by the root cut loop to age
+  /// out cuts that stopped binding.
+  void remove_rows(const std::vector<std::size_t>& sorted_indices);
+
   /// Sets the objective (default: minimize 0, i.e. pure feasibility).
   void set_objective(std::vector<LinearTerm> terms, Objective direction);
 

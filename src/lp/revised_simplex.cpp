@@ -1,6 +1,7 @@
 #include "lp/revised_simplex.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -14,7 +15,11 @@ constexpr double kInf = 1e30;
 constexpr double kPrimalTol = 1e-7;
 constexpr double kZeroTol = 1e-9;
 constexpr double kPivotTol = 1e-8;
-constexpr std::size_t kRefactorInterval = 96;
+constexpr std::size_t kRefactorInterval = 96;  // dense-inverse hygiene cadence
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
 
 }  // namespace
 
@@ -31,12 +36,12 @@ void RevisedSimplex::load(const LpProblem& problem) {
     internal_check(lo_[v] <= up_[v], "RevisedSimplex: inconsistent bounds");
   }
 
-  cols_.assign(n_, {});
+  std::vector<std::vector<std::pair<std::size_t, double>>> cols(n_);
   const auto& rows = problem.rows();
   for (std::size_t i = 0; i < m_; ++i) {
     for (const LinearTerm& term : rows[i].terms) {
       internal_check(term.var < n_, "RevisedSimplex: row references unknown variable");
-      cols_[term.var].emplace_back(i, term.coeff);
+      cols[term.var].emplace_back(i, term.coeff);
     }
     const std::size_t s = n_ + i;
     switch (rows[i].sense) {
@@ -56,7 +61,7 @@ void RevisedSimplex::load(const LpProblem& problem) {
   }
   // Merge duplicate (row, var) entries so each column has one coefficient
   // per row — simplifies every later dot product.
-  for (auto& col : cols_) {
+  for (auto& col : cols) {
     std::sort(col.begin(), col.end(),
               [](const auto& a, const auto& b) { return a.first < b.first; });
     std::size_t out = 0;
@@ -67,6 +72,34 @@ void RevisedSimplex::load(const LpProblem& problem) {
         col[out++] = col[k];
     }
     col.resize(out);
+  }
+  // Flatten to compressed sparse column, plus a row-major (CSR) mirror so
+  // the pivot row can be priced by scattering only the BTRAN nonzeros.
+  A_.rows = m_;
+  A_.cols = n_;
+  A_.col_start.assign(n_ + 1, 0);
+  A_.row_index.clear();
+  A_.value.clear();
+  for (std::size_t j = 0; j < n_; ++j) {
+    A_.col_start[j] = A_.row_index.size();
+    for (const auto& [row, coeff] : cols[j]) {
+      A_.row_index.push_back(row);
+      A_.value.push_back(coeff);
+    }
+  }
+  A_.col_start[n_] = A_.row_index.size();
+  row_start_.assign(m_ + 1, 0);
+  for (const std::size_t row : A_.row_index) ++row_start_[row + 1];
+  for (std::size_t i = 0; i < m_; ++i) row_start_[i + 1] += row_start_[i];
+  row_col_.assign(A_.nonzeros(), 0);
+  row_val_.assign(A_.nonzeros(), 0.0);
+  std::vector<std::size_t> fill = row_start_;
+  for (std::size_t j = 0; j < n_; ++j) {
+    for (std::size_t e = A_.col_start[j]; e < A_.col_start[j + 1]; ++e) {
+      const std::size_t at = fill[A_.row_index[e]]++;
+      row_col_[at] = j;
+      row_val_[at] = A_.value[e];
+    }
   }
 
   cost_.assign(total_, 0.0);
@@ -81,6 +114,8 @@ void RevisedSimplex::load(const LpProblem& problem) {
   status_.clear();
   binv_.clear();
   xb_.clear();
+  alpha_.assign(total_, 0.0);
+  touched_.clear();
 }
 
 void RevisedSimplex::set_bounds(std::size_t var, double lo, double up) {
@@ -97,8 +132,64 @@ double RevisedSimplex::nonbasic_value(std::size_t j) const {
 double RevisedSimplex::row_dot_column(const double* rho, std::size_t j) const {
   if (j >= n_) return -rho[j - n_];
   double sum = 0.0;
-  for (const auto& [row, coeff] : cols_[j]) sum += rho[row] * coeff;
+  for (std::size_t e = A_.col_start[j]; e < A_.col_start[j + 1]; ++e)
+    sum += rho[A_.row_index[e]] * A_.value[e];
   return sum;
+}
+
+void RevisedSimplex::btran_unit(std::size_t position, std::vector<double>& rho) const {
+  rho.assign(m_, 0.0);
+  if (sparse()) {
+    rho[position] = 1.0;
+    lu_.btran(rho);
+  } else {
+    const double* row = &binv_[position * m_];
+    std::copy(row, row + m_, rho.begin());
+  }
+}
+
+void RevisedSimplex::ftran_column(std::size_t q, std::vector<double>& w) const {
+  w.assign(m_, 0.0);
+  if (sparse()) {
+    if (q >= n_) {
+      w[q - n_] = -1.0;
+    } else {
+      for (std::size_t e = A_.col_start[q]; e < A_.col_start[q + 1]; ++e)
+        w[A_.row_index[e]] = A_.value[e];
+    }
+    lu_.ftran(w);
+    return;
+  }
+  if (q >= n_) {
+    for (std::size_t r = 0; r < m_; ++r) w[r] = -binv_[r * m_ + (q - n_)];
+  } else {
+    for (std::size_t e = A_.col_start[q]; e < A_.col_start[q + 1]; ++e) {
+      const std::size_t row = A_.row_index[e];
+      const double coeff = A_.value[e];
+      for (std::size_t r = 0; r < m_; ++r) w[r] += binv_[r * m_ + row] * coeff;
+    }
+  }
+}
+
+void RevisedSimplex::compute_pivot_row(const std::vector<double>& rho, bool sort_touched) {
+  for (const std::size_t j : touched_) alpha_[j] = 0.0;
+  touched_.clear();
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double r = rho[i];
+    if (r == 0.0) continue;
+    for (std::size_t e = row_start_[i]; e < row_start_[i + 1]; ++e) {
+      const std::size_t j = row_col_[e];
+      if (alpha_[j] == 0.0) touched_.push_back(j);
+      alpha_[j] += r * row_val_[e];
+    }
+    const std::size_t s = n_ + i;
+    if (alpha_[s] == 0.0) touched_.push_back(s);
+    alpha_[s] -= r;
+  }
+  // Bland's anti-cycling rule wants the smallest eligible index, so give
+  // it a deterministic ascending scan; Dantzig-style pricing does not
+  // care about order.
+  if (sort_touched) std::sort(touched_.begin(), touched_.end());
 }
 
 void RevisedSimplex::reset_to_logical_basis() {
@@ -114,11 +205,18 @@ void RevisedSimplex::reset_to_logical_basis() {
   // objective — no phase-1 needed, the dual simplex does everything.
   for (std::size_t j = 0; j < n_; ++j)
     status_[j] = cost_[j] < 0.0 ? kAtUpper : kAtLower;
-  // B = -I is its own inverse.
-  binv_.assign(m_ * m_, 0.0);
-  for (std::size_t i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
+  if (sparse()) {
+    // All-logical B factors as m column singletons; never singular.
+    const bool ok = refactorize();
+    internal_check(ok, "RevisedSimplex: logical basis must factorize");
+  } else {
+    // B = -I is its own inverse.
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
+    ++factor_stats_.factorizations;
+    pivots_since_refactor_ = 0;
+  }
   recompute_basic_values();
-  pivots_since_refactor_ = 0;
 }
 
 bool RevisedSimplex::install_basis(const SimplexBasis& basis) {
@@ -138,20 +236,26 @@ bool RevisedSimplex::install_basis(const SimplexBasis& basis) {
   }
   basic_.assign(basis.basic.begin(), basis.basic.end());
   status_ = std::move(status);
-  if (!refactorize()) return false;
+  if (!refactorize()) {
+    // A singular warm basis: the caller crashes back to the all-logical
+    // basis (a cold solve); surface the event in the stats.
+    ++factor_stats_.singular_recoveries;
+    return false;
+  }
   recompute_basic_values();
   return true;
 }
 
 bool RevisedSimplex::tableau_row(std::size_t row, TableauRow& out) const {
   if (row >= m_ || basic_.empty()) return false;
-  const double* rho = &binv_[row * m_];
+  std::vector<double> rho;
+  btran_unit(row, rho);
   out.basic_col = basic_[row];
   out.basic_value = xb_[row];
   out.entries.clear();
   for (std::size_t j = 0; j < total_; ++j) {
     if (status_[j] == kBasic) continue;
-    const double alpha = row_dot_column(rho, j);
+    const double alpha = row_dot_column(rho.data(), j);
     if (std::abs(alpha) < 1e-11) continue;
     out.entries.push_back({j, alpha, status_[j] == kAtUpper, lo_[j], up_[j]});
   }
@@ -169,51 +273,73 @@ SimplexBasis RevisedSimplex::capture_basis() const {
 }
 
 bool RevisedSimplex::refactorize() {
-  // Assemble B column-by-column, then invert via Gauss-Jordan with
-  // partial pivoting: [B | I] -> [I | B^{-1}].
-  std::vector<double> work(m_ * 2 * m_, 0.0);
-  const std::size_t w = 2 * m_;
-  for (std::size_t k = 0; k < m_; ++k) {
-    const std::size_t j = static_cast<std::size_t>(basic_[k]);
-    if (j >= n_) {
-      work[(j - n_) * w + k] = -1.0;
-    } else {
-      for (const auto& [row, coeff] : cols_[j]) work[row * w + k] += coeff;
+  const auto start = std::chrono::steady_clock::now();
+  bool ok;
+  if (sparse()) {
+    ok = lu_.factorize(A_, n_, basic_);
+  } else {
+    // Assemble B column-by-column, then invert via Gauss-Jordan with
+    // partial pivoting: [B | I] -> [I | B^{-1}].
+    std::vector<double> work(m_ * 2 * m_, 0.0);
+    const std::size_t w = 2 * m_;
+    for (std::size_t k = 0; k < m_; ++k) {
+      const std::size_t j = static_cast<std::size_t>(basic_[k]);
+      if (j >= n_) {
+        work[(j - n_) * w + k] = -1.0;
+      } else {
+        for (std::size_t e = A_.col_start[j]; e < A_.col_start[j + 1]; ++e)
+          work[A_.row_index[e] * w + k] += A_.value[e];
+      }
+      work[k * w + m_ + k] = 1.0;
     }
-    work[k * w + m_ + k] = 1.0;
-  }
-  for (std::size_t col = 0; col < m_; ++col) {
-    std::size_t pivot = col;
-    double best = std::abs(work[col * w + col]);
-    for (std::size_t r = col + 1; r < m_; ++r) {
-      const double a = std::abs(work[r * w + col]);
-      if (a > best) {
-        best = a;
-        pivot = r;
+    ok = true;
+    for (std::size_t col = 0; col < m_ && ok; ++col) {
+      std::size_t pivot = col;
+      double best = std::abs(work[col * w + col]);
+      for (std::size_t r = col + 1; r < m_; ++r) {
+        const double a = std::abs(work[r * w + col]);
+        if (a > best) {
+          best = a;
+          pivot = r;
+        }
+      }
+      if (best < 1e-11) {
+        ok = false;  // singular basis
+        break;
+      }
+      if (pivot != col)
+        for (std::size_t c = 0; c < w; ++c) std::swap(work[pivot * w + c], work[col * w + c]);
+      const double inv = 1.0 / work[col * w + col];
+      for (std::size_t c = 0; c < w; ++c) work[col * w + c] *= inv;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = work[r * w + col];
+        if (factor == 0.0) continue;
+        for (std::size_t c = col; c < w; ++c) work[r * w + c] -= factor * work[col * w + c];
       }
     }
-    if (best < 1e-11) return false;  // singular basis
-    if (pivot != col)
-      for (std::size_t c = 0; c < w; ++c) std::swap(work[pivot * w + c], work[col * w + c]);
-    const double inv = 1.0 / work[col * w + col];
-    for (std::size_t c = 0; c < w; ++c) work[col * w + c] *= inv;
-    for (std::size_t r = 0; r < m_; ++r) {
-      if (r == col) continue;
-      const double factor = work[r * w + col];
-      if (factor == 0.0) continue;
-      for (std::size_t c = col; c < w; ++c) work[r * w + c] -= factor * work[col * w + c];
+    if (ok) {
+      binv_.assign(m_ * m_, 0.0);
+      for (std::size_t r = 0; r < m_; ++r)
+        for (std::size_t c = 0; c < m_; ++c) binv_[r * m_ + c] = work[r * w + m_ + c];
     }
   }
-  binv_.assign(m_ * m_, 0.0);
-  for (std::size_t r = 0; r < m_; ++r)
-    for (std::size_t c = 0; c < m_; ++c) binv_[r * m_ + c] = work[r * w + m_ + c];
-  pivots_since_refactor_ = 0;
-  return true;
+  factor_stats_.factor_seconds += seconds_since(start);
+  if (ok) {
+    ++factor_stats_.factorizations;
+    pivots_since_refactor_ = 0;
+  }
+  return ok;
+}
+
+void RevisedSimplex::recover_singular_basis() {
+  ++factor_stats_.singular_recoveries;
+  reset_to_logical_basis();
 }
 
 void RevisedSimplex::recompute_basic_values() {
   // xB = B^{-1} (0 - N x_N): accumulate the nonbasic activity, then apply
-  // the inverse.
+  // the factorization.
   std::vector<double> residual(m_, 0.0);
   for (std::size_t j = 0; j < total_; ++j) {
     if (status_[j] == kBasic) continue;
@@ -222,8 +348,14 @@ void RevisedSimplex::recompute_basic_values() {
     if (j >= n_) {
       residual[j - n_] += v;  // logical column is -e_i
     } else {
-      for (const auto& [row, coeff] : cols_[j]) residual[row] -= coeff * v;
+      for (std::size_t e = A_.col_start[j]; e < A_.col_start[j + 1]; ++e)
+        residual[A_.row_index[e]] -= A_.value[e] * v;
     }
+  }
+  if (sparse()) {
+    lu_.ftran(residual);
+    xb_ = std::move(residual);
+    return;
   }
   xb_.assign(m_, 0.0);
   for (std::size_t r = 0; r < m_; ++r) {
@@ -235,7 +367,21 @@ void RevisedSimplex::recompute_basic_values() {
 }
 
 void RevisedSimplex::run_dual(LpSolution& solution) {
+  // Wall-time split: refactorize() accumulates factor_seconds itself;
+  // everything else in this loop is pivot time.
+  struct SecondsSplit {
+    std::chrono::steady_clock::time_point start;
+    double factor_before;
+    BasisFactorStats& stats;
+    ~SecondsSplit() {
+      const double total = seconds_since(start);
+      stats.pivot_seconds +=
+          std::max(0.0, total - (stats.factor_seconds - factor_before));
+    }
+  } split{std::chrono::steady_clock::now(), factor_stats_.factor_seconds, factor_stats_};
+
   std::vector<double> duals(m_);
+  std::vector<double> rho(m_);
   std::vector<double> w(m_);
   std::size_t iterations = 0;
 
@@ -283,16 +429,24 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     // Duals y = c_B^T B^{-1}; skipped entirely for pure feasibility
     // problems (every reduced cost is zero — the verifier's common case).
     if (!all_costs_zero_) {
-      std::fill(duals.begin(), duals.end(), 0.0);
-      for (std::size_t k = 0; k < m_; ++k) {
-        const double cb = cost_[basic_[k]];
-        if (cb == 0.0) continue;
-        const double* row = &binv_[k * m_];
-        for (std::size_t c = 0; c < m_; ++c) duals[c] += cb * row[c];
+      if (sparse()) {
+        std::fill(duals.begin(), duals.end(), 0.0);
+        for (std::size_t k = 0; k < m_; ++k) duals[k] = cost_[basic_[k]];
+        lu_.btran(duals);
+      } else {
+        std::fill(duals.begin(), duals.end(), 0.0);
+        for (std::size_t k = 0; k < m_; ++k) {
+          const double cb = cost_[basic_[k]];
+          if (cb == 0.0) continue;
+          const double* row = &binv_[k * m_];
+          for (std::size_t c = 0; c < m_; ++c) duals[c] += cb * row[c];
+        }
       }
     }
 
-    const double* rho = &binv_[leave_row * m_];
+    // Pivot row rho^T A scattered over the BTRAN nonzeros only.
+    btran_unit(leave_row, rho);
+    compute_pivot_row(rho, use_bland);
     const double dir = below ? 1.0 : -1.0;  // wanted sign of d(xB_r)
 
     // Dual ratio test over eligible nonbasic columns. alpha~ = dir*alpha;
@@ -302,10 +456,10 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     std::size_t entering = total_;
     double best_ratio = std::numeric_limits<double>::infinity();
     double best_alpha = 0.0;
-    for (std::size_t j = 0; j < total_; ++j) {
+    for (const std::size_t j : touched_) {
       if (status_[j] == kBasic) continue;
       if (up_[j] - lo_[j] < kZeroTol) continue;  // fixed: can never move
-      const double alpha = row_dot_column(rho, j);
+      const double alpha = alpha_[j];
       const double signed_alpha = dir * alpha;
       if (status_[j] == kAtLower ? signed_alpha >= -kPivotTol
                                  : signed_alpha <= kPivotTol)
@@ -314,7 +468,8 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
       if (!all_costs_zero_) {
         d = cost_[j] - (j >= n_ ? -duals[j - n_] : [&] {
           double sum = 0.0;
-          for (const auto& [row, coeff] : cols_[j]) sum += duals[row] * coeff;
+          for (std::size_t e = A_.col_start[j]; e < A_.col_start[j + 1]; ++e)
+            sum += duals[A_.row_index[e]] * A_.value[e];
           return sum;
         }());
       }
@@ -342,21 +497,23 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
 
     // Pivot column w = B^{-1} A_q.
     const std::size_t q = entering;
-    if (q >= n_) {
-      for (std::size_t r = 0; r < m_; ++r) w[r] = -binv_[r * m_ + (q - n_)];
-    } else {
-      std::fill(w.begin(), w.end(), 0.0);
-      for (const auto& [row, coeff] : cols_[q])
-        for (std::size_t r = 0; r < m_; ++r) w[r] += binv_[r * m_ + row] * coeff;
+    ftran_column(q, w);
+    // Numerical-stability trigger: the FTRAN'd pivot element must agree
+    // with the BTRAN'd pivot row's view of the same entry. Drift means
+    // the factors (or the eta file) have degraded — refactorize and
+    // retry the iteration with clean data. Fresh factors are trusted.
+    if (pivots_since_refactor_ > 0 &&
+        std::abs(w[leave_row] - best_alpha) >
+            1e-9 + 1e-7 * std::abs(best_alpha)) {
+      if (!refactorize()) recover_singular_basis();
+      recompute_basic_values();
+      ++iterations;
+      continue;
     }
     if (std::abs(w[leave_row]) < kPivotTol) {
       // Too small a pivot to trust: refactorize and retry the iteration
       // with clean data.
-      if (!refactorize()) {
-        solution.status = SolveStatus::kIterationLimit;
-        solution.iterations = iterations;
-        return;
-      }
+      if (!refactorize()) recover_singular_basis();
       recompute_basic_values();
       ++iterations;
       continue;
@@ -368,6 +525,7 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     const double t = (xb_[leave_row] - target) / w[leave_row];
     for (std::size_t r = 0; r < m_; ++r) {
       if (r == leave_row) continue;
+      if (w[r] == 0.0) continue;
       xb_[r] -= t * w[r];
     }
     xb_[leave_row] = nonbasic_value(q) + t;
@@ -375,25 +533,39 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     status_[q] = kBasic;
     basic_[leave_row] = static_cast<std::int32_t>(q);
 
-    // Update B^{-1}: eliminate column w against the pivot row.
-    const double inv = 1.0 / w[leave_row];
-    double* prow = &binv_[leave_row * m_];
-    for (std::size_t c = 0; c < m_; ++c) prow[c] *= inv;
-    for (std::size_t r = 0; r < m_; ++r) {
-      if (r == leave_row) continue;
-      const double factor = w[r];
-      if (factor == 0.0) continue;
-      double* row = &binv_[r * m_];
-      for (std::size_t c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+    // Absorb the pivot into the factorization.
+    if (sparse()) {
+      const std::size_t eta_before = lu_.eta_file_nonzeros();
+      if (lu_.update(leave_row, w)) {
+        ++factor_stats_.updates;
+        factor_stats_.eta_nonzeros += lu_.eta_file_nonzeros() - eta_before;
+      } else if (!refactorize()) {
+        recover_singular_basis();
+        recompute_basic_values();
+        ++iterations;
+        continue;
+      }
+    } else {
+      // Update B^{-1}: eliminate column w against the pivot row.
+      const double inv = 1.0 / w[leave_row];
+      double* prow = &binv_[leave_row * m_];
+      for (std::size_t c = 0; c < m_; ++c) prow[c] *= inv;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == leave_row) continue;
+        const double factor = w[r];
+        if (factor == 0.0) continue;
+        double* row = &binv_[r * m_];
+        for (std::size_t c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+      }
+      ++factor_stats_.updates;
     }
 
     ++iterations;
-    if (++pivots_since_refactor_ >= kRefactorInterval) {
-      if (!refactorize()) {
-        solution.status = SolveStatus::kIterationLimit;
-        solution.iterations = iterations;
-        return;
-      }
+    ++pivots_since_refactor_;
+    const bool want_refactor = sparse() ? lu_.should_refactorize()
+                                        : pivots_since_refactor_ >= kRefactorInterval;
+    if (want_refactor) {
+      if (!refactorize()) recover_singular_basis();
       recompute_basic_values();
     }
   }

@@ -13,14 +13,25 @@
 // iterations until primal feasibility — and a *warm* solve after a bound
 // tightening (the branch-and-bound case: one variable's box shrinks)
 // restarts from the parent's optimal basis, which stays dual feasible,
-// typically needing only a handful of pivots. The basis inverse is kept
-// explicitly and refactorized periodically for numerical hygiene.
+// typically needing only a handful of pivots.
+//
+// The basis inverse lives behind SimplexOptions::factorization:
+//   * kSparseLu (default) — sparse LU of the basis with product-form eta
+//     updates (lp::BasisLu); FTRAN/BTRAN and the pivot-row pricing all
+//     scale with nonzeros, and refactorization is driven by the eta-file
+//     length plus a numerical-drift trigger.
+//   * kDenseInverse — the original explicit m×m B^{-1}, kept as the
+//     differential-testing oracle (O(m²) per pivot).
+// Either way, a refactorization that discovers a singular basis falls
+// back to the all-logical crash basis (reported in factor_stats())
+// instead of failing the solve.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "lp/basis_lu.hpp"
 #include "lp/simplex.hpp"
 
 namespace dpv::lp {
@@ -89,20 +100,37 @@ class RevisedSimplex {
   /// Returns false before any solve or when `row` is out of range.
   bool tableau_row(std::size_t row, TableauRow& out) const;
 
+  /// Cumulative factorization-engine counters (across loads; the
+  /// backend layer reports per-solve deltas).
+  const BasisFactorStats& factor_stats() const { return factor_stats_; }
+
   std::size_t structural_count() const { return n_; }
   std::size_t basis_row_count() const { return m_; }
 
  private:
   enum : std::int8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
 
+  bool sparse() const {
+    return options_.factorization == FactorizationKind::kSparseLu;
+  }
   void reset_to_logical_basis();
   bool install_basis(const SimplexBasis& basis);
-  /// Rebuilds binv_ from basic_ by Gauss-Jordan; false when singular.
+  /// Rebuilds the factorization from basic_; false when singular.
   bool refactorize();
+  /// Singular-basis recovery: crash to the all-logical basis (always
+  /// factorizable) and count it in factor_stats().
+  void recover_singular_basis();
   void recompute_basic_values();
   double nonbasic_value(std::size_t j) const;
-  /// alpha_j = (row r of binv) · A_j for one column j.
+  /// alpha_j = rho · A_j for one column j (rho dense over rows).
   double row_dot_column(const double* rho, std::size_t j) const;
+  /// rho := e_position^T B^{-1}, dense over constraint rows.
+  void btran_unit(std::size_t position, std::vector<double>& rho) const;
+  /// w := B^{-1} A_q, dense over basis positions.
+  void ftran_column(std::size_t q, std::vector<double>& w) const;
+  /// Scatters alpha = rho^T A over all columns into alpha_/touched_
+  /// (structural via the CSR mirror, logical n+i as -rho[i]).
+  void compute_pivot_row(const std::vector<double>& rho, bool sort_touched);
   /// Runs dual simplex to primal feasibility; fills `solution`.
   void run_dual(LpSolution& solution);
   void extract(LpSolution& solution) const;
@@ -116,17 +144,27 @@ class RevisedSimplex {
   std::vector<double> lo_, up_;  ///< per column, logicals included
   std::vector<double> cost_;     ///< minimize orientation, logicals 0
   bool all_costs_zero_ = true;
-  /// Sparse structural columns as (row, coeff); logical n_+i is -e_i.
-  std::vector<std::vector<std::pair<std::size_t, double>>> cols_;
+  /// Structural columns, compressed sparse column (logical n_+i is -e_i
+  /// implicitly) plus a row-major CSR mirror for pivot-row pricing.
+  CscMatrix A_;
+  std::vector<std::size_t> row_start_;  ///< size m_ + 1
+  std::vector<std::size_t> row_col_;
+  std::vector<double> row_val_;
   double objective_sign_ = 1.0;  ///< +1 minimize, -1 maximize
 
   // Basis state.
   std::vector<std::int32_t> basic_;   ///< size m_
   std::vector<std::int8_t> status_;   ///< size total_
-  std::vector<double> binv_;          ///< m_ x m_, row-major
+  std::vector<double> binv_;          ///< kDenseInverse: m_ x m_, row-major
+  BasisLu lu_;                        ///< kSparseLu engine
   std::vector<double> xb_;            ///< basic values, size m_
+  /// Pivot-row pricing scratch: dense alpha over all columns plus the
+  /// indices touched by the last scatter.
+  std::vector<double> alpha_;
+  std::vector<std::size_t> touched_;
   std::size_t pivots_since_refactor_ = 0;
   bool last_resolve_was_warm_ = false;
+  BasisFactorStats factor_stats_;
 };
 
 }  // namespace dpv::lp

@@ -22,6 +22,16 @@ const char* solve_status_name(SolveStatus status) {
   return "unknown";
 }
 
+const char* factorization_kind_name(FactorizationKind kind) {
+  switch (kind) {
+    case FactorizationKind::kDenseInverse:
+      return "dense-inverse";
+    case FactorizationKind::kSparseLu:
+      return "sparse-lu";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Dense simplex tableau with an explicit basis.

@@ -28,11 +28,24 @@ struct LpSolution {
   std::size_t iterations = 0;
 };
 
+/// How the revised simplex represents the basis inverse. The dense
+/// explicit inverse is the original implementation, kept as a
+/// differential-testing oracle; the sparse LU engine (lp::BasisLu)
+/// factors the basis and absorbs pivots as eta updates, dropping
+/// per-pivot cost from O(m²) to O(nnz). Ignored by the dense-tableau
+/// SimplexSolver, which has no basis inverse at all.
+enum class FactorizationKind { kDenseInverse, kSparseLu };
+
+/// Human-readable factorization name ("dense-inverse" / "sparse-lu").
+const char* factorization_kind_name(FactorizationKind kind);
+
 struct SimplexOptions {
   std::size_t max_iterations = 200000;
   /// Switch from Dantzig to Bland pricing after this many iterations.
   std::size_t bland_after = 20000;
   double tolerance = 1e-9;
+  /// Basis factorization engine of the revised simplex.
+  FactorizationKind factorization = FactorizationKind::kSparseLu;
 };
 
 /// Stateless solver; each call converts, runs both phases and extracts.

@@ -286,10 +286,11 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
 
   SharedSearch shared;
   shared.stack.push_back(Node{});
-  if (options_.cuts.local && root_cuts.cuts_added > 0) {
+  if (options_.cuts.local && root_cuts.cuts_live > 0) {
     // Seed dedup so node-local separation cannot re-add a root cut.
+    // (cuts_live, not cuts_added: aging may have removed some again.)
     const std::vector<lp::Row>& rows = active->relaxation().rows();
-    for (std::size_t r = rows.size() - root_cuts.cuts_added; r < rows.size(); ++r)
+    for (std::size_t r = rows.size() - root_cuts.cuts_live; r < rows.size(); ++r)
       shared.cut_hashes.insert(cuts::cut_row_hash(rows[r]));
   }
 

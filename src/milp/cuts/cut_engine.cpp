@@ -117,6 +117,27 @@ std::vector<Cut> separate_local_cuts(const MilpProblem& problem, const lp::LpSol
   return cuts;
 }
 
+namespace {
+
+/// Is `row` active (binding) at the point `values`? Equality rows are
+/// always binding; inequalities within tolerance of their rhs are.
+bool row_binding(const lp::Row& row, const std::vector<double>& values) {
+  double activity = 0.0;
+  for (const lp::LinearTerm& t : row.terms) activity += t.coeff * values[t.var];
+  constexpr double kBindTol = 1e-6;
+  switch (row.sense) {
+    case lp::RowSense::kLessEqual:
+      return activity >= row.rhs - kBindTol;
+    case lp::RowSense::kGreaterEqual:
+      return activity <= row.rhs + kBindTol;
+    case lp::RowSense::kEqual:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
 RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
                             solver::LpBackendKind backend_kind,
                             const lp::SimplexOptions& lp_options,
@@ -131,13 +152,22 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
 
   const std::unique_ptr<solver::LpBackend> backend =
       solver::make_lp_backend(backend_kind, lp_options);
+  const std::size_t n = problem.relaxation().variable_count();
+  const std::size_t base_rows = problem.relaxation().row_count();
   std::unordered_set<std::size_t> seen;
+  // Incumbent basis carried across rounds (warm_root), padded each round
+  // with the appended cut rows' logicals: the grown basis is block
+  // triangular ([B 0; C -I]) and keeps the old duals, so it stays valid
+  // and dual feasible — the dual simplex only repairs the violated cuts.
+  solver::WarmBasis basis;
+  // Consecutive non-binding rounds per live cut row (problem row
+  // base_rows + k), for aging.
+  std::vector<std::size_t> ages;
+
   for (std::size_t round = 0; round < options.root_rounds; ++round) {
-    // Rows were appended since the last solve, so the old basis no
-    // longer fits — each round is a cold root solve (cheap next to the
-    // tree it prunes; the search proper still warm-starts node to node).
     backend->load(problem.relaxation());
-    const lp::LpSolution lp = backend->solve();
+    const bool try_warm = options.warm_root && !basis.empty();
+    const lp::LpSolution lp = try_warm ? backend->resolve(basis) : backend->solve();
     if (lp.status != lp::SolveStatus::kOptimal) break;  // infeasible/limit: search decides
     bool fractional = false;
     for (const std::size_t b : problem.binary_variables()) {
@@ -158,17 +188,111 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
       if (!seen.insert(cut_row_hash(cut.row)).second) continue;
       kept.push_back(std::move(cut));
     }
-    if (kept.empty()) break;  // separation dried up
-    std::stable_sort(kept.begin(), kept.end(),
-                     [](const Cut& a, const Cut& b) { return a.violation > b.violation; });
-    if (kept.size() > options.max_cuts_per_round) kept.resize(options.max_cuts_per_round);
-    std::vector<lp::Row> rows;
-    rows.reserve(kept.size());
-    for (Cut& cut : kept) rows.push_back(std::move(cut.row));
-    report.cuts_added += rows.size();
-    problem.add_rows(std::move(rows));
+
+    // Update cut ages at this round's optimum and collect the rows to
+    // age out. (A stale cut's slack is strictly interior, so its
+    // logical is basic and dropping row + basic entry keeps the padded
+    // basis square and nonsingular.)
+    const std::vector<lp::Row>& rows_now = problem.relaxation().rows();
+    for (std::size_t k = 0; k < ages.size(); ++k) {
+      if (row_binding(rows_now[base_rows + k], lp.values))
+        ages[k] = 0;
+      else
+        ++ages[k];
+    }
+    std::vector<std::size_t> drop;  // indices into the live-cut list
+    if (options.root_age_limit > 0)
+      for (std::size_t k = 0; k < ages.size(); ++k)
+        if (ages[k] >= options.root_age_limit) drop.push_back(k);
+
+    if (kept.empty() && drop.empty()) break;  // separation dried up
+
+    basis = options.warm_root ? backend->capture_basis() : solver::WarmBasis{};
+
+    // With a live basis, only drop rows whose logical is basic (the
+    // expected case for a non-binding cut); anything else would leave
+    // the snapshot unusable and force a cold solve.
+    std::vector<std::uint8_t> is_basic;
+    if (!basis.empty()) {
+      is_basic.assign(n + basis.basic.size(), 0);
+      for (const std::int32_t b : basis.basic) is_basic[static_cast<std::size_t>(b)] = 1;
+    }
+    std::vector<std::uint8_t> removed(ages.size(), 0);
+    std::vector<std::size_t> drop_rows;
+    for (const std::size_t k : drop) {
+      if (!basis.empty() && !is_basic[n + base_rows + k]) continue;
+      removed[k] = 1;
+      drop_rows.push_back(base_rows + k);
+    }
+    // Re-check dryness against the *filtered* drops: when separation
+    // found nothing and no row is actually removable, further rounds
+    // would re-solve and re-separate to no effect.
+    if (kept.empty() && drop_rows.empty()) break;
+
+    if (!drop_rows.empty()) {
+      problem.remove_rows(drop_rows);
+      report.cuts_aged_out += drop_rows.size();
+      const auto row_gone = [&](std::size_t i) {
+        return i >= base_rows && i < base_rows + removed.size() && removed[i - base_rows];
+      };
+      if (!basis.empty()) {
+        // Re-index: structural columns keep their ids; logical n + i
+        // maps to n + (i minus removed rows before i), dropped
+        // logicals leave the basis with their row.
+        const std::size_t old_m = basis.basic.size();
+        std::vector<std::size_t> shift(old_m, 0);
+        std::size_t dropped = 0;
+        for (std::size_t i = 0; i < old_m; ++i) {
+          if (row_gone(i)) ++dropped;
+          shift[i] = dropped;
+        }
+        solver::WarmBasis fixed;
+        for (const std::int32_t b : basis.basic) {
+          const std::size_t j = static_cast<std::size_t>(b);
+          if (j < n) {
+            fixed.basic.push_back(b);
+            continue;
+          }
+          const std::size_t i = j - n;
+          if (row_gone(i)) continue;
+          fixed.basic.push_back(static_cast<std::int32_t>(n + i - shift[i]));
+        }
+        fixed.at_upper.assign(n + old_m - dropped, 0);
+        for (std::size_t j = 0; j < n; ++j) fixed.at_upper[j] = basis.at_upper[j];
+        for (std::size_t i = 0; i < old_m; ++i) {
+          if (row_gone(i)) continue;
+          fixed.at_upper[n + i - shift[i]] = basis.at_upper[n + i];
+        }
+        basis = std::move(fixed);
+      }
+      std::vector<std::size_t> survivors;
+      for (std::size_t k = 0; k < ages.size(); ++k)
+        if (!removed[k]) survivors.push_back(ages[k]);
+      ages = std::move(survivors);
+    }
+
+    if (!kept.empty()) {
+      std::stable_sort(kept.begin(), kept.end(),
+                       [](const Cut& a, const Cut& b) { return a.violation > b.violation; });
+      if (kept.size() > options.max_cuts_per_round) kept.resize(options.max_cuts_per_round);
+      std::vector<lp::Row> rows;
+      rows.reserve(kept.size());
+      for (Cut& cut : kept) rows.push_back(std::move(cut.row));
+      if (!basis.empty()) {
+        // Pad the snapshot: each appended row's logical enters basic.
+        const std::size_t m_before = basis.basic.size();
+        for (std::size_t k = 0; k < rows.size(); ++k)
+          basis.basic.push_back(static_cast<std::int32_t>(n + m_before + k));
+        basis.at_upper.insert(basis.at_upper.end(), rows.size(), 0);
+      }
+      report.cuts_added += rows.size();
+      ages.insert(ages.end(), rows.size(), 0);
+      problem.add_rows(std::move(rows));
+    }
   }
+  report.cuts_live = ages.size();
   report.solver_stats = backend->stats();
+  report.warm_rounds = report.solver_stats.warm_hits;
   return report;
 }
 

@@ -17,8 +17,13 @@ namespace dpv::milp::cuts {
 
 /// Outcome of the root separation loop.
 struct RootCutReport {
-  std::size_t rounds = 0;      ///< separation rounds actually run
-  std::size_t cuts_added = 0;  ///< rows appended to the problem
+  std::size_t rounds = 0;         ///< separation rounds actually run
+  std::size_t cuts_added = 0;     ///< rows appended across all rounds
+  std::size_t cuts_aged_out = 0;  ///< appended rows later removed by aging
+  std::size_t cuts_live = 0;      ///< cut rows still in the problem on return
+  /// Warm re-solves of the separation loop itself (resolve calls that
+  /// actually ran from the padded incumbent basis).
+  std::size_t warm_rounds = 0;
   /// LP work spent separating (merged into the search's stats).
   solver::SolverStats solver_stats;
 };
@@ -29,6 +34,15 @@ struct RootCutReport {
 /// sanitize + dedup, append the most violated `max_cuts_per_round`
 /// through MilpProblem::add_rows, repeat. Stops early when the root is
 /// integral, infeasible, unsolved, or a round yields nothing new.
+///
+/// With `options.warm_root` the loop re-solves each round from the
+/// previous round's optimal basis padded with the new cut logicals
+/// (block-triangular, so the basis stays valid and dual feasible; the
+/// dual simplex only repairs the violated cut rows). With
+/// `options.root_age_limit > 0`, cuts that stop binding for that many
+/// consecutive rounds are removed again via MilpProblem::remove_rows —
+/// dead cuts would otherwise tax every node re-solve of the search.
+/// An aged-out cut stays in the dedup set and is never re-added.
 RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
                             solver::LpBackendKind backend,
                             const lp::SimplexOptions& lp_options,

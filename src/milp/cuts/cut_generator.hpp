@@ -44,6 +44,16 @@ struct CutOptions {
   bool local = false;
   std::size_t local_depth_limit = 4;  ///< max fixings for local separation
   std::size_t max_local_cuts = 64;    ///< total node-local cut budget
+  /// Warm-start the root separation loop: re-solve each round from the
+  /// previous round's optimal basis padded with the new cut rows'
+  /// logicals (the dual simplex then only repairs the violated cuts)
+  /// instead of solving the grown row set cold.
+  bool warm_root = true;
+  /// Age out a root cut after this many consecutive rounds of not being
+  /// binding at the separation optimum (0 keeps every cut forever).
+  /// Aged-out rows are removed from the problem before the search, so
+  /// dead cuts stop taxing every node re-solve.
+  std::size_t root_age_limit = 3;
   /// Minimum violation (after normalizing the row to unit inf-norm) for
   /// a cut to be kept.
   double min_violation = 1e-4;

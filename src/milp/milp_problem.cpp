@@ -24,6 +24,10 @@ void MilpProblem::add_row(std::vector<lp::LinearTerm> terms, lp::RowSense sense,
 
 void MilpProblem::add_rows(std::vector<lp::Row> rows) { relaxation_.add_rows(std::move(rows)); }
 
+void MilpProblem::remove_rows(const std::vector<std::size_t>& sorted_indices) {
+  relaxation_.remove_rows(sorted_indices);
+}
+
 void MilpProblem::set_objective(std::vector<lp::LinearTerm> terms, lp::Objective direction) {
   relaxation_.set_objective(std::move(terms), direction);
 }

@@ -41,6 +41,11 @@ class MilpProblem {
   /// entry point (copy the frozen base, then append per-query rows).
   void add_rows(std::vector<lp::Row> rows);
 
+  /// Removes the rows at `sorted_indices` (strictly ascending). Only
+  /// meant for rows previously appended by the cut engine — encoder
+  /// rows are load-bearing for soundness.
+  void remove_rows(const std::vector<std::size_t>& sorted_indices);
+
   /// Defaults to minimize 0 (feasibility problem).
   void set_objective(std::vector<lp::LinearTerm> terms, lp::Objective direction);
 

@@ -22,12 +22,24 @@ void SolverStats::merge(const SolverStats& other) {
   warm_iterations += other.warm_iterations;
   cuts_added += other.cuts_added;
   cut_rounds += other.cut_rounds;
+  basis_factorizations += other.basis_factorizations;
+  basis_updates += other.basis_updates;
+  eta_nonzeros += other.eta_nonzeros;
+  singular_recoveries += other.singular_recoveries;
+  factor_seconds += other.factor_seconds;
+  pivot_seconds += other.pivot_seconds;
 }
 
 double SolverStats::warm_hit_rate() const {
   return warm_attempts == 0 ? 0.0
                             : static_cast<double>(warm_hits) /
                                   static_cast<double>(warm_attempts);
+}
+
+double SolverStats::avg_eta_nonzeros() const {
+  return basis_updates == 0 ? 0.0
+                            : static_cast<double>(eta_nonzeros) /
+                                  static_cast<double>(basis_updates);
 }
 
 namespace {
@@ -90,6 +102,7 @@ class RevisedBoundedBackend final : public LpBackend {
     const lp::LpSolution solution = simplex_.solve();
     ++stats_.lp_solves;
     stats_.lp_iterations += solution.iterations;
+    absorb_factor_stats();
     return solution;
   }
 
@@ -103,6 +116,7 @@ class RevisedBoundedBackend final : public LpBackend {
       ++stats_.warm_hits;
       stats_.warm_iterations += solution.iterations;
     }
+    absorb_factor_stats();
     return solution;
   }
 
@@ -115,7 +129,21 @@ class RevisedBoundedBackend final : public LpBackend {
   }
 
  private:
+  /// Folds the simplex's cumulative factorization counters into stats_
+  /// as deltas since the last solve through this backend.
+  void absorb_factor_stats() {
+    const lp::BasisFactorStats& now = simplex_.factor_stats();
+    stats_.basis_factorizations += now.factorizations - seen_.factorizations;
+    stats_.basis_updates += now.updates - seen_.updates;
+    stats_.eta_nonzeros += now.eta_nonzeros - seen_.eta_nonzeros;
+    stats_.singular_recoveries += now.singular_recoveries - seen_.singular_recoveries;
+    stats_.factor_seconds += now.factor_seconds - seen_.factor_seconds;
+    stats_.pivot_seconds += now.pivot_seconds - seen_.pivot_seconds;
+    seen_ = now;
+  }
+
   lp::RevisedSimplex simplex_;
+  lp::BasisFactorStats seen_;
 };
 
 }  // namespace

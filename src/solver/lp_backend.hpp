@@ -50,10 +50,25 @@ struct SolverStats {
   /// rounds actually run at the root.
   std::size_t cuts_added = 0;
   std::size_t cut_rounds = 0;
+  /// Basis-factorization accounting from the revised simplex (see
+  /// lp::BasisFactorStats; all zero on the dense-tableau backend):
+  /// full (re)factorizations, pivots absorbed as updates, nonzeros
+  /// appended to the sparse-LU eta file, and singular-basis fallbacks
+  /// to the all-logical crash basis.
+  std::size_t basis_factorizations = 0;
+  std::size_t basis_updates = 0;
+  std::size_t eta_nonzeros = 0;
+  std::size_t singular_recoveries = 0;
+  /// Where LP wall time goes: inside factorize/refactorize vs the rest
+  /// of the pivot loop (pricing, ratio tests, FTRAN/BTRAN, updates).
+  double factor_seconds = 0.0;
+  double pivot_seconds = 0.0;
 
   void merge(const SolverStats& other);
   /// Fraction of warm attempts that did not fall back to a cold solve.
   double warm_hit_rate() const;
+  /// Mean nonzeros per eta update (0 when no updates were recorded).
+  double avg_eta_nonzeros() const;
 };
 
 /// One loaded LP instance with mutable variable boxes. Not thread-safe;

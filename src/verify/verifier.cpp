@@ -30,6 +30,14 @@ std::string VerificationResult::summary() const {
   if (solver_stats.cut_rounds > 0 || solver_stats.cuts_added > 0)
     out << ", cuts=" << solver_stats.cuts_added << "/" << solver_stats.cut_rounds
         << "r";
+  if (solver_stats.basis_factorizations > 0 || solver_stats.basis_updates > 0) {
+    out << ", basis=" << solver_stats.basis_factorizations << "f/"
+        << solver_stats.basis_updates << "u";
+    if (solver_stats.eta_nonzeros > 0)
+      out << ", eta-nnz=" << solver_stats.avg_eta_nonzeros();
+    if (solver_stats.singular_recoveries > 0)
+      out << ", singular-recoveries=" << solver_stats.singular_recoveries;
+  }
   out << ", encode=" << encode_seconds << "s, solve=" << solve_seconds << "s)";
   if (!note.empty()) out << " [" << note << "]";
   return out.str();

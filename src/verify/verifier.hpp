@@ -47,8 +47,10 @@ struct VerificationResult {
   double solve_seconds = 0.0;
   /// Which LP backend solved the node relaxations.
   solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
-  /// Warm-start hit rate, iteration accounting and cutting-plane
-  /// counters (`cuts_added`, `cut_rounds`) from the MILP search.
+  /// Warm-start hit rate, iteration accounting, cutting-plane counters
+  /// (`cuts_added`, `cut_rounds`) and basis-factorization accounting
+  /// (factorizations, eta updates + nonzeros, factor-vs-pivot seconds)
+  /// from the MILP search.
   solver::SolverStats solver_stats;
   /// Set when the verdict is kUnknown for a reason worth surfacing (e.g.
   /// an LP iteration limit rather than the node budget).

@@ -54,7 +54,20 @@ check_symbol src/solver  "row_of_basis"
 check_symbol src/solver  "supports_tableau"
 check_symbol src/solver  "LpBackendKind"
 check_symbol src/solver  "capture_basis"
+check_symbol src/solver  "basis_factorizations"
+check_symbol src/solver  "singular_recoveries"
+check_symbol src/solver  "factor_seconds"
+check_symbol src/solver  "pivot_seconds"
 check_symbol src/lp      "TableauRow"
+check_symbol src/lp      "BasisLu"
+check_symbol src/lp      "FactorizationKind"
+check_symbol src/lp      "should_refactorize"
+check_symbol src/lp      "ftran"
+check_symbol src/lp      "btran"
+check_symbol src/milp    "remove_rows"
+check_symbol src/milp    "root_age_limit"
+check_symbol src/milp    "warm_root"
+check_symbol src/milp    "cuts_aged_out"
 check_symbol src/milp    "CutGenerator"
 check_symbol src/milp    "ReluSplitCutGenerator"
 check_symbol src/milp    "GomoryCutGenerator"

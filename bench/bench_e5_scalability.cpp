@@ -18,12 +18,16 @@
 // BENCH_simplex.json (dense-inverse vs sparse-LU pivot counts, refactor
 // counts, eta nonzeros and wall time at verdict parity), the
 // cutting-plane axis writes BENCH_cuts.json (B&B node counts with the
-// cut engine off / root / root+local at verdict parity), and the
-// bounds-method x encoding-cache battery additionally writes
-// BENCH_encoding.json (binaries, stable ReLUs and encode time per bound
-// method, plus the cached stamp-out speedup after the first entry).
+// cut engine off / root / root+local at verdict parity), the
+// search-strategy axis writes BENCH_search.json (nodes-to-proof, steal
+// counters, peak open nodes and gap-at-limit per node-store x
+// branching-rule x thread combination), and the bounds-method x
+// encoding-cache battery additionally writes BENCH_encoding.json
+// (binaries, stable ReLUs and encode time per bound method, plus the
+// cached stamp-out speedup after the first entry).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -114,10 +118,16 @@ std::vector<Query> make_query_set() {
   return queries;
 }
 
+/// Runs one query with every solver axis pinned explicitly. Note the
+/// search strategy defaults to the *baseline* (depth-first +
+/// most-fractional), not the verifier's hybrid + pseudocost default:
+/// each axis of this bench varies one knob against the same fixed
+/// search, and the search-strategy axis owns the strategy comparison.
 verify::VerificationResult verify_tail(
     const Query& query, solver::LpBackendKind backend, std::size_t threads,
     std::size_t cut_rounds = 0, bool local_cuts = false,
-    lp::FactorizationKind factorization = lp::FactorizationKind::kSparseLu) {
+    lp::FactorizationKind factorization = lp::FactorizationKind::kSparseLu,
+    const milp::search::SearchOptions& search = {}) {
   verify::VerificationQuery vq;
   vq.network = &query.net;
   vq.attach_layer = 0;
@@ -132,7 +142,43 @@ verify::VerificationResult verify_tail(
   options.milp.cuts.root_rounds = cut_rounds;
   options.milp.cuts.local = local_cuts;
   options.milp.lp_options.factorization = factorization;
+  options.milp.search = search;
   return verify::TailVerifier(options).verify(vq);
+}
+
+/// Per-entry verdict compatibility across every sweep's comma-joined
+/// verdict string: for each battery entry, all *decided* verdicts
+/// (SAFE/UNSAFE) must agree, while UNKNOWN — a budget artifact under
+/// the shared node cap — is compatible with anything. A configuration
+/// that proves an entry another left UNKNOWN is an improvement, not a
+/// soundness break; a SAFE vs UNSAFE conflict anywhere is. Checked as
+/// a per-entry consensus over ALL sweeps (not pairwise against a
+/// baseline, where a baseline UNKNOWN would mask conflicts between
+/// the other configurations).
+bool decided_verdicts_agree(const std::vector<std::string>& sweeps) {
+  std::vector<std::vector<std::string>> split;
+  for (const std::string& s : sweeps) {
+    std::vector<std::string> entries;
+    std::size_t i = 0;
+    while (i <= s.size()) {
+      const std::size_t e = std::min(s.find(',', i), s.size());
+      entries.push_back(s.substr(i, e - i));
+      i = e + 1;
+      if (e >= s.size()) break;
+    }
+    split.push_back(std::move(entries));
+  }
+  for (const auto& entries : split)
+    if (entries.size() != split.front().size()) return false;
+  for (std::size_t k = 0; k < split.front().size(); ++k) {
+    std::string decided;
+    for (const auto& entries : split) {
+      if (entries[k] == "UNKNOWN") continue;
+      if (decided.empty()) decided = entries[k];
+      if (entries[k] != decided) return false;
+    }
+  }
+  return true;
 }
 
 /// Aggregate of one (backend, threads) sweep over the query set.
@@ -250,7 +296,7 @@ void emit_cuts_json(const std::vector<CutsSweep>& sweeps, bool parity) {
                sweeps[1].nodes > 0 ? base / sweeps[1].nodes : 0.0);
   std::fprintf(f, "  \"node_reduction_root_local\": %.3f,\n",
                sweeps[2].nodes > 0 ? base / sweeps[2].nodes : 0.0);
-  std::fprintf(f, "  \"verdict_parity\": %s\n}\n", parity ? "true" : "false");
+  std::fprintf(f, "  \"verdicts_compatible\": %s\n}\n", parity ? "true" : "false");
   std::fclose(f);
   std::printf("wrote BENCH_cuts.json\n");
 }
@@ -264,14 +310,16 @@ void print_cuts_report(const std::vector<Query>& queries) {
   sweeps.push_back(run_cuts_sweep(queries, "cuts-off", 0, false));
   sweeps.push_back(run_cuts_sweep(queries, "root-8", 8, false));
   sweeps.push_back(run_cuts_sweep(queries, "root-8+local", 8, true));
-  bool parity = true;
+  std::vector<std::string> all_verdicts;
   for (const CutsSweep& s : sweeps) {
-    if (s.verdicts != sweeps.front().verdicts) parity = false;
+    all_verdicts.push_back(s.verdicts);
     std::printf("%14s | %7zu | %9zu | %9zu | %9.3f | %9.2f\n", s.config.c_str(),
                 s.cuts_added, s.nodes, s.lp_iterations, s.wall_seconds,
                 s.nodes > 0 ? static_cast<double>(sweeps.front().nodes) / s.nodes : 0.0);
   }
-  std::printf("verdict parity across cut configurations: %s\n", parity ? "OK" : "MISMATCH");
+  const bool parity = decided_verdicts_agree(all_verdicts);
+  std::printf("verdict compatibility across cut configurations (UNKNOWN = budget): %s\n",
+              parity ? "OK" : "CONFLICT");
   emit_cuts_json(sweeps, parity);
 }
 
@@ -389,6 +437,140 @@ void print_simplex_report(const std::vector<Query>& queries) {
                   ? sweeps[0].widest_seconds / sweeps[1].widest_seconds
                   : 0.0);
   emit_simplex_json(sweeps, parity);
+}
+
+// --------------------------------------------------------------------
+// Search-strategy axis: the same SAFE-proof battery across node-store x
+// branching-rule combinations (src/milp/search/), plus a thread sweep on
+// the strongest combination for the work-stealing counters. Node order
+// cannot shrink an infeasibility proof, but the branching rule can —
+// pseudocost / strong branching pick splits whose children go infeasible
+// sooner — so nodes-to-proof is the headline (measurable even on the
+// single-core CI host). Gap-at-limit is the second axis: on entries that
+// exhaust the budget, best-first orderings prove tighter bounds.
+
+struct SearchSweep {
+  std::string config;
+  milp::search::NodeStoreKind store = milp::search::NodeStoreKind::kDepthFirst;
+  milp::search::BranchingRuleKind branching =
+      milp::search::BranchingRuleKind::kMostFractional;
+  std::size_t threads = 1;
+  std::size_t nodes = 0;
+  std::size_t lp_iterations = 0;
+  std::size_t steals = 0;
+  std::size_t steal_attempts = 0;
+  std::size_t peak_open = 0;     ///< widest frontier seen (max over entries)
+  double max_gap = 0.0;          ///< worst best-bound gap at the node limit
+  double wall_seconds = 0.0;
+  std::string verdicts;
+};
+
+SearchSweep run_search_sweep(const std::vector<Query>& queries, const char* config,
+                             milp::search::NodeStoreKind store,
+                             milp::search::BranchingRuleKind branching,
+                             std::size_t threads) {
+  SearchSweep sweep;
+  sweep.config = config;
+  sweep.store = store;
+  sweep.branching = branching;
+  sweep.threads = threads;
+  milp::search::SearchOptions search;
+  search.node_store = store;
+  search.branching = branching;
+  const auto start = std::chrono::steady_clock::now();
+  for (const Query& query : queries) {
+    const verify::VerificationResult r =
+        verify_tail(query, solver::LpBackendKind::kRevisedBounded, threads, 0, false,
+                    lp::FactorizationKind::kSparseLu, search);
+    sweep.nodes += r.milp_nodes;
+    sweep.lp_iterations += r.lp_iterations;
+    sweep.steals += r.solver_stats.nodes_stolen;
+    sweep.steal_attempts += r.solver_stats.steal_attempts;
+    sweep.peak_open = std::max(sweep.peak_open, r.solver_stats.peak_open_nodes);
+    sweep.max_gap = std::max(sweep.max_gap, r.solver_stats.best_bound_gap);
+    if (!sweep.verdicts.empty()) sweep.verdicts += ',';
+    sweep.verdicts += verify::verdict_name(r.verdict);
+  }
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return sweep;
+}
+
+void emit_search_json(const std::vector<SearchSweep>& sweeps, bool parity) {
+  std::FILE* f = std::fopen("BENCH_search.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_search.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e5_search_strategy\",\n  \"sweeps\": [\n");
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SearchSweep& s = sweeps[i];
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"store\": \"%s\", \"branching\": \"%s\", "
+                 "\"threads\": %zu, \"nodes\": %zu, \"lp_iterations\": %zu, "
+                 "\"nodes_stolen\": %zu, \"steal_attempts\": %zu, "
+                 "\"peak_open_nodes\": %zu, \"gap_at_limit\": %.6f, "
+                 "\"wall_seconds\": %.6f, \"verdicts\": \"%s\"}%s\n",
+                 s.config.c_str(), milp::search::node_store_kind_name(s.store),
+                 milp::search::branching_rule_kind_name(s.branching), s.threads,
+                 s.nodes, s.lp_iterations, s.steals, s.steal_attempts, s.peak_open,
+                 s.max_gap, s.wall_seconds, s.verdicts.c_str(),
+                 i + 1 < sweeps.size() ? "," : "");
+  }
+  const double base = static_cast<double>(sweeps.front().nodes);
+  double best_nodes = base;
+  for (const SearchSweep& s : sweeps)
+    if (s.threads == 1) best_nodes = std::min(best_nodes, static_cast<double>(s.nodes));
+  std::fprintf(f, "  ],\n  \"node_reduction_best_config\": %.3f,\n",
+               best_nodes > 0 ? base / best_nodes : 0.0);
+  std::fprintf(f, "  \"verdicts_compatible\": %s\n}\n", parity ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_search.json\n");
+}
+
+void print_search_report(const std::vector<Query>& queries) {
+  std::printf("\n=== E5: search-strategy axis (same SAFE-proof battery, revised backend) ===\n");
+  std::printf("%22s | %7s | %8s | %8s | %8s | %9s | %8s | %8s\n", "config", "threads",
+              "nodes", "lp-iter", "steals", "peak-open", "max-gap", "wall s");
+  std::printf("-----------------------+---------+----------+----------+----------+-----------+----------+---------\n");
+  using Store = milp::search::NodeStoreKind;
+  using Rule = milp::search::BranchingRuleKind;
+  std::vector<SearchSweep> sweeps;
+  sweeps.push_back(run_search_sweep(queries, "dfs+mostfrac", Store::kDepthFirst,
+                                    Rule::kMostFractional, 1));
+  sweeps.push_back(run_search_sweep(queries, "best-first+mostfrac", Store::kBestFirst,
+                                    Rule::kMostFractional, 1));
+  sweeps.push_back(run_search_sweep(queries, "hybrid+mostfrac", Store::kHybrid,
+                                    Rule::kMostFractional, 1));
+  sweeps.push_back(run_search_sweep(queries, "dfs+pseudocost", Store::kDepthFirst,
+                                    Rule::kPseudocost, 1));
+  sweeps.push_back(run_search_sweep(queries, "hybrid+pseudocost", Store::kHybrid,
+                                    Rule::kPseudocost, 1));
+  sweeps.push_back(run_search_sweep(queries, "hybrid+strong", Store::kHybrid,
+                                    Rule::kStrongBranching, 1));
+  sweeps.push_back(run_search_sweep(queries, "hybrid+pseudocost", Store::kHybrid,
+                                    Rule::kPseudocost, 2));
+  sweeps.push_back(run_search_sweep(queries, "hybrid+pseudocost", Store::kHybrid,
+                                    Rule::kPseudocost, 4));
+  std::vector<std::string> all_verdicts;
+  for (const SearchSweep& s : sweeps) {
+    all_verdicts.push_back(s.verdicts);
+    std::printf("%22s | %7zu | %8zu | %8zu | %8zu | %9zu | %8.3f | %8.3f\n",
+                s.config.c_str(), s.threads, s.nodes, s.lp_iterations, s.steals,
+                s.peak_open, s.max_gap, s.wall_seconds);
+  }
+  const bool parity = decided_verdicts_agree(all_verdicts);
+  std::printf("verdict compatibility across strategies and thread counts "
+              "(UNKNOWN = budget): %s\n",
+              parity ? "OK" : "CONFLICT");
+  std::size_t best_nodes = sweeps.front().nodes;
+  for (const SearchSweep& s : sweeps)
+    if (s.threads == 1) best_nodes = std::min(best_nodes, s.nodes);
+  std::printf("nodes-to-proof: baseline %zu -> best strategy %zu (%.2fx)\n",
+              sweeps.front().nodes, best_nodes,
+              best_nodes > 0 ? static_cast<double>(sweeps.front().nodes) / best_nodes
+                             : 0.0);
+  emit_search_json(sweeps, parity);
 }
 
 // --------------------------------------------------------------------
@@ -585,7 +767,7 @@ void emit_json(const std::vector<SweepResult>& sweeps, bool verdicts_match,
                  s.warm_hit_rate, s.verdicts.c_str(),
                  i + 1 < sweeps.size() ? "," : "");
   }
-  std::fprintf(f, "  ],\n  \"verdicts_match\": %s,\n",
+  std::fprintf(f, "  ],\n  \"verdicts_compatible\": %s,\n",
                verdicts_match ? "true" : "false");
   std::fprintf(f,
                "  \"battery\": {\"entries\": %zu, \"serial_seconds\": %.6f, "
@@ -620,16 +802,22 @@ void print_report() {
   sweeps.push_back(run_sweep(queries, solver::LpBackendKind::kRevisedBounded, 1));
   sweeps.push_back(run_sweep(queries, solver::LpBackendKind::kRevisedBounded, 2));
   sweeps.push_back(run_sweep(queries, solver::LpBackendKind::kRevisedBounded, 4));
-  bool verdicts_match = true;
+  std::vector<std::string> sweep_verdicts;
   for (const SweepResult& s : sweeps) {
-    if (s.verdicts != sweeps.front().verdicts) verdicts_match = false;
+    sweep_verdicts.push_back(s.verdicts);
     std::printf("%16s | %7zu | %9.3f | %9zu | %9.1f | %9zu | %8.3f\n", s.backend.c_str(),
                 s.threads, s.wall_seconds, s.nodes,
                 s.wall_seconds > 0 ? s.nodes / s.wall_seconds : 0.0, s.lp_iterations,
                 s.warm_hit_rate);
   }
-  std::printf("verdict parity across backends and thread counts: %s\n",
-              verdicts_match ? "OK" : "MISMATCH");
+  // Threads 2/4 run under the shared node budget, where steal timing
+  // decides which subtrees fit (see src/milp/branch_and_bound.hpp) —
+  // so, like the cuts/search axes, decided verdicts must agree and
+  // UNKNOWN is a budget artifact.
+  const bool verdicts_match = decided_verdicts_agree(sweep_verdicts);
+  std::printf("verdict compatibility across backends and thread counts "
+              "(UNKNOWN = budget): %s\n",
+              verdicts_match ? "OK" : "CONFLICT");
   const double iter_ratio =
       sweeps[1].lp_iterations > 0
           ? static_cast<double>(sweeps[0].lp_iterations) / sweeps[1].lp_iterations
@@ -651,6 +839,8 @@ void print_report() {
   print_simplex_report(queries);
 
   print_cuts_report(queries);
+
+  print_search_report(queries);
 
   print_encoding_report();
 

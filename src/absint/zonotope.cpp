@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/dense.hpp"
 
@@ -76,30 +77,67 @@ Zonotope Zonotope::scale_shift(const std::vector<double>& scale,
   return out;
 }
 
-Zonotope Zonotope::relu() const {
+namespace {
+
+/// Intersection of two sound enclosures of the same values: non-empty
+/// up to rounding, and the guard keeps the result well-formed either
+/// way. Shared by the transformer clamp and the trace loop so the
+/// chord-slope bounds and the trace boxes can never diverge.
+Interval guarded_intersection(const Interval& a, const Interval& b) {
+  const double lo = std::max(a.lo, b.lo);
+  const double hi = std::min(a.hi, b.hi);
+  return Interval(std::min(lo, hi), std::max(lo, hi));
+}
+
+/// Per-dimension pre-activation bounds: the zonotope's own
+/// concretization, intersected with externally proven `clamp` bounds
+/// when supplied (sound because every concrete value lies in both).
+Interval effective_bounds(const Box& own, const Box* clamp, std::size_t i) {
+  if (clamp == nullptr) return own[i];
+  return guarded_intersection(own[i], (*clamp)[i]);
+}
+
+}  // namespace
+
+Zonotope Zonotope::relu(const Box* clamp) const {
+  // ReLU is LeakyReLU at alpha = 0: one chord transformer serves both
+  // (the leaky_relu formulas below reduce exactly to the DeepZ ReLU
+  // lambda = hi/(hi-lo), mu = -lambda*lo/2 at alpha = 0).
+  return leaky_relu(0.0, clamp);
+}
+
+Zonotope Zonotope::leaky_relu(double alpha, const Box* clamp) const {
+  check(alpha >= 0.0 && alpha < 1.0,
+        "Zonotope::leaky_relu: alpha must be in [0, 1)");
+  if (clamp != nullptr)
+    check(clamp->size() == center_.size(),
+          "Zonotope::leaky_relu: clamp arity mismatch");
   const Box bounds = to_box();
   const std::size_t n = center_.size();
   Zonotope out = *this;
-  // Coefficients of the per-dimension affine map y = lambda*x + mu, plus
-  // the fresh-noise magnitude beta for unstable dimensions.
+  // Fresh-noise magnitude per unstable dimension (half the chord's
+  // maximal deviation from f, attained at the kink x = 0).
   std::vector<double> fresh(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
-    const double lo = bounds[i].lo;
-    const double hi = bounds[i].hi;
-    if (lo >= 0.0) continue;  // identity
-    if (hi <= 0.0) {          // constantly zero
-      out.center_[i] = 0.0;
-      for (auto& gen : out.generators_) gen[i] = 0.0;
+    const Interval iv = effective_bounds(bounds, clamp, i);
+    const double lo = iv.lo;
+    const double hi = iv.hi;
+    if (lo >= 0.0) continue;  // identity piece
+    if (hi <= 0.0) {          // alpha piece: exact linear map
+      out.center_[i] *= alpha;
+      for (auto& gen : out.generators_) gen[i] *= alpha;
       continue;
     }
-    // Unstable: y in [lambda*x, lambda*x - lambda*lo] with
-    // lambda = hi/(hi-lo); take the midline and a fresh symbol of radius
-    // mu = -lambda*lo/2 (the DeepZ transformer).
-    const double lambda = hi / (hi - lo);
-    const double mu = -lambda * lo * 0.5;
-    out.center_[i] = lambda * out.center_[i] + mu;
-    for (auto& gen : out.generators_) gen[i] *= lambda;
-    fresh[i] = mu;
+    // Unstable: f(x) = max(x, alpha*x) is convex, so it lies between
+    // the chord c(x) = s*x + (alpha - s)*lo through (lo, alpha*lo) and
+    // (hi, hi), and c shifted down by its kink deviation
+    // d0 = c(0) - f(0) = (alpha - s)*lo = -lo*hi*(1-alpha)/(hi-lo).
+    // Midline plus a fresh symbol of radius d0/2.
+    const double s = (hi - alpha * lo) / (hi - lo);
+    const double d0 = (alpha - s) * lo;
+    out.center_[i] = s * out.center_[i] + (alpha - s) * lo - 0.5 * d0;
+    for (auto& gen : out.generators_) gen[i] *= s;
+    fresh[i] = 0.5 * d0;
   }
   for (std::size_t i = 0; i < n; ++i) {
     if (fresh[i] == 0.0) continue;
@@ -148,8 +186,12 @@ Zonotope Zonotope::reduce(std::size_t max_generators) const {
 namespace {
 
 /// The zonotope transformer of one layer (the shared step of range and
-/// trace propagation).
-Zonotope zonotope_step(const nn::Layer& layer, Zonotope z) {
+/// trace propagation). `pre_clamp`, when non-null, carries externally
+/// proven bounds on the layer's *input* — trace propagation feeds the
+/// interval-intersected box of the previous layer back in, so the
+/// (Leaky)ReLU chord slope is chosen from the clamped bounds instead of
+/// the zonotope's possibly looser own concretization.
+Zonotope zonotope_step(const nn::Layer& layer, Zonotope z, const Box* pre_clamp) {
   switch (layer.kind()) {
     case nn::LayerKind::kDense: {
       const auto& d = static_cast<const nn::Dense&>(layer);
@@ -164,7 +206,9 @@ Zonotope zonotope_step(const nn::Layer& layer, Zonotope z) {
       return z.affine(weight, bias);
     }
     case nn::LayerKind::kReLU:
-      return z.relu();
+      return z.relu(pre_clamp);
+    case nn::LayerKind::kLeakyReLU:
+      return z.leaky_relu(static_cast<const nn::LeakyReLU&>(layer).alpha(), pre_clamp);
     case nn::LayerKind::kBatchNorm: {
       const auto& bn = static_cast<const nn::BatchNorm&>(layer);
       const std::size_t n = bn.input_shape().dim(0);
@@ -178,9 +222,10 @@ Zonotope zonotope_step(const nn::Layer& layer, Zonotope z) {
     case nn::LayerKind::kFlatten:
       return z;  // reshape only
     default:
-      throw ContractViolation("propagate_zonotope_range: unsupported layer kind '" +
-                              nn::layer_kind_name(layer.kind()) +
-                              "' (zonotopes cover verified tails: dense/relu/batchnorm)");
+      throw ContractViolation(
+          "propagate_zonotope_range: unsupported layer kind '" +
+          nn::layer_kind_name(layer.kind()) +
+          "' (zonotopes cover verified tails: dense/relu/leakyrelu/batchnorm)");
   }
 }
 
@@ -191,7 +236,7 @@ Zonotope propagate_zonotope_range(const nn::Network& net, Zonotope z, std::size_
   check(from_layer <= to_layer && to_layer <= net.layer_count(),
         "propagate_zonotope_range: invalid layer range");
   for (std::size_t i = from_layer; i < to_layer; ++i) {
-    z = zonotope_step(net.layer(i), std::move(z));
+    z = zonotope_step(net.layer(i), std::move(z), nullptr);
     if (max_generators > 0) z = z.reduce(max_generators);
   }
   return z;
@@ -204,6 +249,7 @@ bool zonotope_supported(const nn::Network& net, std::size_t from_layer, std::siz
     switch (net.layer(i).kind()) {
       case nn::LayerKind::kDense:
       case nn::LayerKind::kReLU:
+      case nn::LayerKind::kLeakyReLU:
       case nn::LayerKind::kBatchNorm:
       case nn::LayerKind::kFlatten:
         break;
@@ -227,22 +273,19 @@ std::vector<Box> propagate_zonotope_trace(const nn::Network& net, const Box& inp
   // Running interval propagation alongside — seeded each layer from the
   // previous *intersected* box — makes every trace entry at least as
   // tight as pure interval propagation while keeping the zonotope's
-  // correlation wins.
+  // correlation wins. The intersected box also feeds *back* into the
+  // transformer as the pre-activation clamp, so the (Leaky)ReLU chord
+  // slope is chosen from the tightened bounds.
   Box interval_box = input_box;
   for (std::size_t i = from_layer; i < to_layer; ++i) {
-    z = zonotope_step(net.layer(i), std::move(z));
+    z = zonotope_step(net.layer(i), std::move(z), &interval_box);
     if (max_generators > 0) z = z.reduce(max_generators);
     interval_box = propagate_box(net.layer(i), interval_box);
     const Box zono_box = z.to_box();
     check(zono_box.size() == interval_box.size(),
           "propagate_zonotope_trace: arity mismatch between domains");
-    for (std::size_t d = 0; d < interval_box.size(); ++d) {
-      const double lo = std::max(interval_box[d].lo, zono_box[d].lo);
-      const double hi = std::min(interval_box[d].hi, zono_box[d].hi);
-      // Both domains are sound, so the intersection is non-empty up to
-      // rounding; the guard keeps it well-formed either way.
-      interval_box[d] = Interval(std::min(lo, hi), std::max(lo, hi));
-    }
+    for (std::size_t d = 0; d < interval_box.size(); ++d)
+      interval_box[d] = guarded_intersection(interval_box[d], zono_box[d]);
     trace.push_back(interval_box);
   }
   return trace;

@@ -3,13 +3,14 @@
 // Affine forms c + sum_k g_k * e_k with noise symbols e_k in [-1, 1].
 // Exact through affine layers (Dense, BatchNorm) — this is what makes the
 // domain tighter than boxes, which lose all correlation between neurons —
-// and over-approximated through ReLU with the standard single-neuron
-// linear relaxation (one fresh noise symbol per unstable ReLU, as in
-// DeepZ / AI2's zonotope transformer).
+// and over-approximated through ReLU and LeakyReLU with the standard
+// single-neuron chord relaxation (one fresh noise symbol per unstable
+// activation, as in DeepZ / AI2's zonotope transformer; the LeakyReLU
+// chord reduces to the DeepZ ReLU transformer at alpha = 0).
 //
 // Supported layer kinds are the ones occurring in verified tails (Dense,
-// ReLU, BatchNorm, Flatten); convolutional front-ends are cut away by the
-// paper's Lemma 1 before the domain is applied.
+// ReLU, LeakyReLU, BatchNorm, Flatten); convolutional front-ends are cut
+// away by the paper's Lemma 1 before the domain is applied.
 #pragma once
 
 #include <cstddef>
@@ -45,7 +46,25 @@ class Zonotope {
   Zonotope scale_shift(const std::vector<double>& scale, const std::vector<double>& shift) const;
 
   /// ReLU transformer (sound over-approximation; may add generators).
-  Zonotope relu() const;
+  ///
+  /// `clamp`, when non-null, supplies externally proven pre-activation
+  /// bounds (e.g. interval propagation run alongside): the transformer
+  /// intersects them with its own concretization before choosing the
+  /// chord slope, so tighter outside knowledge tightens lambda and the
+  /// fresh-noise radius. Soundness requirement: `clamp` must enclose
+  /// every *true* pre-activation value of the concrete executions
+  /// being abstracted (it may well be tighter than the zonotope's own
+  /// concretization — that is the point); the abstract result then
+  /// still covers all concrete outputs, which is the invariant
+  /// propagate_zonotope_trace maintains for its trace boxes.
+  Zonotope relu(const Box* clamp = nullptr) const;
+
+  /// LeakyReLU transformer y = max(x, alpha*x), 0 <= alpha < 1: exact
+  /// on stable dimensions (identity / times-alpha), chord relaxation
+  /// with one fresh noise symbol on unstable ones. Same `clamp`
+  /// contract as relu() — which is exactly this transformer at
+  /// alpha = 0 (the DeepZ ReLU).
+  Zonotope leaky_relu(double alpha, const Box* clamp = nullptr) const;
 
   /// Order reduction (Girard's method): when the zonotope carries more
   /// than `max_generators` noise symbols, the smallest ones (by L1 mass,
@@ -74,9 +93,9 @@ Zonotope propagate_zonotope_range(const nn::Network& net, Zonotope z, std::size_
                                   std::size_t to_layer, std::size_t max_generators = 0);
 
 /// True when every layer in [from_layer, to_layer) is covered by the
-/// zonotope transformers (dense / relu / batchnorm / flatten). Callers
-/// use this to fall back to interval bounds where the domain does not
-/// apply (e.g. LeakyReLU tails).
+/// zonotope transformers (dense / relu / leakyrelu / batchnorm /
+/// flatten). Callers use this to fall back to interval bounds where the
+/// domain does not apply (e.g. pooling layers).
 bool zonotope_supported(const nn::Network& net, std::size_t from_layer, std::size_t to_layer);
 
 /// Concrete per-layer boxes for layers [from_layer, to_layer) starting

@@ -51,6 +51,13 @@ std::string CampaignReport::format_encoding_summary() const {
     out << "; cuts: " << cuts_added << " added over " << cut_rounds
         << " root rounds, " << milp_nodes << " B&B nodes total";
   }
+  // Only when re-allocation actually engaged — a pool with no starved
+  // entry to spend it on is the budget working, not news.
+  if (budget_entries_retried > 0) {
+    out << "; budget: " << budget_nodes_returned << " unused nodes pooled, "
+        << budget_nodes_granted << " granted over " << budget_entries_retried
+        << " retries (" << budget_entries_rescued << " rescued)";
+  }
   if (solver_totals.basis_factorizations > 0 || solver_totals.basis_updates > 0) {
     out << "; basis: " << solver_totals.basis_factorizations << " factorizations, "
         << solver_totals.basis_updates << " updates";
@@ -90,40 +97,112 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   // Entries are independent (each workflow run seeds its own RNGs from
   // the config), so they fan out over a worker pool; results land in
   // their entry slot, keeping report ordering deterministic regardless
-  // of thread count or completion order.
+  // of thread count or completion order. A pass runs a job list of
+  // (entry index, node-budget override — 0 keeps entry_config's); the
+  // retry pass below reuses it with per-entry grants.
   std::vector<WorkflowReport> results(entries.size());
-  std::atomic<std::size_t> next_entry{0};
-  std::mutex error_mutex;
-  std::exception_ptr error;
-
-  const auto run_entries = [&] {
-    while (true) {
-      const std::size_t i = next_entry.fetch_add(1);
-      if (i >= entries.size()) return;
-      try {
-        results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
-                                  entries[i].property_val, entries[i].risk, entry_config);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!error) error = std::current_exception();
-        return;
+  const auto run_pass = [&](const std::vector<std::pair<std::size_t, std::size_t>>& jobs) {
+    std::atomic<std::size_t> next_job{0};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    const auto run_jobs = [&] {
+      while (true) {
+        const std::size_t j = next_job.fetch_add(1);
+        if (j >= jobs.size()) return;
+        const std::size_t i = jobs[j].first;
+        WorkflowConfig job_config = entry_config;
+        if (jobs[j].second > 0)
+          job_config.assume_guarantee.verifier.milp.max_nodes = jobs[j].second;
+        try {
+          results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
+                                    entries[i].property_val, entries[i].risk, job_config);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+          return;
+        }
       }
+    };
+    const std::size_t thread_count =
+        std::min(std::max<std::size_t>(config.campaign_threads, 1), jobs.size());
+    if (thread_count <= 1) {
+      run_jobs();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(thread_count);
+      for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(run_jobs);
+      for (std::thread& t : pool) t.join();
     }
+    if (error) std::rethrow_exception(error);
   };
 
-  const std::size_t thread_count =
-      std::min(std::max<std::size_t>(config.campaign_threads, 1), entries.size());
-  if (thread_count <= 1) {
-    run_entries();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(thread_count);
-    for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(run_entries);
-    for (std::thread& t : pool) t.join();
-  }
-  if (error) std::rethrow_exception(error);
+  std::vector<std::pair<std::size_t, std::size_t>> first_pass;
+  first_pass.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) first_pass.emplace_back(i, 0);
+  run_pass(first_pass);
 
   CampaignReport report;
+
+  // Budget re-allocation: unused nodes of early finishers form a pool
+  // that node-limit UNKNOWN entries draw from in one retry pass, split
+  // evenly (remainder to the earliest entries). Everything here is a
+  // pure function of the deterministic first-pass results, so verdicts
+  // and tables stay bit-identical across thread counts.
+  double retry_encode_seconds = 0.0, retry_solve_seconds = 0.0;
+  std::size_t retry_nodes = 0;
+  solver::SolverStats retry_stats;
+  if (config.entry_node_budget > 0 && config.reallocate_node_budget) {
+    std::size_t pool_nodes = 0;
+    std::vector<std::size_t> starved;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const verify::VerificationResult& v = results[i].safety.verification;
+      const bool unknown = results[i].characterizer_usable &&
+                           results[i].safety.verdict == SafetyVerdict::kUnknown;
+      if (unknown && v.hit_node_limit) {
+        starved.push_back(i);
+      } else if (!unknown && v.milp_nodes < config.entry_node_budget) {
+        // Only entries that genuinely *finished* donate. An UNKNOWN for
+        // another reason (LP iteration limit) neither donates — its
+        // leftover is failure, not surplus — nor draws (more nodes
+        // would not fix a per-LP resource failure).
+        pool_nodes += config.entry_node_budget - v.milp_nodes;
+      }
+    }
+    report.budget_nodes_returned = pool_nodes;
+    if (!starved.empty() && pool_nodes > 0) {
+      const std::size_t share = pool_nodes / starved.size();
+      const std::size_t remainder = pool_nodes % starved.size();
+      std::vector<std::pair<std::size_t, std::size_t>> retries;
+      for (std::size_t k = 0; k < starved.size(); ++k) {
+        const std::size_t grant = share + (k < remainder ? 1 : 0);
+        if (grant == 0) continue;
+        retries.emplace_back(starved[k], config.entry_node_budget + grant);
+        report.budget_nodes_granted += grant;
+      }
+      // First-pass costs of retried entries stay in the totals — the
+      // work was spent either way. The first pass's open gap does NOT:
+      // the retry supersedes that search, and merge keeps maxima, so a
+      // stale gap would survive into the report even after the retry
+      // closed it.
+      for (const auto& [i, budget] : retries) {
+        (void)budget;
+        const verify::VerificationResult& v = results[i].safety.verification;
+        retry_encode_seconds += v.encode_seconds;
+        retry_solve_seconds += v.solve_seconds;
+        retry_nodes += v.milp_nodes;
+        solver::SolverStats first_pass = v.solver_stats;
+        first_pass.best_bound_gap = 0.0;
+        retry_stats.merge(first_pass);
+      }
+      run_pass(retries);
+      report.budget_entries_retried = retries.size();
+      for (const auto& [i, budget] : retries) {
+        (void)budget;
+        if (results[i].safety.verdict != SafetyVerdict::kUnknown)
+          ++report.budget_entries_rescued;
+      }
+    }
+  }
   if (cache != nullptr) {
     const verify::EncodingCache::Stats cs = cache->stats();
     report.encoding_cache_hits = cs.hits;
@@ -155,6 +234,10 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
     }
     report.reports.push_back(std::move(wr));
   }
+  report.encode_seconds += retry_encode_seconds;
+  report.solve_seconds += retry_solve_seconds;
+  report.milp_nodes += retry_nodes;
+  report.solver_totals.merge(retry_stats);
   // The dedicated cut counters mirror the merged totals (kept as
   // top-level fields for report readers; one accumulation source).
   report.cuts_added = report.solver_totals.cuts_added;

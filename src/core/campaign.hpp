@@ -42,6 +42,17 @@ struct CampaignReport {
   double encode_seconds = 0.0;  ///< total per-entry encode (or stamp) wall time
   double solve_seconds = 0.0;   ///< total branch & bound wall time
 
+  /// Node-budget re-allocation accounting (zero unless the config sets
+  /// `entry_node_budget` and `reallocate_node_budget`): nodes returned
+  /// unused by early finishers, nodes actually granted to node-limit
+  /// UNKNOWN entries, entries re-run with a grant, and the subset whose
+  /// verdict improved past UNKNOWN. Retried entries' first-pass costs
+  /// stay included in the node/seconds totals below.
+  std::size_t budget_nodes_returned = 0;
+  std::size_t budget_nodes_granted = 0;
+  std::size_t budget_entries_retried = 0;
+  std::size_t budget_entries_rescued = 0;
+
   /// Cutting-plane accounting summed across entries (all zero when
   /// `assume_guarantee.verifier.milp.cuts` leaves the engine off).
   /// `milp_nodes` totals the B&B nodes so node-count deltas between

@@ -596,11 +596,13 @@ LpSolution RevisedSimplex::solve() {
   for (std::size_t j = 0; j < total_; ++j) {
     if (lo_[j] <= up_[j] + kPrimalTol) continue;
     solution.status = SolveStatus::kInfeasible;
+    last_solve_iterations_ = 0;  // this call spent no pivots
     return solution;
   }
   reset_to_logical_basis();
   run_dual(solution);
   if (solution.status == SolveStatus::kOptimal) extract(solution);
+  last_solve_iterations_ = solution.iterations;
   return solution;
 }
 
@@ -610,6 +612,7 @@ LpSolution RevisedSimplex::resolve(const SimplexBasis& basis) {
     if (lo_[j] <= up_[j] + kPrimalTol) continue;
     solution.status = SolveStatus::kInfeasible;
     last_resolve_was_warm_ = false;
+    last_solve_iterations_ = 0;  // this call spent no pivots
     return solution;
   }
   last_resolve_was_warm_ = !basis.empty() && install_basis(basis);
@@ -623,6 +626,7 @@ LpSolution RevisedSimplex::resolve(const SimplexBasis& basis) {
     solution = solve();
     solution.iterations += warm_iterations;
   }
+  last_solve_iterations_ = solution.iterations;
   return solution;
 }
 

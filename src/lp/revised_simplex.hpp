@@ -92,6 +92,13 @@ class RevisedSimplex {
   /// True when the last resolve() actually ran from the supplied basis.
   bool last_resolve_was_warm() const { return last_resolve_was_warm_; }
 
+  /// Iterations of the most recent solve()/resolve() alone — the
+  /// warm-resolve delta, already isolated from the cumulative counters
+  /// (a warm resolve that fell back cold reports warm + cold together,
+  /// matching the LpSolution it returned). Surfaced per-backend as
+  /// solver::LpBackend::last_solve_iterations.
+  std::size_t last_solve_iterations() const { return last_solve_iterations_; }
+
   /// Snapshot of the current basis (valid after a solve).
   SimplexBasis capture_basis() const;
 
@@ -164,6 +171,7 @@ class RevisedSimplex {
   std::vector<std::size_t> touched_;
   std::size_t pivots_since_refactor_ = 0;
   bool last_resolve_was_warm_ = false;
+  std::size_t last_solve_iterations_ = 0;
   BasisFactorStats factor_stats_;
 };
 

@@ -1,8 +1,8 @@
 #include "milp/branch_and_bound.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <condition_variable>
 #include <exception>
 #include <limits>
 #include <memory>
@@ -13,6 +13,8 @@
 
 #include "common/check.hpp"
 #include "milp/cuts/cut_engine.hpp"
+#include "milp/search/branching_rule.hpp"
+#include "milp/search/frontier.hpp"
 
 namespace dpv::milp {
 
@@ -32,30 +34,17 @@ const char* milp_status_name(MilpStatus status) {
 
 namespace {
 
-/// Bound overrides along one branch of the search tree, plus the optimal
-/// basis of the parent relaxation (shared between sibling nodes) for
-/// warm-started re-solves.
-struct Node {
-  std::vector<std::pair<std::size_t, double>> fixings;  // (binary var, 0 or 1)
-  std::shared_ptr<const solver::WarmBasis> parent_basis;
-};
+using search::SearchNode;
 
-/// Search state shared by the worker pool. All fields are guarded by
-/// `mutex`; `cv` wakes idle workers on pushes, incumbent updates and
-/// termination.
+/// Search state shared by the worker pool beside the frontier: the
+/// incumbent, termination flags and the node-local cut pool live under
+/// `mutex`; counters that only need atomicity do not.
 struct SharedSearch {
   std::mutex mutex;
-  std::condition_variable cv;
-  std::vector<Node> stack;
-  std::size_t active_workers = 0;
-  std::size_t nodes_explored = 0;
-
   bool have_incumbent = false;
   double incumbent_objective = 0.0;
   std::vector<double> incumbent_values;
   bool found_first_feasible = false;
-
-  bool stop = false;  ///< early cancel: budget, first-feasible, or error
   bool node_budget_exhausted = false;
   bool lp_iteration_limit_hit = false;
   std::exception_ptr error;
@@ -66,13 +55,20 @@ struct SharedSearch {
   std::vector<lp::Row> local_cut_rows;
   std::unordered_set<std::size_t> cut_hashes;
   std::size_t local_cuts = 0;
+
+  std::atomic<std::size_t> nodes_explored{0};
+  /// Stable node ids: all strategy-layer tie-breaking orders on them.
+  std::atomic<std::uint64_t> next_node_id{1};
 };
 
 class Worker {
  public:
-  Worker(const MilpProblem& problem, const BranchAndBoundOptions& options,
-         SharedSearch& shared)
-      : problem_(problem), options_(options), shared_(shared),
+  Worker(std::size_t index, const MilpProblem& problem,
+         const BranchAndBoundOptions& options, SharedSearch& shared,
+         search::ParallelFrontier& frontier, search::PseudocostTable* pseudocosts)
+      : index_(index), problem_(problem), options_(options), shared_(shared),
+        frontier_(frontier), pseudocosts_(pseudocosts),
+        rule_(search::make_branching_rule(options.search.branching, options.search)),
         backend_(solver::make_lp_backend(options.backend, options.lp_options)) {
     backend_->load(problem.relaxation());
   }
@@ -81,50 +77,63 @@ class Worker {
     try {
       loop();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(shared_.mutex);
-      if (!shared_.error) shared_.error = std::current_exception();
-      shared_.stop = true;
-      shared_.cv.notify_all();
+      {
+        std::lock_guard<std::mutex> lock(shared_.mutex);
+        if (!shared_.error) shared_.error = std::current_exception();
+      }
+      frontier_.request_stop();
     }
   }
 
   const solver::SolverStats& stats() const { return backend_->stats(); }
 
  private:
-  void loop() {
+  bool better(double a, double b) const {
     const bool minimize =
         problem_.relaxation().objective_direction() == lp::Objective::kMinimize;
-    const auto better = [minimize](double a, double b) {
-      return minimize ? a < b : a > b;
-    };
+    return minimize ? a < b : a > b;
+  }
 
-    std::unique_lock<std::mutex> lock(shared_.mutex);
+  void loop() {
     while (true) {
-      shared_.cv.wait(lock, [&] {
-        return shared_.stop || !shared_.stack.empty() || shared_.active_workers == 0;
-      });
-      if (shared_.stop) return;
-      if (shared_.stack.empty()) return;  // active_workers == 0: tree exhausted
-      if (shared_.nodes_explored >= options_.max_nodes) {
-        shared_.node_budget_exhausted = true;
-        shared_.stop = true;
-        shared_.cv.notify_all();
+      SearchNode node;
+      if (frontier_.acquire(index_, node) != search::ParallelFrontier::Acquire::kGot)
+        return;
+
+      // ---- Node budget ---------------------------------------------
+      if (shared_.nodes_explored.fetch_add(1) >= options_.max_nodes) {
+        shared_.nodes_explored.fetch_sub(1);
+        {
+          std::lock_guard<std::mutex> lock(shared_.mutex);
+          shared_.node_budget_exhausted = true;
+        }
+        frontier_.abandon(index_, std::move(node));
+        frontier_.request_stop();
         return;
       }
-      Node node = std::move(shared_.stack.back());
-      shared_.stack.pop_back();
-      ++shared_.nodes_explored;
-      ++shared_.active_workers;
-      std::vector<lp::Row> pending_cut_rows;
-      if (options_.cuts.local && shared_.local_cut_rows.size() > applied_local_rows_) {
-        pending_cut_rows.assign(shared_.local_cut_rows.begin() +
-                                    static_cast<std::ptrdiff_t>(applied_local_rows_),
-                                shared_.local_cut_rows.end());
-        applied_local_rows_ = shared_.local_cut_rows.size();
-      }
-      lock.unlock();
 
-      // ---- LP solve outside the lock -------------------------------
+      // ---- Pop-time pruning + cut-pool snapshot --------------------
+      std::vector<lp::Row> pending_cut_rows;
+      {
+        std::unique_lock<std::mutex> lock(shared_.mutex);
+        if (node.has_bound && shared_.have_incumbent &&
+            !better(node.bound, shared_.incumbent_objective)) {
+          // A later incumbent retired this queued subtree; no LP work.
+          lock.unlock();
+          frontier_.complete();
+          continue;
+        }
+        if (options_.cuts.local &&
+            shared_.local_cut_rows.size() > applied_local_rows_) {
+          pending_cut_rows.assign(
+              shared_.local_cut_rows.begin() +
+                  static_cast<std::ptrdiff_t>(applied_local_rows_),
+              shared_.local_cut_rows.end());
+          applied_local_rows_ = shared_.local_cut_rows.size();
+        }
+      }
+
+      // ---- LP solve outside any lock -------------------------------
       if (!pending_cut_rows.empty()) {
         // Fold the grown shared cut pool into this worker's backend.
         // Bases captured against the old row count no longer fit, so
@@ -142,60 +151,95 @@ class Worker {
                                     ? backend_->resolve(*node.parent_basis)
                                     : backend_->solve();
 
-      // Most-fractional binary (independent of the incumbent).
-      std::size_t branch_var = problem_.variable_count();
+      // Feed the pseudocost table with this child's actual outcome —
+      // the per-re-solve degradation statistics every branching rule
+      // shares, learned for free from solves the search does anyway.
+      record_branch_outcome(node, lp);
+
+      // ---- Branch selection ----------------------------------------
+      bool any_fractional = false;
       if (lp.status == lp::SolveStatus::kOptimal) {
-        double worst_frac_distance = options_.integrality_tolerance;
         for (const std::size_t b : problem_.binary_variables()) {
           const double v = lp.values[b];
-          const double dist = std::abs(v - std::round(v));
-          if (dist > worst_frac_distance) {
-            worst_frac_distance = dist;
-            branch_var = b;
+          if (std::abs(v - std::round(v)) > options_.integrality_tolerance) {
+            any_fractional = true;
+            break;
           }
         }
       }
       std::shared_ptr<const solver::WarmBasis> basis;
-      if (lp.status == lp::SolveStatus::kOptimal &&
-          branch_var != problem_.variable_count() && backend_->supports_warm_start())
+      if (lp.status == lp::SolveStatus::kOptimal && any_fractional &&
+          backend_->supports_warm_start())
         basis = std::make_shared<const solver::WarmBasis>(backend_->capture_basis());
+      search::BranchDecision decision;
+      if (any_fractional) {
+        if (frontier_.stopped()) {
+          // Don't spend branching-probe LP re-solves on a search that
+          // is already stopping; hand the solved-but-unexpanded node
+          // back so the post-mortem bound scan still counts it — with
+          // the just-computed relaxation objective, strictly tighter
+          // than the parent bound it was queued under.
+          node.bound = lp.objective;
+          node.has_bound = true;
+          frontier_.abandon(index_, std::move(node));
+          return;
+        }
+        search::BranchContext ctx;
+        ctx.problem = &problem_;
+        ctx.backend = backend_.get();
+        ctx.lp = &lp;
+        ctx.warm_basis = basis.get();
+        ctx.integrality_tolerance = options_.integrality_tolerance;
+        ctx.minimize =
+            problem_.relaxation().objective_direction() == lp::Objective::kMinimize;
+        ctx.pseudocosts = pseudocosts_;
+        ctx.stop = &frontier_.stop_flag();
+        decision = rule_->decide(ctx);
+        // A fractional node MUST branch: a rule returning "integral"
+        // here (e.g. a stricter private tolerance) would publish a
+        // fractional point as an incumbent — under feasibility mode, a
+        // bogus counterexample. Fail loudly instead.
+        internal_check(decision.var != search::kNoBranchVariable,
+                       "branching rule returned no variable on a fractional node");
+      }
+      const std::size_t branch_var = decision.var;
 
       // Node-local separation (globally-valid ReLU-split cuts only),
       // restricted to shallow nodes about to branch.
       std::vector<cuts::Cut> node_cuts;
       if (options_.cuts.local && lp.status == lp::SolveStatus::kOptimal &&
-          branch_var != problem_.variable_count() &&
+          branch_var != search::kNoBranchVariable &&
           node.fixings.size() < options_.cuts.local_depth_limit)
         node_cuts = cuts::separate_local_cuts(problem_, lp, options_.cuts);
 
       // ---- Publish the outcome -------------------------------------
-      lock.lock();
-      --shared_.active_workers;
+      std::unique_lock<std::mutex> lock(shared_.mutex);
       if (lp.status == lp::SolveStatus::kOptimal &&
-          branch_var == problem_.variable_count()) {
+          branch_var == search::kNoBranchVariable) {
         // Integral: new incumbent. Published even when a concurrent
         // stop was set — a feasible integral point is sound evidence
         // regardless of why the search is ending (a counterexample in
         // hand beats "node budget exhausted").
-        if (!shared_.have_incumbent || better(lp.objective, shared_.incumbent_objective)) {
+        if (!shared_.have_incumbent ||
+            better(lp.objective, shared_.incumbent_objective)) {
           shared_.have_incumbent = true;
           shared_.incumbent_objective = lp.objective;
           shared_.incumbent_values = lp.values;
         }
-        if (options_.stop_at_first_feasible) {
-          shared_.found_first_feasible = true;
-          shared_.stop = true;
+        const bool stop_now = options_.stop_at_first_feasible;
+        if (stop_now) shared_.found_first_feasible = true;
+        lock.unlock();
+        frontier_.complete();
+        if (stop_now || frontier_.stopped()) {
+          frontier_.request_stop();
+          return;
         }
-        shared_.cv.notify_all();
-        if (shared_.stop) return;
         continue;
       }
-      if (shared_.stop) {
-        shared_.cv.notify_all();
-        return;
-      }
       if (lp.status == lp::SolveStatus::kInfeasible) {
-        shared_.cv.notify_all();
+        lock.unlock();
+        frontier_.complete();
+        if (frontier_.stopped()) return;
         continue;  // pruned
       }
       if (lp.status != lp::SolveStatus::kOptimal) {
@@ -204,13 +248,26 @@ class Worker {
         // is inconclusive. Report resource exhaustion rather than guess.
         shared_.lp_iteration_limit_hit = true;
         shared_.node_budget_exhausted = true;
-        shared_.stop = true;
-        shared_.cv.notify_all();
+        lock.unlock();
+        frontier_.abandon(index_, std::move(node));
+        frontier_.request_stop();
+        return;
+      }
+      if (frontier_.stopped()) {
+        // The node is solved but will not be expanded; hand it back so
+        // the post-mortem bound scan still counts its subtree, under
+        // its own (tighter) relaxation bound.
+        lock.unlock();
+        node.bound = lp.objective;
+        node.has_bound = true;
+        frontier_.abandon(index_, std::move(node));
         return;
       }
       // Bound pruning against the incumbent.
-      if (shared_.have_incumbent && !better(lp.objective, shared_.incumbent_objective)) {
-        shared_.cv.notify_all();
+      if (shared_.have_incumbent &&
+          !better(lp.objective, shared_.incumbent_objective)) {
+        lock.unlock();
+        frontier_.complete();
         continue;
       }
 
@@ -222,26 +279,82 @@ class Worker {
         shared_.local_cut_rows.push_back(std::move(cut.row));
         ++shared_.local_cuts;
       }
+      lock.unlock();
 
-      // Children: push the rounded-toward branch last so it pops first
-      // (dive toward integrality).
-      Node zero{node.fixings, basis};
+      // ---- Children ------------------------------------------------
+      // A probing rule may already have proved a child's relaxation
+      // infeasible; the probe *was* that child's solve, so it is never
+      // pushed (its pseudocost outcome was recorded by the probe).
+      const double value = lp.values[branch_var];
+      // Only pseudocost learning reads the children's parent
+      // fractionality; skip the scan on the baseline rule.
+      const double parent_frac =
+          pseudocosts_ != nullptr ? search::total_fractionality(problem_, lp.values)
+                                  : 0.0;
+      SearchNode zero;
+      zero.fixings = node.fixings;
       zero.fixings.emplace_back(branch_var, 0.0);
-      Node one{std::move(node.fixings), std::move(basis)};
+      SearchNode one;
+      one.fixings = std::move(node.fixings);
       one.fixings.emplace_back(branch_var, 1.0);
-      if (lp.values[branch_var] >= 0.5) {
-        shared_.stack.push_back(std::move(zero));
-        shared_.stack.push_back(std::move(one));
-      } else {
-        shared_.stack.push_back(std::move(one));
-        shared_.stack.push_back(std::move(zero));
+      for (SearchNode* child : {&zero, &one}) {
+        child->id = shared_.next_node_id.fetch_add(1);
+        child->parent_basis = basis;
+        child->bound = lp.objective;
+        child->has_bound = true;
+        child->branch_var = branch_var;
+        child->parent_fractionality = parent_frac;
       }
-      shared_.cv.notify_all();
+      zero.branch_up = false;
+      zero.branch_frac = value;
+      zero.probe_recorded = decision.down_recorded;
+      if (decision.have_down_bound) zero.bound = decision.down_bound;
+      one.branch_up = true;
+      one.branch_frac = 1.0 - value;
+      one.probe_recorded = decision.up_recorded;
+      if (decision.have_up_bound) one.bound = decision.up_bound;
+      // Push the rounded-toward branch last so a LIFO pops it first
+      // (dive toward integrality); order is irrelevant to a heap.
+      const bool push_zero = !decision.down_infeasible;
+      const bool push_one = !decision.up_infeasible;
+      if (value >= 0.5) {
+        if (push_zero) frontier_.push(index_, std::move(zero));
+        if (push_one) frontier_.push(index_, std::move(one));
+      } else {
+        if (push_one) frontier_.push(index_, std::move(one));
+        if (push_zero) frontier_.push(index_, std::move(zero));
+      }
+      frontier_.complete();
     }
   }
 
+  /// Pseudocost bookkeeping for the branch that created `node`: the
+  /// child relaxation either proved infeasible (the strongest outcome)
+  /// or degraded the parent objective / reduced total fractionality.
+  void record_branch_outcome(const SearchNode& node, const lp::LpSolution& lp) {
+    if (pseudocosts_ == nullptr || node.branch_var == search::kNoBranchVariable ||
+        node.probe_recorded)
+      return;
+    if (lp.status == lp::SolveStatus::kInfeasible) {
+      search::record_child_outcome(*pseudocosts_, node.branch_var, node.branch_up,
+                                   node.branch_frac, /*infeasible=*/true, 0.0, 0.0);
+      return;
+    }
+    if (lp.status != lp::SolveStatus::kOptimal || !node.has_bound) return;
+    const bool minimize =
+        problem_.relaxation().objective_direction() == lp::Objective::kMinimize;
+    const double degradation = std::max(
+        0.0, minimize ? lp.objective - node.bound : node.bound - lp.objective);
+    const double drop =
+        std::max(0.0, node.parent_fractionality -
+                          search::total_fractionality(problem_, lp.values));
+    search::record_child_outcome(*pseudocosts_, node.branch_var, node.branch_up,
+                                 node.branch_frac, /*infeasible=*/false, degradation,
+                                 drop);
+  }
+
   /// Resets the previous node's overrides, then applies this node's.
-  void apply_fixings(const Node& node) {
+  void apply_fixings(const SearchNode& node) {
     const lp::LpProblem& base = problem_.relaxation();
     for (const std::size_t var : overridden_)
       backend_->set_bounds(var, base.lower_bound(var), base.upper_bound(var));
@@ -252,9 +365,13 @@ class Worker {
     }
   }
 
+  const std::size_t index_;
   const MilpProblem& problem_;
   const BranchAndBoundOptions& options_;
   SharedSearch& shared_;
+  search::ParallelFrontier& frontier_;
+  search::PseudocostTable* pseudocosts_;
+  std::unique_ptr<search::BranchingRule> rule_;
   std::unique_ptr<solver::LpBackend> backend_;
   std::vector<std::size_t> overridden_;
   /// Local-cut bookkeeping: how much of the shared pool this worker's
@@ -284,8 +401,14 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
     active = &working;
   }
 
+  const bool minimize =
+      active->relaxation().objective_direction() == lp::Objective::kMinimize;
+  const std::size_t thread_count = std::max<std::size_t>(options_.threads, 1);
+
   SharedSearch shared;
-  shared.stack.push_back(Node{});
+  search::ParallelFrontier frontier(thread_count, options_.search.node_store,
+                                    minimize, options_.search);
+  frontier.push(0, SearchNode{});  // root: id 0, no fixings, no bound yet
   if (options_.cuts.local && root_cuts.cuts_live > 0) {
     // Seed dedup so node-local separation cannot re-add a root cut.
     // (cuts_live, not cuts_added: aging may have removed some again.)
@@ -294,11 +417,18 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
       shared.cut_hashes.insert(cuts::cut_row_hash(rows[r]));
   }
 
-  const std::size_t thread_count = std::max<std::size_t>(options_.threads, 1);
+  // One shared pseudocost table (rules that never read it skip the
+  // allocation): every worker's child re-solves feed it, so learning
+  // crosses worker boundaries.
+  std::unique_ptr<search::PseudocostTable> pseudocosts;
+  if (options_.search.branching != search::BranchingRuleKind::kMostFractional)
+    pseudocosts = std::make_unique<search::PseudocostTable>(problem.variable_count());
+
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(thread_count);
   for (std::size_t t = 0; t < thread_count; ++t)
-    workers.push_back(std::make_unique<Worker>(*active, options_, shared));
+    workers.push_back(std::make_unique<Worker>(t, *active, options_, shared, frontier,
+                                               pseudocosts.get()));
 
   if (thread_count == 1) {
     workers[0]->run();
@@ -312,11 +442,14 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   if (shared.error) std::rethrow_exception(shared.error);
 
   MilpResult result;
-  result.nodes_explored = shared.nodes_explored;
+  result.nodes_explored = shared.nodes_explored.load();
   for (const auto& worker : workers) result.solver_stats.merge(worker->stats());
   result.solver_stats.merge(root_cuts.solver_stats);
   result.solver_stats.cuts_added = root_cuts.cuts_added + shared.local_cuts;
   result.solver_stats.cut_rounds = root_cuts.rounds;
+  result.solver_stats.nodes_stolen = frontier.nodes_stolen();
+  result.solver_stats.steal_attempts = frontier.steal_attempts();
+  result.solver_stats.peak_open_nodes = frontier.peak_open();
   result.lp_iterations = result.solver_stats.lp_iterations;
   result.lp_iteration_limit_hit = shared.lp_iteration_limit_hit;
   if (shared.have_incumbent) {
@@ -327,6 +460,28 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
     result.status = MilpStatus::kFeasible;
   } else if (shared.node_budget_exhausted) {
     result.status = shared.have_incumbent ? MilpStatus::kFeasible : MilpStatus::kNodeLimit;
+    // The frontier that survived the stop bounds every unexplored
+    // integral point: report it, and the optimality gap against the
+    // incumbent (or the caller's bound target) — the "how close did
+    // the proof get" number for node-limit UNKNOWNs.
+    double best_bound = 0.0;
+    if (frontier.best_open_bound(best_bound)) {
+      result.have_best_bound = true;
+      result.best_bound = best_bound;
+      double reference = std::numeric_limits<double>::quiet_NaN();
+      if (shared.have_incumbent)
+        reference = shared.incumbent_objective;
+      else if (!std::isnan(options_.bound_target))
+        reference = options_.bound_target;
+      if (!std::isnan(reference)) {
+        // Directional, clamped at zero: an open bound the reference
+        // already dominates (queued nodes not yet pop-pruned) leaves
+        // no real gap — the incumbent is provably optimal.
+        result.best_bound_gap = minimize ? std::max(0.0, reference - best_bound)
+                                         : std::max(0.0, best_bound - reference);
+        result.solver_stats.best_bound_gap = result.best_bound_gap;
+      }
+    }
   } else {
     result.status = shared.have_incumbent ? MilpStatus::kOptimal : MilpStatus::kInfeasible;
   }

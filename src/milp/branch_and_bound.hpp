@@ -1,21 +1,40 @@
-// LP-relaxation branch & bound for MILP.
+// LP-relaxation branch & bound for MILP, with a pluggable search core.
 //
-// Depth-first search branching on the most fractional binary. Nodes are
-// pruned by LP infeasibility and by objective bound against the incumbent.
-// For pure feasibility queries (`stop_at_first_feasible`), the solver
-// returns as soon as any integral point is found — the common mode for
-// safety verification, where any feasible point is a counterexample and
-// exhaustive infeasibility is the proof.
+// The tree *shape* is owned by the strategy layer (src/milp/search/):
+// a NodeStore orders the open nodes (depth-first dive, best-first on
+// the relaxation bound, or a hybrid that plunges then resumes from the
+// best bound), a BranchingRule picks the split variable
+// (most-fractional baseline, reliability-initialized pseudocosts fed
+// by every child re-solve's objective degradation, or strong
+// branching), and with `threads > 1` a work-stealing frontier of
+// per-worker deques replaces a single contended stack. Nodes are
+// pruned by LP infeasibility and by objective bound against the
+// incumbent (checked again at pop time, so a late incumbent retires
+// queued subtrees without an LP solve). For pure feasibility queries
+// (`stop_at_first_feasible`), the solver returns as soon as any
+// integral point is found — the common mode for safety verification,
+// where any feasible point is a counterexample and exhaustive
+// infeasibility is the proof.
 //
 // Node relaxations are solved through the pluggable solver backend layer
 // (src/solver/): each node carries its parent's optimal basis, and since
 // branching only tightens a single variable's box, a warm-startable
 // backend re-solves with a handful of dual-simplex pivots instead of a
-// full cold solve. With `threads > 1` the tree is explored by a worker
-// pool sharing one work stack, an incumbent, and the node budget; each
-// worker owns a private backend instance. Verdicts (and optimal
-// objective values) are thread-count-invariant; the specific incumbent
-// point and node counts may differ between runs.
+// full cold solve. Each worker owns a private backend instance.
+// Verdicts (and optimal objective values) of searches that run to
+// completion are thread-count-invariant; the specific incumbent point,
+// node counts and steal counts may differ between runs. The exception
+// is a *binding node budget* with threads > 1: scheduling decides
+// which subtrees fit inside the budget, so the budget/no-budget
+// boundary (kNodeLimit vs a finished proof) can vary across runs —
+// campaigns that need bit-identical reports keep `threads == 1` per
+// search and parallelize across entries instead.
+//
+// A search that stops on its node budget reports the most optimistic
+// relaxation bound still open and the optimality gap against the
+// incumbent (or against `options.bound_target` — the verifier's risk
+// threshold — when no incumbent exists), so a node-limit UNKNOWN
+// carries how close the proof got instead of nothing.
 //
 // When `options.cuts` enables it, the search is preceded by root-node
 // cutting-plane rounds (ReLU-split + Gomory, see src/milp/cuts/) on a
@@ -25,11 +44,13 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "lp/simplex.hpp"
 #include "milp/cuts/cut_generator.hpp"
 #include "milp/milp_problem.hpp"
+#include "milp/search/strategy.hpp"
 #include "solver/lp_backend.hpp"
 
 namespace dpv::milp {
@@ -56,8 +77,18 @@ struct MilpResult {
   bool lp_iteration_limit_hit = false;
   /// Warm-start and iteration accounting, merged across workers; also
   /// carries the cutting-plane counters (`cuts_added`, `cut_rounds`)
-  /// when the engine ran.
+  /// when the engine ran, and the search-layer counters
+  /// (`nodes_stolen`, `steal_attempts`, `peak_open_nodes`,
+  /// `best_bound_gap`).
   solver::SolverStats solver_stats;
+  /// Most optimistic relaxation bound over the nodes still open when a
+  /// kNodeLimit search stopped (every unexplored integral point is
+  /// bounded by it). Valid when `have_best_bound`.
+  bool have_best_bound = false;
+  double best_bound = 0.0;
+  /// |incumbent − best_bound|, or |options.bound_target − best_bound|
+  /// when the search holds no incumbent; 0 on a finished proof.
+  double best_bound_gap = 0.0;
 };
 
 struct BranchAndBoundOptions {
@@ -75,6 +106,15 @@ struct BranchAndBoundOptions {
   /// are appended to a working copy of the problem — the caller's
   /// instance, including cached/stamped encodings, is never mutated.
   cuts::CutOptions cuts = {};
+  /// Search strategy: node ordering, branching rule and their tuning
+  /// (src/milp/search/strategy.hpp). Defaults reproduce the classic
+  /// depth-first / most-fractional search.
+  search::SearchOptions search = {};
+  /// Reference for the reported `best_bound_gap` when a node-limit stop
+  /// holds no incumbent (NaN = no reference). The verifier sets this to
+  /// the risk threshold of its margin objective, so an UNKNOWN reports
+  /// how much objective headroom the surviving frontier still admits.
+  double bound_target = std::numeric_limits<double>::quiet_NaN();
 };
 
 class BranchAndBoundSolver {

@@ -1,0 +1,97 @@
+// Node stores: the open-node containers behind branch & bound.
+//
+// A NodeStore owns the order in which one worker expands its open
+// nodes. Three implementations ship (make_node_store):
+//   * kDepthFirst — LIFO stack; children pushed rounded-toward-last pop
+//     first, i.e. the classic dive. Minimal memory, finds integral
+//     points fast, but can grind through a bad subtree while a much
+//     better bound waits elsewhere.
+//   * kBestFirst — binary heap keyed on the node's relaxation bound
+//     (the parent LP objective): always expand the most promising open
+//     node. Minimizes the proved best-bound gap at any node budget; the
+//     price is memory (the frontier stays wide) and late incumbents.
+//   * kHybrid — dive-then-best-bound with plunging: pops LIFO from the
+//     most recent children for `SearchOptions::plunge_limit` pops, then
+//     spills the dive stack into the heap and resumes from the best
+//     open bound.
+//
+// Determinism: every ordering decision tie-breaks on the stable node
+// id (`SearchNode::id`, assigned from a per-search counter) — never on
+// pointer values or insertion addresses — so a serial search replays
+// identically and heap order is reproducible across runs.
+//
+// Stores are NOT thread-safe; the parallel frontier (frontier.hpp)
+// wraps one store per worker behind a per-deque mutex and steals
+// between them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "milp/search/strategy.hpp"
+#include "solver/lp_backend.hpp"
+
+namespace dpv::milp::search {
+
+/// One open node of the branch & bound tree: bound overrides along its
+/// branch, the parent's optimal basis for warm re-solves, and the
+/// bookkeeping the strategy layer orders and learns from.
+struct SearchNode {
+  /// Stable id from the search-wide counter; all tie-breaking uses it.
+  std::uint64_t id = 0;
+  /// (binary variable, 0 or 1) fixings accumulated along the branch.
+  std::vector<std::pair<std::size_t, double>> fixings;
+  /// Optimal basis of the parent relaxation (shared between siblings).
+  std::shared_ptr<const solver::WarmBasis> parent_basis;
+
+  /// Parent relaxation objective in the user's direction — a sound
+  /// bound on every integral point under this node. The root carries
+  /// no bound yet (`has_bound = false`).
+  double bound = 0.0;
+  bool has_bound = false;
+
+  /// How this node was created, for pseudocost accounting: the branched
+  /// variable (kNoBranchVariable for the root), the branch direction,
+  /// the fractional distance moved, and the parent's total integer
+  /// infeasibility.
+  std::size_t branch_var = kNoBranchVariable;
+  bool branch_up = false;
+  double branch_frac = 0.0;
+  double parent_fractionality = 0.0;
+  /// A strong-branch probe already recorded this branch's outcome into
+  /// the pseudocost table; the node's own re-solve must not record the
+  /// same event again.
+  bool probe_recorded = false;
+};
+
+/// Open-node container; see file comment for the shipped orderings.
+class NodeStore {
+ public:
+  virtual ~NodeStore() = default;
+
+  virtual void push(SearchNode node) = 0;
+  /// Pops the next node to expand; false when empty.
+  virtual bool pop(SearchNode& out) = 0;
+  virtual std::size_t size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  /// Moves roughly half of this store's entries into `out` — the oldest
+  /// half of a LIFO (the entries the owner would reach last), the best
+  /// half of a heap (spreading good bounds across workers). Returns the
+  /// number of nodes moved. Deterministic given the store's content.
+  virtual std::size_t steal_half(std::vector<SearchNode>& out) = 0;
+
+  /// Most optimistic bound over the open nodes (direction-aware);
+  /// false when empty or no stored node carries a bound yet.
+  virtual bool best_bound(double& out) const = 0;
+};
+
+/// Builds a store of `kind`. `minimize` orients bound comparisons;
+/// `options` supplies kHybrid's plunge limit.
+std::unique_ptr<NodeStore> make_node_store(NodeStoreKind kind, bool minimize,
+                                           const SearchOptions& options);
+
+}  // namespace dpv::milp::search

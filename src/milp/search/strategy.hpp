@@ -1,0 +1,71 @@
+// Search-strategy knobs for branch & bound.
+//
+// The search core is assembled from two pluggable axes plus a parallel
+// frontier (src/milp/search/):
+//   * NodeStoreKind  — the order open nodes are expanded in
+//     (node_store.hpp),
+//   * BranchingRuleKind — which fractional binary a node splits on
+//     (branching_rule.hpp),
+// and SearchOptions carries the tuning parameters both axes share. The
+// options travel inside milp::BranchAndBoundOptions::search and from
+// there through verify::TailVerifierOptions / core::WorkflowConfig, so
+// a campaign can pick its strategy per battery.
+#pragma once
+
+#include <cstddef>
+
+namespace dpv::milp::search {
+
+/// The order in which open nodes are expanded.
+enum class NodeStoreKind {
+  kDepthFirst,  ///< LIFO stack — the classic dive, minimal memory
+  kBestFirst,   ///< heap on the relaxation bound — minimizes proved gap
+  kHybrid,      ///< dive (plunge) a bounded number of pops, then best-bound
+};
+
+/// Which fractional binary a node branches on.
+enum class BranchingRuleKind {
+  kMostFractional,   ///< baseline: largest distance to integrality
+  kPseudocost,       ///< per-variable degradation statistics, reliability-
+                     ///< initialized by strong-branching probes
+  kStrongBranching,  ///< probe both children of the top-k candidates
+};
+
+const char* node_store_kind_name(NodeStoreKind kind);
+const char* branching_rule_kind_name(BranchingRuleKind kind);
+
+/// Sentinel for "no fractional binary": the root's branch_var and the
+/// decision of an integral node. Lives here so node metadata
+/// (node_store.hpp) and rules (branching_rule.hpp) share one source.
+constexpr std::size_t kNoBranchVariable = static_cast<std::size_t>(-1);
+
+/// Tuning shared by the node stores, branching rules and the parallel
+/// frontier. Defaults reproduce the pre-refactor search exactly
+/// (depth-first + most-fractional).
+struct SearchOptions {
+  NodeStoreKind node_store = NodeStoreKind::kDepthFirst;
+  BranchingRuleKind branching = BranchingRuleKind::kMostFractional;
+
+  /// kHybrid: consecutive LIFO pops (the plunge) before the store spills
+  /// its dive stack into the best-first heap and resumes from the best
+  /// open bound.
+  std::size_t plunge_limit = 8;
+
+  /// kPseudocost: minimum recorded observations per (variable,
+  /// direction) before its pseudocost estimate is trusted; candidates
+  /// below it are strong-branch probed first (reliability branching).
+  std::size_t pseudocost_reliability = 1;
+
+  /// kPseudocost / kStrongBranching: at most this many candidates are
+  /// probed per node (both children each — two LP re-solves per probe).
+  std::size_t strong_candidates = 4;
+
+  /// kPseudocost: weight of the observed child-infeasibility rate in a
+  /// candidate's direction score. Child infeasibility is the strongest
+  /// possible outcome of a branch (the subtree vanishes), and on pure
+  /// feasibility MILPs — the verifier's workload, objective zero — it
+  /// is the only signal besides fractionality reduction.
+  double infeasible_score_weight = 1.0;
+};
+
+}  // namespace dpv::milp::search

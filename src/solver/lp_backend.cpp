@@ -1,5 +1,7 @@
 #include "solver/lp_backend.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace dpv::solver {
@@ -28,6 +30,11 @@ void SolverStats::merge(const SolverStats& other) {
   singular_recoveries += other.singular_recoveries;
   factor_seconds += other.factor_seconds;
   pivot_seconds += other.pivot_seconds;
+  nodes_stolen += other.nodes_stolen;
+  steal_attempts += other.steal_attempts;
+  // Width / gap high-water marks, not volumes: keep the worst.
+  peak_open_nodes = std::max(peak_open_nodes, other.peak_open_nodes);
+  best_bound_gap = std::max(best_bound_gap, other.best_bound_gap);
 }
 
 double SolverStats::warm_hit_rate() const {
@@ -68,6 +75,7 @@ class DenseTableauBackend final : public LpBackend {
     const lp::LpSolution solution = solver_.solve(problem_);
     ++stats_.lp_solves;
     stats_.lp_iterations += solution.iterations;
+    last_solve_iterations_ = solution.iterations;
     return solution;
   }
 
@@ -102,6 +110,9 @@ class RevisedBoundedBackend final : public LpBackend {
     const lp::LpSolution solution = simplex_.solve();
     ++stats_.lp_solves;
     stats_.lp_iterations += solution.iterations;
+    // Single source of truth for the per-call delta: the simplex's own
+    // counter, so the two layers cannot diverge.
+    last_solve_iterations_ = simplex_.last_solve_iterations();
     absorb_factor_stats();
     return solution;
   }
@@ -112,6 +123,7 @@ class RevisedBoundedBackend final : public LpBackend {
     ++stats_.lp_solves;
     ++stats_.warm_attempts;
     stats_.lp_iterations += solution.iterations;
+    last_solve_iterations_ = simplex_.last_solve_iterations();
     if (simplex_.last_resolve_was_warm()) {
       ++stats_.warm_hits;
       stats_.warm_iterations += solution.iterations;

@@ -63,6 +63,20 @@ struct SolverStats {
   /// of the pivot loop (pricing, ratio tests, FTRAN/BTRAN, updates).
   double factor_seconds = 0.0;
   double pivot_seconds = 0.0;
+  /// Work-stealing search accounting, filled by the MILP layer (see
+  /// src/milp/search/frontier.hpp): nodes moved between per-worker
+  /// deques, victim probes issued, and the frontier's high-water mark
+  /// of simultaneously open nodes (merge keeps the max — a width, not
+  /// a volume).
+  std::size_t nodes_stolen = 0;
+  std::size_t steal_attempts = 0;
+  std::size_t peak_open_nodes = 0;
+  /// Optimality gap still open when a search stopped on its node
+  /// budget: |incumbent − best surviving bound|, or |bound target −
+  /// best bound| for verifier margin objectives (see
+  /// milp::BranchAndBoundOptions::bound_target). Zero when the search
+  /// finished with a proof; merge keeps the max (worst entry).
+  double best_bound_gap = 0.0;
 
   void merge(const SolverStats& other);
   /// Fraction of warm attempts that did not fall back to a cold solve.
@@ -114,8 +128,16 @@ class LpBackend {
   const SolverStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
+  /// Simplex iterations of the most recent solve()/resolve() alone —
+  /// the warm-resolve delta exposed for per-call effort accounting
+  /// (e.g. bounding strong-branching probe cost) without diffing the
+  /// cumulative stats() counters. Contract pinned by
+  /// tests/test_search.cpp (WarmResolveIterationDelta).
+  std::size_t last_solve_iterations() const { return last_solve_iterations_; }
+
  protected:
   SolverStats stats_;
+  std::size_t last_solve_iterations_ = 0;
 };
 
 /// Factory for the kind; `options` bounds the per-solve iteration budget.

@@ -64,7 +64,7 @@ class NetworkEncoder {
     // the whole range up front; the walk below intersects them in after
     // each layer, so neither can ever be looser than plain intervals.
     // Zonotopes fall back to intervals where the domain does not apply
-    // (e.g. LeakyReLU tails).
+    // (pooling layers; dense/relu/leakyrelu/batchnorm tails are covered).
     std::vector<absint::Box> trace;
     if (options_.bounds == BoundMethod::kSymbolic)
       trace = absint::symbolic_bounds_trace(net, bounds_, from_layer, to_layer);

@@ -1,6 +1,8 @@
 #include "verify/verifier.hpp"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -38,6 +40,12 @@ std::string VerificationResult::summary() const {
     if (solver_stats.singular_recoveries > 0)
       out << ", singular-recoveries=" << solver_stats.singular_recoveries;
   }
+  if (solver_stats.steal_attempts > 0)
+    out << ", steals=" << solver_stats.nodes_stolen << "/"
+        << solver_stats.steal_attempts << "a";
+  if (solver_stats.peak_open_nodes > 1)
+    out << ", peak-open=" << solver_stats.peak_open_nodes;
+  if (have_best_bound_gap) out << ", gap=" << best_bound_gap;
   out << ", encode=" << encode_seconds << "s, solve=" << solve_seconds << "s)";
   if (!note.empty()) out << " [" << note << "]";
   return out.str();
@@ -70,7 +78,32 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   result.encoding = encoding.stats;
 
   const auto start = std::chrono::steady_clock::now();
-  const milp::BranchAndBoundSolver solver(options_.milp);
+  // Risk-margin objective: the per-query problem (a private copy, even
+  // when stamped from a frozen cache base) gets "maximize the leading
+  // risk inequality's activation" with its threshold as the search's
+  // bound target. Feasibility is untouched — the risk rows still
+  // constrain — but the strategy layer gains an ordering signal and a
+  // node-limit stop can report the remaining margin headroom as a gap.
+  milp::BranchAndBoundOptions milp_options = options_.milp;
+  if (options_.risk_margin_objective && !query.risk.inequalities().empty()) {
+    const OutputInequality& lead = query.risk.inequalities().front();
+    if (lead.sense != lp::RowSense::kEqual) {
+      std::vector<lp::LinearTerm> terms;
+      const std::size_t out_n =
+          std::min(lead.coeffs.size(), encoding.output_vars.size());
+      for (std::size_t i = 0; i < out_n; ++i)
+        if (lead.coeffs[i] != 0.0)
+          terms.push_back({encoding.output_vars[i], lead.coeffs[i]});
+      if (!terms.empty()) {
+        encoding.problem.set_objective(std::move(terms),
+                                       lead.sense == lp::RowSense::kGreaterEqual
+                                           ? lp::Objective::kMaximize
+                                           : lp::Objective::kMinimize);
+        milp_options.bound_target = lead.rhs;
+      }
+    }
+  }
+  const milp::BranchAndBoundSolver solver(milp_options);
   const milp::MilpResult milp_result = solver.solve(encoding.problem);
   result.milp_nodes = milp_result.nodes_explored;
   result.lp_iterations = milp_result.lp_iterations;
@@ -103,16 +136,28 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
       result.counterexample_validated = ok;
       break;
     }
-    case milp::MilpStatus::kNodeLimit:
+    case milp::MilpStatus::kNodeLimit: {
       result.verdict = Verdict::kUnknown;
       // Distinguish "some node relaxation hit the LP iteration limit"
       // from an exhausted node budget: the former is a per-LP resource
       // failure the caller may fix by raising lp_options.max_iterations.
-      result.note = milp_result.lp_iteration_limit_hit
-                        ? "LP iteration limit hit before a proof; raise "
-                          "lp_options.max_iterations or simplify the query"
-                        : "node budget exhausted before a proof";
+      result.hit_node_limit = !milp_result.lp_iteration_limit_hit;
+      std::ostringstream note;
+      if (milp_result.lp_iteration_limit_hit) {
+        note << "LP iteration limit hit before a proof; raise "
+                "lp_options.max_iterations or simplify the query";
+      } else {
+        note << "node budget exhausted before a proof";
+        if (milp_result.have_best_bound && !std::isnan(milp_options.bound_target)) {
+          result.have_best_bound_gap = true;
+          result.best_bound_gap = milp_result.best_bound_gap;
+          note << "; best-bound gap " << milp_result.best_bound_gap
+               << " (open relaxation margin beyond the risk threshold)";
+        }
+      }
+      result.note = note.str();
       break;
+    }
   }
 
   const auto end = std::chrono::steady_clock::now();

@@ -48,10 +48,22 @@ struct VerificationResult {
   /// Which LP backend solved the node relaxations.
   solver::LpBackendKind backend = solver::LpBackendKind::kRevisedBounded;
   /// Warm-start hit rate, iteration accounting, cutting-plane counters
-  /// (`cuts_added`, `cut_rounds`) and basis-factorization accounting
+  /// (`cuts_added`, `cut_rounds`), basis-factorization accounting
   /// (factorizations, eta updates + nonzeros, factor-vs-pivot seconds)
-  /// from the MILP search.
+  /// and search-layer counters (`nodes_stolen`, `steal_attempts`,
+  /// `peak_open_nodes`, `best_bound_gap`) from the MILP search.
   solver::SolverStats solver_stats;
+  /// True when the verdict is kUnknown because the MILP node budget ran
+  /// out (as opposed to an LP iteration limit) — the signal campaign
+  /// budget re-allocation keys on.
+  bool hit_node_limit = false;
+  /// Remaining risk-margin headroom over the unexplored frontier when
+  /// `hit_node_limit` (see TailVerifierOptions::risk_margin_objective):
+  /// open relaxation points can exceed the risk threshold by at most
+  /// this much, and it shrinks toward 0 as the search nears a SAFE
+  /// proof. Valid when `have_best_bound_gap`.
+  bool have_best_bound_gap = false;
+  double best_bound_gap = 0.0;
   /// Set when the verdict is kUnknown for a reason worth surfacing (e.g.
   /// an LP iteration limit rather than the node budget).
   std::string note;
@@ -59,15 +71,40 @@ struct VerificationResult {
   std::string summary() const;
 };
 
+/// The verifier's default MILP search configuration. While the raw
+/// milp::BranchAndBoundOptions default reproduces the classic
+/// depth-first / most-fractional search, the verifier defaults to the
+/// hybrid dive-then-best-bound store with pseudocost branching: on the
+/// E5 SAFE-proof battery that is ~30x fewer nodes-to-proof at verdict
+/// parity (BENCH_search.json), because pseudocosts learn which ReLU
+/// phase splits kill subtrees. Callers can always set `milp.search`
+/// back to the baseline.
+inline milp::BranchAndBoundOptions default_verifier_milp_options() {
+  milp::BranchAndBoundOptions milp;
+  milp.search.node_store = milp::search::NodeStoreKind::kHybrid;
+  milp.search.branching = milp::search::BranchingRuleKind::kPseudocost;
+  return milp;
+}
+
 struct TailVerifierOptions {
   EncodeOptions encode = {};
   /// MILP search options; `milp.backend` selects the LP backend,
-  /// `milp.threads` enables parallel node exploration and
+  /// `milp.threads` enables parallel node exploration,
   /// `milp.cuts.root_rounds` turns on the cutting-plane engine
-  /// (verdict-preserving; shrinks proof trees on hard SAFE queries).
-  milp::BranchAndBoundOptions milp = {};
+  /// (verdict-preserving; shrinks proof trees on hard SAFE queries) and
+  /// `milp.search` picks the node store / branching rule (defaults to
+  /// hybrid + pseudocost here — see default_verifier_milp_options).
+  milp::BranchAndBoundOptions milp = default_verifier_milp_options();
   /// Tolerance for re-validating counterexamples on the concrete tail.
   double validation_tolerance = 1e-6;
+  /// Give the (otherwise objective-free) feasibility MILP a risk-margin
+  /// objective: maximize the first risk inequality's activation, with
+  /// its threshold as the search's bound target. Verdicts are
+  /// unaffected — the rows still constrain — but best-first node
+  /// ordering and pseudocost branching get a signal to order on, and a
+  /// node-limit UNKNOWN reports a best-bound gap (how much margin the
+  /// unexplored frontier still admits) instead of nothing.
+  bool risk_margin_objective = true;
   /// When set, the verifier routes encoding through this cache: the
   /// query-independent tail is frozen once per key and per-query
   /// problems are stamped out by appending only risk + characterizer

@@ -247,9 +247,114 @@ TEST(Zonotope, StableReluDimensionsAreExact) {
 TEST(Zonotope, UnsupportedLayerKindThrows) {
   nn::Network net;
   net.add(std::make_unique<nn::MaxPool2D>(1, 2, 2, 2));
+  EXPECT_FALSE(zonotope_supported(net, 0, 1));
   EXPECT_THROW(
       propagate_zonotope_range(net, Zonotope::from_box(uniform_box(4, 0, 1)), 0, 1),
       ContractViolation);
+}
+
+nn::Network make_leaky_tail(Rng& rng, std::size_t in_n, std::size_t hidden,
+                            std::size_t out_n, double alpha) {
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(in_n, hidden);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::LeakyReLU>(Shape{hidden}, alpha));
+  auto d2 = std::make_unique<nn::Dense>(hidden, hidden);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+  net.add(std::make_unique<nn::LeakyReLU>(Shape{hidden}, alpha));
+  auto d3 = std::make_unique<nn::Dense>(hidden, out_n);
+  d3->init_he(rng);
+  net.add(std::move(d3));
+  return net;
+}
+
+class LeakyZonotopeSoundnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeakyZonotopeSoundnessSweep, SampledOutputsInsideConcretization) {
+  // The LeakyReLU chord transformer is new in the domain: random leaky
+  // tails, sampled concrete outputs must stay inside both the range
+  // concretization and every trace entry's box.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 7);
+  nn::Network net = make_leaky_tail(rng, 4, 6, 3, 0.1);
+  ASSERT_TRUE(zonotope_supported(net, 0, net.layer_count()));
+  const Box input_box = uniform_box(4, -0.8, 1.2);
+  const Zonotope z = propagate_zonotope_range(net, Zonotope::from_box(input_box), 0,
+                                              net.layer_count());
+  const Box out_box = z.to_box();
+  const std::vector<Box> trace =
+      propagate_zonotope_trace(net, input_box, 0, net.layer_count());
+  const Box& trace_out = trace.back();
+  for (int sample = 0; sample < 50; ++sample) {
+    Tensor x(Shape{4});
+    for (std::size_t i = 0; i < 4; ++i) x[i] = rng.uniform(-0.8, 1.2);
+    const Tensor y = net.forward(x);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_GE(y[i], out_box[i].lo - 1e-9) << "seed " << GetParam();
+      EXPECT_LE(y[i], out_box[i].hi + 1e-9) << "seed " << GetParam();
+      EXPECT_GE(y[i], trace_out[i].lo - 1e-9) << "seed " << GetParam();
+      EXPECT_LE(y[i], trace_out[i].hi + 1e-9) << "seed " << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLeakyTails, LeakyZonotopeSoundnessSweep,
+                         ::testing::Range(0, 10));
+
+TEST(Zonotope, LeakyStableDimensionsAreExact) {
+  // [1, 2] sits on the identity piece, [-3, -1] on the alpha piece —
+  // both transformed exactly, no fresh noise.
+  const Box box{Interval(1.0, 2.0), Interval(-3.0, -1.0)};
+  const Zonotope z = Zonotope::from_box(box).leaky_relu(0.25);
+  EXPECT_EQ(z.generator_count(), 2u);  // no fresh symbols added
+  const Box out = z.to_box();
+  EXPECT_NEAR(out[0].lo, 1.0, 1e-12);
+  EXPECT_NEAR(out[0].hi, 2.0, 1e-12);
+  EXPECT_NEAR(out[1].lo, -0.75, 1e-12);
+  EXPECT_NEAR(out[1].hi, -0.25, 1e-12);
+}
+
+TEST(Zonotope, LeakyReluAtAlphaZeroMatchesReluTransformer) {
+  Rng rng(17);
+  for (int trial = 0; trial < 5; ++trial) {
+    Box box(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double a = rng.uniform(-2.0, 2.0);
+      const double b = rng.uniform(-2.0, 2.0);
+      box[i] = Interval(std::min(a, b), std::max(a, b));
+    }
+    const Zonotope base = Zonotope::from_box(box);
+    const Box via_relu = base.relu().to_box();
+    const Box via_leaky = base.leaky_relu(0.0).to_box();
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(via_relu[i].lo, via_leaky[i].lo, 1e-12) << "trial " << trial;
+      EXPECT_NEAR(via_relu[i].hi, via_leaky[i].hi, 1e-12) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Zonotope, TraceClampFeedbackNeverLoosensBounds) {
+  // The trace feeds its interval-intersected boxes back into the chord
+  // choice: every entry must be at least as tight as plain interval
+  // propagation and than the unclamped zonotope concretization.
+  Rng rng(29);
+  for (int trial = 0; trial < 5; ++trial) {
+    nn::Network net = make_leaky_tail(rng, 4, 6, 2, 0.05);
+    const Box input_box = uniform_box(4, -1.0, 1.0);
+    const std::vector<Box> trace =
+        propagate_zonotope_trace(net, input_box, 0, net.layer_count());
+    Box interval_box = input_box;
+    for (std::size_t i = 0; i < net.layer_count(); ++i) {
+      interval_box = propagate_box(net.layer(i), interval_box);
+      EXPECT_LE(box_total_width(trace[i]), box_total_width(interval_box) + 1e-9)
+          << "trial " << trial << " layer " << i;
+    }
+    const Zonotope plain = propagate_zonotope_range(
+        net, Zonotope::from_box(input_box), 0, net.layer_count());
+    EXPECT_LE(box_total_width(trace.back()), plain.total_width() + 1e-9)
+        << "trial " << trial;
+  }
 }
 
 TEST(BoxHelpers, ContainsAndWidth) {

@@ -252,6 +252,98 @@ TEST(Campaign, AggregatesMultipleQueries) {
   EXPECT_NE(table.find("not characterizable"), std::string::npos);
 }
 
+TEST(Campaign, BudgetReallocationRescuesStarvedEntries) {
+  // Two trivially SAFE entries (root-infeasible, 1 node each) donate
+  // their unused per-entry budget to a proof that genuinely branches.
+  // The budget is derived from an uncapped probe run, so the test pins
+  // the mechanism — starve, pool, regrant, rescue — not magic numbers.
+  Rng rng(67);
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(2, 8);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{8}));
+  auto d2 = std::make_unique<nn::Dense>(8, 1);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+
+  const auto make_entries = [&](double hard_threshold) {
+    Rng data_rng(68);
+    verify::RiskSpec easy_a("far-out-a"), easy_b("far-out-b");
+    easy_a.output_at_least(0, 1, 1e7);
+    easy_b.output_at_least(0, 1, 2e7);
+    verify::RiskSpec hard("close-call");
+    hard.output_at_least(0, 1, hard_threshold);
+    std::vector<CampaignEntry> entries;
+    entries.push_back({"x0-positive", labelled_cloud(data_rng, 200, 0.0),
+                       labelled_cloud(data_rng, 100, 0.0), easy_a});
+    entries.push_back({"x0-positive", labelled_cloud(data_rng, 200, 0.0),
+                       labelled_cloud(data_rng, 100, 0.0), easy_b});
+    entries.push_back({"x0-positive", labelled_cloud(data_rng, 200, 0.0),
+                       labelled_cloud(data_rng, 100, 0.0), hard});
+    return entries;
+  };
+
+  double sampled_max = -1e100;
+  for (int i = 0; i < 200; ++i) {
+    const Tensor x = Tensor::vector1d({rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)});
+    sampled_max = std::max(sampled_max, net.forward(x)[0]);
+  }
+
+  WorkflowConfig config;
+  config.characterizer.trainer.epochs = 60;
+
+  // Find a risk threshold whose uncapped search needs real branching
+  // (near the reachable boundary either verdict qualifies — a starved
+  // UNSAFE hunt is rescued the same way as a starved proof).
+  std::vector<CampaignEntry> entries;
+  CampaignReport uncapped;
+  std::size_t hard_nodes = 0, easy_nodes_total = 0;
+  for (const double margin : {0.05, 0.1, 0.25, 0.5, 1.0}) {
+    entries = make_entries(sampled_max + margin);
+    uncapped = run_campaign(net, 2, entries, config);
+    hard_nodes = uncapped.reports[2].safety.verification.milp_nodes;
+    easy_nodes_total = uncapped.reports[0].safety.verification.milp_nodes +
+                       uncapped.reports[1].safety.verification.milp_nodes;
+    if (hard_nodes >= 3) break;
+  }
+  if (hard_nodes < 3) GTEST_SKIP() << "no branching proof found on this testbed";
+  EXPECT_EQ(uncapped.budget_entries_retried, 0u);  // no budget, no pooling
+
+  // Budget low enough to starve the hard entry, high enough that the
+  // pooled surplus rescues it: 3B >= hard + easy and B < hard.
+  const std::size_t budget =
+      std::max<std::size_t>((hard_nodes + easy_nodes_total + 2) / 3, 2);
+  ASSERT_LT(budget, hard_nodes);
+
+  WorkflowConfig capped = config;
+  capped.entry_node_budget = budget;
+  capped.reallocate_node_budget = false;
+  const CampaignReport starved = run_campaign(net, 2, entries, capped);
+  EXPECT_EQ(starved.reports[2].safety.verdict, SafetyVerdict::kUnknown);
+  EXPECT_TRUE(starved.reports[2].safety.verification.hit_node_limit);
+  EXPECT_EQ(starved.budget_entries_retried, 0u);
+
+  capped.reallocate_node_budget = true;
+  const CampaignReport rescued = run_campaign(net, 2, entries, capped);
+  EXPECT_EQ(rescued.budget_nodes_returned,
+            2 * budget - easy_nodes_total);  // both easy entries donate
+  EXPECT_EQ(rescued.budget_entries_retried, 1u);
+  EXPECT_EQ(rescued.budget_nodes_granted, rescued.budget_nodes_returned);
+  EXPECT_EQ(rescued.budget_entries_rescued, 1u);
+  EXPECT_EQ(rescued.reports[2].safety.verdict, uncapped.reports[2].safety.verdict);
+  EXPECT_EQ(rescued.format_table(), uncapped.format_table());
+  EXPECT_NE(rescued.format_encoding_summary().find("budget:"), std::string::npos);
+
+  // The PR 2 guarantee extends through re-allocation: tables are
+  // bit-identical across campaign thread counts.
+  WorkflowConfig threaded = capped;
+  threaded.campaign_threads = 2;
+  const CampaignReport parallel_rescued = run_campaign(net, 2, entries, threaded);
+  EXPECT_EQ(parallel_rescued.format_table(), rescued.format_table());
+  EXPECT_EQ(parallel_rescued.budget_entries_rescued, rescued.budget_entries_rescued);
+}
+
 TEST(Campaign, RejectsEmptyEntryList) {
   Rng rng(59);
   const nn::Network net = make_monitored_net(rng);

@@ -371,9 +371,10 @@ TEST(ZonotopeBounds, EncoderNeverAddsBinariesOverIntervalAndKeepsVerdicts) {
   }
 }
 
-TEST(ZonotopeBounds, LeakyReluTailFallsBackToInterval) {
-  // The zonotope domain does not cover LeakyReLU: the encoder must fall
-  // back to interval bounds instead of throwing, with identical results.
+TEST(ZonotopeBounds, LeakyReluTailUsesZonotopeBounds) {
+  // The zonotope domain covers LeakyReLU (chord transformer): the
+  // encoder no longer falls back to interval bounds, and the
+  // trace-intersected pre-pass can only be at least as tight.
   Rng rng(59);
   nn::Network net;
   auto dense = std::make_unique<nn::Dense>(4, 4);
@@ -384,15 +385,23 @@ TEST(ZonotopeBounds, LeakyReluTailFallsBackToInterval) {
   out->init_he(rng);
   net.add(std::move(out));
 
-  EXPECT_FALSE(absint::zonotope_supported(net, 0, net.layer_count()));
+  EXPECT_TRUE(absint::zonotope_supported(net, 0, net.layer_count()));
   const verify::VerificationQuery q = make_query(net, 4, 0.0);
   verify::EncodeOptions zono;
   zono.bounds = verify::BoundMethod::kZonotope;
   const verify::TailEncoding enc_zono = verify::encode_tail_query(q, zono);
   const verify::TailEncoding enc_interval = verify::encode_tail_query(q, {});
-  EXPECT_EQ(enc_zono.stats.binaries, enc_interval.stats.binaries);
-  EXPECT_EQ(enc_zono.problem.relaxation().row_count(),
-            enc_interval.problem.relaxation().row_count());
+  // Tighter bounds can stabilize activations, never the reverse.
+  EXPECT_LE(enc_zono.stats.binaries, enc_interval.stats.binaries);
+  EXPECT_GE(enc_zono.stats.stable_relus, enc_interval.stats.stable_relus);
+
+  // Verdict parity across bound methods on the same query.
+  verify::TailVerifierOptions interval_opts;
+  verify::TailVerifierOptions zono_opts;
+  zono_opts.encode.bounds = verify::BoundMethod::kZonotope;
+  const verify::VerificationResult ri = verify::TailVerifier(interval_opts).verify(q);
+  const verify::VerificationResult rz = verify::TailVerifier(zono_opts).verify(q);
+  EXPECT_EQ(ri.verdict, rz.verdict);
 }
 
 // -------------------------------------------------- range analysis

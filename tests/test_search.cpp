@@ -1,0 +1,617 @@
+// Search-strategy layer tests: node-store ordering and steal semantics,
+// work-stealing frontier stress (every node processed exactly once),
+// pseudocost bookkeeping against hand-computed degradations, verdict
+// parity across (node store x branching rule x backend x threads x
+// cuts), and best-bound gap reporting on node-limit stops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "milp/search/branching_rule.hpp"
+#include "milp/search/frontier.hpp"
+#include "milp/search/node_store.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "verify/verifier.hpp"
+
+namespace dpv::milp {
+namespace {
+
+constexpr double kTol = 1e-5;
+
+search::SearchNode make_node(std::uint64_t id, double bound) {
+  search::SearchNode node;
+  node.id = id;
+  node.bound = bound;
+  node.has_bound = true;
+  return node;
+}
+
+// ------------------------------------------------------------ stores
+
+TEST(NodeStore, LifoPopsNewestFirstAndStealsOldestHalf) {
+  const auto store =
+      search::make_node_store(search::NodeStoreKind::kDepthFirst, true, {});
+  for (std::uint64_t id = 0; id < 5; ++id) store->push(make_node(id, 0.0));
+
+  std::vector<search::SearchNode> loot;
+  EXPECT_EQ(store->steal_half(loot), 3u);  // ceil(5/2) oldest entries
+  ASSERT_EQ(loot.size(), 3u);
+  EXPECT_EQ(loot[0].id, 0u);
+  EXPECT_EQ(loot[1].id, 1u);
+  EXPECT_EQ(loot[2].id, 2u);
+
+  search::SearchNode node;
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 4u);  // owner keeps the newest (the dive)
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 3u);
+  EXPECT_FALSE(store->pop(node));
+}
+
+TEST(NodeStore, BestFirstPopsBoundOrderWithStableIdTieBreak) {
+  search::SearchOptions options;
+  const auto store =
+      search::make_node_store(search::NodeStoreKind::kBestFirst, true, options);
+  store->push(make_node(3, 5.0));
+  store->push(make_node(1, 2.0));
+  store->push(make_node(2, 2.0));  // same bound as id 1: id order decides
+  store->push(make_node(0, 7.0));
+
+  double bound = 0.0;
+  ASSERT_TRUE(store->best_bound(bound));
+  EXPECT_NEAR(bound, 2.0, 1e-12);
+
+  search::SearchNode node;
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 1u);  // bound 2, older id first
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 2u);
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 3u);
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 0u);
+
+  // Maximize orientation flips the order.
+  const auto max_store =
+      search::make_node_store(search::NodeStoreKind::kBestFirst, false, options);
+  max_store->push(make_node(0, 1.0));
+  max_store->push(make_node(1, 9.0));
+  ASSERT_TRUE(max_store->pop(node));
+  EXPECT_EQ(node.id, 1u);
+}
+
+TEST(NodeStore, BestFirstStealsBestHalf) {
+  const auto store =
+      search::make_node_store(search::NodeStoreKind::kBestFirst, true, {});
+  for (std::uint64_t id = 0; id < 4; ++id)
+    store->push(make_node(id, static_cast<double>(id)));
+  std::vector<search::SearchNode> loot;
+  EXPECT_EQ(store->steal_half(loot), 2u);
+  ASSERT_EQ(loot.size(), 2u);
+  EXPECT_EQ(loot[0].id, 0u);  // best bounds leave first
+  EXPECT_EQ(loot[1].id, 1u);
+  EXPECT_EQ(store->size(), 2u);
+}
+
+TEST(NodeStore, HybridPlungesThenResumesFromBestBound) {
+  search::SearchOptions options;
+  options.plunge_limit = 2;
+  const auto store =
+      search::make_node_store(search::NodeStoreKind::kHybrid, true, options);
+  store->push(make_node(0, 10.0));
+  store->push(make_node(1, 9.0));
+  store->push(make_node(2, 8.0));
+  store->push(make_node(3, 1.0));  // newest, but not the best bound
+
+  search::SearchNode node;
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 3u);  // plunge pop 1: LIFO
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 2u);  // plunge pop 2: LIFO
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 1u);  // plunge exhausted: best bound (9 < 10)
+  ASSERT_TRUE(store->pop(node));
+  EXPECT_EQ(node.id, 0u);
+  EXPECT_FALSE(store->pop(node));
+}
+
+// ---------------------------------------------------------- frontier
+
+/// Wide synthetic tree driven straight through the frontier: every
+/// worker expands nodes into `kFanout` children down to `kDepth`, and
+/// each processed id is recorded. The invariant under test is the
+/// scheduler's: every pushed node is processed exactly once, across
+/// owners and thieves alike.
+TEST(WorkStealingFrontier, WideTreeProcessesEveryNodeExactlyOnce) {
+  constexpr std::size_t kWorkers = 4;
+  constexpr std::size_t kFanout = 3;
+  constexpr std::size_t kDepth = 7;  // (3^8 - 1) / 2 = 3280 nodes
+  std::size_t expected = 0, layer = 1;
+  for (std::size_t d = 0; d <= kDepth; ++d, layer *= kFanout) expected += layer;
+
+  for (const search::NodeStoreKind kind :
+       {search::NodeStoreKind::kDepthFirst, search::NodeStoreKind::kBestFirst,
+        search::NodeStoreKind::kHybrid}) {
+    search::ParallelFrontier frontier(kWorkers, kind, true, {});
+    std::atomic<std::uint64_t> next_id{1};
+    search::SearchNode root;  // id 0, depth encoded in `bound`
+    root.bound = 0.0;
+    root.has_bound = true;
+    frontier.push(0, root);
+
+    std::vector<std::vector<std::uint64_t>> seen(kWorkers);
+    const auto work = [&](std::size_t w) {
+      search::SearchNode node;
+      while (frontier.acquire(w, node) ==
+             search::ParallelFrontier::Acquire::kGot) {
+        seen[w].push_back(node.id);
+        const auto depth = static_cast<std::size_t>(node.bound);
+        if (depth < kDepth) {
+          for (std::size_t c = 0; c < kFanout; ++c) {
+            search::SearchNode child;
+            child.id = next_id.fetch_add(1);
+            child.bound = static_cast<double>(depth + 1);
+            child.has_bound = true;
+            frontier.push(w, child);
+          }
+        }
+        frontier.complete();
+      }
+    };
+    std::vector<std::thread> pool;
+    for (std::size_t w = 0; w < kWorkers; ++w) pool.emplace_back(work, w);
+    for (std::thread& t : pool) t.join();
+
+    std::vector<std::uint64_t> all;
+    bool others_worked = false;
+    for (std::size_t w = 0; w < kWorkers; ++w) {
+      all.insert(all.end(), seen[w].begin(), seen[w].end());
+      if (w > 0 && !seen[w].empty()) others_worked = true;
+    }
+    ASSERT_EQ(all.size(), expected) << node_store_kind_name(kind);
+    std::sort(all.begin(), all.end());
+    for (std::uint64_t id = 0; id < expected; ++id)
+      ASSERT_EQ(all[id], id) << "duplicate or lost node, store "
+                             << node_store_kind_name(kind);
+    // Only worker 0 holds the root: anything processed elsewhere must
+    // have been stolen.
+    if (others_worked)
+      EXPECT_GT(frontier.nodes_stolen(), 0u) << node_store_kind_name(kind);
+    EXPECT_EQ(frontier.open_count(), 0u);
+    EXPECT_GE(frontier.peak_open(), kFanout);
+  }
+}
+
+// -------------------------------------------------------- pseudocosts
+
+TEST(PseudocostTable, BookkeepingMatchesHandComputedValues) {
+  search::PseudocostTable table(3);
+  EXPECT_EQ(table.observations(1, true), 0u);
+  EXPECT_DOUBLE_EQ(table.average_gain(1, true), 0.0);
+  EXPECT_DOUBLE_EQ(table.global_average_gain(), 0.0);
+
+  table.record(1, true, 2.0);
+  table.record(1, true, 4.0);
+  table.record_infeasible(1, true);
+  table.record(1, false, 1.0);
+  table.record_infeasible(2, false);
+
+  EXPECT_EQ(table.observations(1, true), 3u);
+  EXPECT_DOUBLE_EQ(table.average_gain(1, true), 3.0);     // (2 + 4) / 2
+  EXPECT_DOUBLE_EQ(table.infeasible_rate(1, true), 1.0 / 3.0);
+  EXPECT_EQ(table.observations(1, false), 1u);
+  EXPECT_DOUBLE_EQ(table.average_gain(1, false), 1.0);
+  EXPECT_DOUBLE_EQ(table.infeasible_rate(1, false), 0.0);
+  EXPECT_EQ(table.observations(2, false), 1u);
+  EXPECT_DOUBLE_EQ(table.infeasible_rate(2, false), 1.0);
+  // Global mean over the 3 solved observations: (2 + 4 + 1) / 3.
+  EXPECT_DOUBLE_EQ(table.global_average_gain(), 7.0 / 3.0);
+}
+
+TEST(PseudocostRule, ReliabilityProbesRecordHandComputedDegradations) {
+  // max b0 + b1 s.t. 2 b0 + 2 b1 <= 3: the revised simplex lands on the
+  // vertex b0 = 0.5, b1 = 1 (objective 1.5, total fractionality 0.5),
+  // so b0 is the only fractional candidate.
+  //   fix b0 = 0: LP -> b1 = 1, objective 1.0.
+  //     degradation 0.5, fractionality drop 0.5, distance 0.5
+  //     => gain (0.5 + 0.5) / 0.5 = 2.
+  //   fix b0 = 1: LP -> b1 = 0.5, objective 1.5.
+  //     degradation 0, drop 0, distance 0.5 => gain 0.
+  MilpProblem p;
+  const std::size_t b0 = p.add_variable(VarType::kBinary, 0.0, 1.0, "b0");
+  const std::size_t b1 = p.add_variable(VarType::kBinary, 0.0, 1.0, "b1");
+  p.add_row({{b0, 2.0}, {b1, 2.0}}, lp::RowSense::kLessEqual, 3.0);
+  p.set_objective({{b0, 1.0}, {b1, 1.0}}, lp::Objective::kMaximize);
+
+  const auto backend = solver::make_lp_backend(solver::LpBackendKind::kRevisedBounded);
+  backend->load(p.relaxation());
+  const lp::LpSolution lp = backend->solve();
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  ASSERT_NEAR(lp.values[b0], 0.5, kTol);
+  ASSERT_NEAR(lp.values[b1], 1.0, kTol);
+
+  search::SearchOptions options;
+  options.branching = search::BranchingRuleKind::kPseudocost;
+  options.pseudocost_reliability = 1;
+  options.strong_candidates = 4;
+  const auto rule = search::make_branching_rule(options.branching, options);
+
+  search::PseudocostTable table(p.variable_count());
+  search::BranchContext ctx;
+  ctx.problem = &p;
+  ctx.backend = backend.get();
+  ctx.lp = &lp;
+  ctx.minimize = false;
+  ctx.pseudocosts = &table;
+  EXPECT_EQ(rule->decide(ctx).var, b0);
+
+  EXPECT_EQ(table.observations(b0, false), 1u);
+  EXPECT_EQ(table.observations(b0, true), 1u);
+  EXPECT_NEAR(table.average_gain(b0, false), 2.0, kTol);
+  EXPECT_NEAR(table.average_gain(b0, true), 0.0, kTol);
+  EXPECT_DOUBLE_EQ(table.infeasible_rate(b0, false), 0.0);
+  EXPECT_DOUBLE_EQ(table.infeasible_rate(b0, true), 0.0);
+  // b1 was integral at the node: never probed.
+  EXPECT_EQ(table.observations(b1, false), 0u);
+  EXPECT_EQ(table.observations(b1, true), 0u);
+}
+
+TEST(PseudocostRule, InfeasibleProbeChildrenAreRecorded) {
+  // max b0 s.t. b0 + b1 = 0.5: LP optimum b0 = 0.5, b1 = 0.
+  //   fix b0 = 0: LP -> b1 = 0.5, objective 0. degradation 0.5, drop 0,
+  //     distance 0.5 => gain 1.
+  //   fix b0 = 1: infeasible.
+  MilpProblem p;
+  const std::size_t b0 = p.add_variable(VarType::kBinary, 0.0, 1.0, "b0");
+  const std::size_t b1 = p.add_variable(VarType::kBinary, 0.0, 1.0, "b1");
+  p.add_row({{b0, 1.0}, {b1, 1.0}}, lp::RowSense::kEqual, 0.5);
+  p.set_objective({{b0, 1.0}}, lp::Objective::kMaximize);
+
+  const auto backend = solver::make_lp_backend(solver::LpBackendKind::kRevisedBounded);
+  backend->load(p.relaxation());
+  const lp::LpSolution lp = backend->solve();
+  ASSERT_EQ(lp.status, lp::SolveStatus::kOptimal);
+  ASSERT_NEAR(lp.values[b0], 0.5, kTol);
+
+  search::SearchOptions options;
+  options.branching = search::BranchingRuleKind::kPseudocost;
+  const auto rule = search::make_branching_rule(options.branching, options);
+  search::PseudocostTable table(p.variable_count());
+  search::BranchContext ctx;
+  ctx.problem = &p;
+  ctx.backend = backend.get();
+  ctx.lp = &lp;
+  ctx.minimize = false;
+  ctx.pseudocosts = &table;
+  EXPECT_EQ(rule->decide(ctx).var, b0);
+
+  EXPECT_NEAR(table.average_gain(b0, false), 1.0, kTol);
+  EXPECT_DOUBLE_EQ(table.infeasible_rate(b0, true), 1.0);
+  EXPECT_EQ(table.observations(b0, true), 1u);
+}
+
+TEST(WarmResolveIterationDelta, BackendReportsPerSolveIterations) {
+  // The lp/solver layers expose the *last* solve's iteration count so
+  // per-call effort (probe cost accounting) needs no diffing of the
+  // cumulative stats. A warm resolve after a single bound tightening
+  // must report only its own handful of pivots.
+  MilpProblem p;
+  std::vector<lp::LinearTerm> row, obj;
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t b = p.add_variable(VarType::kBinary, 0.0, 1.0);
+    row.push_back({b, 1.0 + 0.1 * i});
+    obj.push_back({b, 2.0 - 0.1 * i});
+  }
+  p.add_row(row, lp::RowSense::kLessEqual, 5.0);
+  p.set_objective(obj, lp::Objective::kMaximize);
+
+  const auto backend = solver::make_lp_backend(solver::LpBackendKind::kRevisedBounded);
+  backend->load(p.relaxation());
+  const lp::LpSolution cold = backend->solve();
+  ASSERT_EQ(cold.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(backend->last_solve_iterations(), cold.iterations);
+
+  const solver::WarmBasis basis = backend->capture_basis();
+  backend->set_bounds(0, 0.0, 0.0);
+  const lp::LpSolution warm = backend->resolve(basis);
+  ASSERT_EQ(warm.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(backend->last_solve_iterations(), warm.iterations);
+  // The lp layer is the source of truth the backend mirrors.
+  lp::RevisedSimplex simplex;
+  simplex.load(p.relaxation());
+  const lp::LpSolution direct = simplex.solve();
+  ASSERT_EQ(direct.status, lp::SolveStatus::kOptimal);
+  EXPECT_EQ(simplex.last_solve_iterations(), direct.iterations);
+  // The delta is per-call, not cumulative.
+  EXPECT_LT(backend->last_solve_iterations(), cold.iterations + warm.iterations);
+  // And the cumulative counter still carries the total.
+  EXPECT_EQ(backend->stats().lp_iterations, cold.iterations + warm.iterations);
+}
+
+// -------------------------------------------------- verdict parity
+
+/// Random small MILP instances cross-checked against brute force over
+/// all binary assignments, swept over the full strategy grid.
+TEST(StrategyParity, RandomMilpsAgreeWithBruteForceAcrossStrategies) {
+  for (int seed = 0; seed < 6; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 6151 + 11);
+    const std::size_t n_bin = static_cast<std::size_t>(rng.uniform_int(3, 6));
+    const std::size_t n_rows = static_cast<std::size_t>(rng.uniform_int(2, 4));
+
+    MilpProblem p;
+    std::vector<std::size_t> bins;
+    for (std::size_t i = 0; i < n_bin; ++i)
+      bins.push_back(p.add_variable(VarType::kBinary, 0.0, 1.0));
+    std::vector<std::vector<double>> coeffs(n_rows, std::vector<double>(n_bin));
+    std::vector<double> rhs(n_rows);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      std::vector<lp::LinearTerm> terms;
+      for (std::size_t c = 0; c < n_bin; ++c) {
+        coeffs[r][c] = rng.uniform(-3.0, 3.0);
+        terms.push_back({bins[c], coeffs[r][c]});
+      }
+      rhs[r] = rng.uniform(-2.0, 4.0);
+      p.add_row(terms, lp::RowSense::kLessEqual, rhs[r]);
+    }
+    std::vector<double> obj(n_bin);
+    std::vector<lp::LinearTerm> obj_terms;
+    for (std::size_t c = 0; c < n_bin; ++c) {
+      obj[c] = rng.uniform(-2.0, 2.0);
+      obj_terms.push_back({bins[c], obj[c]});
+    }
+    p.set_objective(obj_terms, lp::Objective::kMaximize);
+
+    double best = -1e100;
+    bool any = false;
+    for (std::size_t mask = 0; mask < (1u << n_bin); ++mask) {
+      bool feasible = true;
+      for (std::size_t r = 0; r < n_rows && feasible; ++r) {
+        double act = 0.0;
+        for (std::size_t c = 0; c < n_bin; ++c)
+          if (mask & (1u << c)) act += coeffs[r][c];
+        feasible = act <= rhs[r] + 1e-9;
+      }
+      if (!feasible) continue;
+      any = true;
+      double value = 0.0;
+      for (std::size_t c = 0; c < n_bin; ++c)
+        if (mask & (1u << c)) value += obj[c];
+      best = std::max(best, value);
+    }
+
+    for (const search::NodeStoreKind store :
+         {search::NodeStoreKind::kDepthFirst, search::NodeStoreKind::kBestFirst,
+          search::NodeStoreKind::kHybrid}) {
+      for (const search::BranchingRuleKind branching :
+           {search::BranchingRuleKind::kMostFractional,
+            search::BranchingRuleKind::kPseudocost,
+            search::BranchingRuleKind::kStrongBranching}) {
+        for (const auto backend : {solver::LpBackendKind::kDenseTableau,
+                                   solver::LpBackendKind::kRevisedBounded}) {
+          for (const std::size_t threads : {1u, 4u}) {
+            for (const std::size_t cut_rounds : {0u, 2u}) {
+              BranchAndBoundOptions options;
+              options.search.node_store = store;
+              options.search.branching = branching;
+              options.backend = backend;
+              options.threads = threads;
+              options.cuts.root_rounds = cut_rounds;
+              const MilpResult r = BranchAndBoundSolver(options).solve(p);
+              const std::string label =
+                  std::string(search::node_store_kind_name(store)) + "/" +
+                  search::branching_rule_kind_name(branching) + "/" +
+                  solver::lp_backend_kind_name(backend) + "/t" +
+                  std::to_string(threads) + "/cuts" + std::to_string(cut_rounds) +
+                  " seed " + std::to_string(seed);
+              if (!any) {
+                EXPECT_EQ(r.status, MilpStatus::kInfeasible) << label;
+              } else {
+                ASSERT_EQ(r.status, MilpStatus::kOptimal) << label;
+                EXPECT_NEAR(r.objective, best, 1e-5) << label;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The verifier's shape: a small ReLU tail with a proof-forcing
+/// threshold, identical verdicts across the whole strategy grid.
+TEST(StrategyParity, VerifierVerdictsAgreeAcrossStrategiesAndThreads) {
+  Rng rng(77);
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(5, 8);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{8}));
+  auto d2 = std::make_unique<nn::Dense>(8, 2);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+
+  double sampled_max = -1e100;
+  for (int i = 0; i < 200; ++i) {
+    Tensor x(Shape{5});
+    for (std::size_t j = 0; j < 5; ++j) x[j] = rng.uniform(-1.0, 1.0);
+    sampled_max = std::max(sampled_max, net.forward(x)[0]);
+  }
+
+  for (const double threshold : {sampled_max + 2.0, sampled_max - 3.0}) {
+    verify::VerificationQuery q;
+    q.network = &net;
+    q.attach_layer = 0;
+    q.input_box = absint::uniform_box(5, -1.0, 1.0);
+    q.risk.output_at_least(0, 2, threshold);
+
+    bool have_reference = false;
+    verify::Verdict reference = verify::Verdict::kUnknown;
+    for (const search::NodeStoreKind store :
+         {search::NodeStoreKind::kDepthFirst, search::NodeStoreKind::kBestFirst,
+          search::NodeStoreKind::kHybrid}) {
+      for (const search::BranchingRuleKind branching :
+           {search::BranchingRuleKind::kMostFractional,
+            search::BranchingRuleKind::kPseudocost,
+            search::BranchingRuleKind::kStrongBranching}) {
+        for (const std::size_t threads : {1u, 4u}) {
+          verify::TailVerifierOptions options;
+          options.milp.search.node_store = store;
+          options.milp.search.branching = branching;
+          options.milp.threads = threads;
+          const verify::VerificationResult r = verify::TailVerifier(options).verify(q);
+          if (!have_reference) {
+            reference = r.verdict;
+            have_reference = true;
+          }
+          EXPECT_EQ(r.verdict, reference)
+              << search::node_store_kind_name(store) << "/"
+              << search::branching_rule_kind_name(branching) << "/t" << threads
+              << " threshold " << threshold;
+          if (r.verdict == verify::Verdict::kUnsafe)
+            EXPECT_TRUE(r.counterexample_validated);
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------ gap reporting
+
+TEST(GapReporting, NodeLimitReportsBestBoundAndGap) {
+  // Wide knapsack stopped mid-search: the result must carry the best
+  // surviving bound and the gap to the incumbent.
+  Rng rng(5);
+  MilpProblem p;
+  std::vector<lp::LinearTerm> weight_row, obj;
+  for (int i = 0; i < 12; ++i) {
+    const std::size_t b = p.add_variable(VarType::kBinary, 0.0, 1.0);
+    weight_row.push_back({b, rng.uniform(1.0, 3.0)});
+    obj.push_back({b, rng.uniform(1.0, 4.0)});
+  }
+  p.add_row(weight_row, lp::RowSense::kLessEqual, 6.0);
+  p.set_objective(obj, lp::Objective::kMaximize);
+
+  BranchAndBoundOptions options;
+  options.max_nodes = 8;
+  options.search.node_store = search::NodeStoreKind::kBestFirst;
+  const MilpResult r = BranchAndBoundSolver(options).solve(p);
+  ASSERT_TRUE(r.status == MilpStatus::kFeasible || r.status == MilpStatus::kNodeLimit);
+  ASSERT_TRUE(r.have_best_bound);
+  if (r.status == MilpStatus::kFeasible) {
+    // Maximize: the surviving relaxation bound dominates the incumbent.
+    EXPECT_GE(r.best_bound, r.objective - kTol);
+    EXPECT_NEAR(r.best_bound_gap, std::abs(r.best_bound - r.objective), kTol);
+    EXPECT_NEAR(r.solver_stats.best_bound_gap, r.best_bound_gap, kTol);
+  }
+
+  // The full search closes the gap entirely.
+  BranchAndBoundOptions full;
+  const MilpResult exact = BranchAndBoundSolver(full).solve(p);
+  ASSERT_EQ(exact.status, MilpStatus::kOptimal);
+  EXPECT_FALSE(exact.have_best_bound);
+  EXPECT_DOUBLE_EQ(exact.best_bound_gap, 0.0);
+  // The reported bound was sound: no integral point beats it.
+  if (r.have_best_bound) EXPECT_LE(exact.objective, r.best_bound + kTol);
+}
+
+TEST(GapReporting, BoundTargetServesIncumbentFreeSearches) {
+  // Integrally infeasible parity gadget with an objective: stop early
+  // and the gap must be measured against the caller's bound target.
+  MilpProblem p;
+  std::vector<lp::LinearTerm> parity;
+  std::vector<lp::LinearTerm> obj;
+  for (int i = 0; i < 10; ++i) {
+    const std::size_t b = p.add_variable(VarType::kBinary, 0.0, 1.0);
+    parity.push_back({b, 1.0});
+    obj.push_back({b, 1.0});
+  }
+  p.add_row(parity, lp::RowSense::kEqual, 5.5);
+  p.set_objective(obj, lp::Objective::kMaximize);
+
+  BranchAndBoundOptions options;
+  options.max_nodes = 3;
+  options.bound_target = 5.0;
+  const MilpResult r = BranchAndBoundSolver(options).solve(p);
+  ASSERT_EQ(r.status, MilpStatus::kNodeLimit);
+  ASSERT_TRUE(r.have_best_bound);
+  EXPECT_NEAR(r.best_bound, 5.5, kTol);  // every open relaxation sits on the row
+  EXPECT_NEAR(r.best_bound_gap, 0.5, kTol);
+  EXPECT_NEAR(r.solver_stats.best_bound_gap, 0.5, kTol);
+}
+
+TEST(GapReporting, VerifierNodeLimitUnknownCarriesMarginGap) {
+  Rng rng(91);
+  nn::Network net;
+  auto d1 = std::make_unique<nn::Dense>(6, 10);
+  d1->init_he(rng);
+  net.add(std::move(d1));
+  net.add(std::make_unique<nn::ReLU>(Shape{10}));
+  auto d2 = std::make_unique<nn::Dense>(10, 2);
+  d2->init_he(rng);
+  net.add(std::move(d2));
+
+  double sampled_max = -1e100;
+  for (int i = 0; i < 200; ++i) {
+    Tensor x(Shape{6});
+    for (std::size_t j = 0; j < 6; ++j) x[j] = rng.uniform(-1.0, 1.0);
+    sampled_max = std::max(sampled_max, net.forward(x)[0]);
+  }
+
+  verify::VerificationQuery q;
+  q.network = &net;
+  q.attach_layer = 0;
+  q.input_box = absint::uniform_box(6, -1.0, 1.0);
+  q.risk.output_at_least(0, 2, sampled_max + 1.0);  // forces a branching proof
+
+  verify::TailVerifierOptions options;
+  options.milp.max_nodes = 2;  // starve the proof
+  const verify::VerificationResult r = verify::TailVerifier(options).verify(q);
+  if (r.verdict == verify::Verdict::kUnknown) {
+    EXPECT_TRUE(r.hit_node_limit);
+    ASSERT_TRUE(r.have_best_bound_gap);
+    EXPECT_GE(r.best_bound_gap, 0.0);
+    EXPECT_NE(r.note.find("best-bound gap"), std::string::npos) << r.note;
+    EXPECT_NE(r.summary().find("gap="), std::string::npos) << r.summary();
+  } else {
+    // The tightened search occasionally proves these outright; the
+    // verdict itself is then the (stronger) regression signal.
+    EXPECT_EQ(r.verdict, verify::Verdict::kSafe);
+  }
+}
+
+TEST(GapReporting, HybridAndBestFirstLeaveSmallerOrEqualGapThanDfsAtLimit) {
+  // Best-first expands by bound, so at an equal node budget its proved
+  // bound can only be at least as tight as blind DFS on this
+  // maximization (equal when both exhaust the interesting frontier).
+  Rng rng(13);
+  MilpProblem p;
+  std::vector<lp::LinearTerm> row, obj;
+  for (int i = 0; i < 14; ++i) {
+    const std::size_t b = p.add_variable(VarType::kBinary, 0.0, 1.0);
+    row.push_back({b, rng.uniform(1.0, 3.0)});
+    obj.push_back({b, rng.uniform(1.0, 4.0)});
+  }
+  p.add_row(row, lp::RowSense::kLessEqual, 7.0);
+  p.set_objective(obj, lp::Objective::kMaximize);
+
+  const auto gap_at_limit = [&](search::NodeStoreKind store) {
+    BranchAndBoundOptions options;
+    options.max_nodes = 10;
+    options.search.node_store = store;
+    const MilpResult r = BranchAndBoundSolver(options).solve(p);
+    return r.have_best_bound ? r.best_bound : 1e100;
+  };
+  const double dfs = gap_at_limit(search::NodeStoreKind::kDepthFirst);
+  const double best = gap_at_limit(search::NodeStoreKind::kBestFirst);
+  EXPECT_LE(best, dfs + kTol);
+}
+
+}  // namespace
+}  // namespace dpv::milp

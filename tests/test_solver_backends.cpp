@@ -405,6 +405,10 @@ TEST(VerifierPlumbing, LpIterationLimitSurfacesAsExplainedUnknown) {
   verify::TailVerifierOptions options;
   options.milp.lp_options.max_iterations = 1;  // starve every relaxation
   options.encode.lp_options.max_iterations = 1;
+  // Keep the feasibility objective: the risk-margin objective lets the
+  // dual simplex prove this root infeasible in zero iterations, which
+  // is sound but defeats the starvation this test is about.
+  options.risk_margin_objective = false;
   const verify::VerificationResult r = verify::TailVerifier(options).verify(q);
   EXPECT_EQ(r.verdict, verify::Verdict::kUnknown);
   EXPECT_NE(r.summary().find("LP iteration limit"), std::string::npos) << r.summary();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 #include "nn/activations.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/dense.hpp"
@@ -29,12 +30,15 @@ Zonotope Zonotope::from_box(const Box& box) {
 }
 
 Box Zonotope::to_box() const {
-  Box box(center_.size());
-  for (std::size_t i = 0; i < center_.size(); ++i) {
-    double radius = 0.0;
-    for (const auto& gen : generators_) radius += std::abs(gen[i]);
-    box[i] = Interval(center_[i] - radius, center_[i] + radius);
-  }
+  // Generator-major accumulation: each generator row is contiguous, so
+  // the |.| sums stream instead of striding column-wise per dimension.
+  const std::size_t n = center_.size();
+  std::vector<double> radius(n, 0.0);
+  for (const auto& gen : generators_)
+    simd::accumulate_abs(gen.data(), radius.data(), n);
+  Box box(n);
+  for (std::size_t i = 0; i < n; ++i)
+    box[i] = Interval(center_[i] - radius[i], center_[i] + radius[i]);
   return box;
 }
 
@@ -46,20 +50,16 @@ Zonotope Zonotope::affine(const std::vector<std::vector<double>>& weight,
   check(out_n == bias.size(), "Zonotope::affine: weight/bias mismatch");
   Zonotope out;
   out.center_.assign(out_n, 0.0);
+  const std::size_t in_n = center_.size();
   for (std::size_t r = 0; r < out_n; ++r) {
-    check(weight[r].size() == center_.size(), "Zonotope::affine: weight width mismatch");
-    double acc = bias[r];
-    for (std::size_t c = 0; c < center_.size(); ++c) acc += weight[r][c] * center_[c];
-    out.center_[r] = acc;
+    check(weight[r].size() == in_n, "Zonotope::affine: weight width mismatch");
+    out.center_[r] = bias[r] + simd::dot(weight[r].data(), center_.data(), in_n);
   }
   out.generators_.reserve(generators_.size());
   for (const auto& gen : generators_) {
-    std::vector<double> mapped(out_n, 0.0);
-    for (std::size_t r = 0; r < out_n; ++r) {
-      double acc = 0.0;
-      for (std::size_t c = 0; c < center_.size(); ++c) acc += weight[r][c] * gen[c];
-      mapped[r] = acc;
-    }
+    std::vector<double> mapped(out_n);
+    for (std::size_t r = 0; r < out_n; ++r)
+      mapped[r] = simd::dot(weight[r].data(), gen.data(), in_n);
     out.generators_.push_back(std::move(mapped));
   }
   return out;
@@ -70,10 +70,9 @@ Zonotope Zonotope::scale_shift(const std::vector<double>& scale,
   check(scale.size() == center_.size() && shift.size() == center_.size(),
         "Zonotope::scale_shift: dimension mismatch");
   Zonotope out = *this;
-  for (std::size_t i = 0; i < center_.size(); ++i)
-    out.center_[i] = scale[i] * center_[i] + shift[i];
+  simd::hadamard_fma(out.center_.data(), scale.data(), shift.data(), center_.size());
   for (auto& gen : out.generators_)
-    for (std::size_t i = 0; i < gen.size(); ++i) gen[i] *= scale[i];
+    simd::hadamard(gen.data(), scale.data(), gen.size());
   return out;
 }
 
@@ -160,7 +159,7 @@ Zonotope Zonotope::reduce(std::size_t max_generators) const {
   for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
   std::vector<double> mass(generators_.size(), 0.0);
   for (std::size_t k = 0; k < generators_.size(); ++k)
-    for (double g : generators_[k]) mass[k] += std::abs(g);
+    mass[k] = simd::sum_abs(generators_[k].data(), n);
   // Heaviest first; index tie-break keeps the reduction deterministic.
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     if (mass[a] != mass[b]) return mass[a] > mass[b];
@@ -173,7 +172,7 @@ Zonotope Zonotope::reduce(std::size_t max_generators) const {
   for (std::size_t k = 0; k < keep; ++k) out.generators_.push_back(generators_[order[k]]);
   std::vector<double> residual(n, 0.0);
   for (std::size_t k = keep; k < order.size(); ++k)
-    for (std::size_t i = 0; i < n; ++i) residual[i] += std::abs(generators_[order[k]][i]);
+    simd::accumulate_abs(generators_[order[k]].data(), residual.data(), n);
   for (std::size_t i = 0; i < n; ++i) {
     if (residual[i] == 0.0) continue;
     std::vector<double> gen(n, 0.0);

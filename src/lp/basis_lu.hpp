@@ -1,5 +1,6 @@
-// Sparse LU basis factorization with product-form (eta) updates — the
-// factorization engine behind the revised simplex.
+// Sparse LU basis factorization with Forrest–Tomlin (default) or
+// product-form eta updates — the factorization engine behind the revised
+// simplex.
 //
 // Verification bases are overwhelmingly sparse: big-M ReLU rows touch a
 // handful of neurons, characterizer and cut rows a few more, and most
@@ -8,24 +9,41 @@
 // P B Q = L U with Markowitz-style pivoting (free singleton
 // triangularization first, then a (r-1)(c-1) fill-minimizing search over
 // the residual bump with threshold stability), and absorbs simplex
-// pivots as sparse eta columns in product form:
+// pivots with one of two update schemes:
 //
-//   B_k^{-1} = E_k · ... · E_1 · B_0^{-1},   E_j an identity except for
-//   one column built from the FTRAN'd entering column.
+//   * Forrest–Tomlin (kForrestTomlin, the default): the entering
+//     column's spike v = U w replaces column r of U, the now
+//     non-triangular row is moved to the back of the pivot sequence and
+//     eliminated against the rows below it, and the elimination
+//     multipliers are recorded as a short row-eta applied between L and
+//     U in every later solve. U stays genuinely triangular, so a long
+//     pivot run costs O(nnz(U)) per update instead of densifying an
+//     eta file — the property that keeps deep branch-and-bound dives at
+//     hardware speed.
+//   * Product-form etas (kProductFormEta, kept for differential tests
+//     and as a conservative fallback):
+//       B_k^{-1} = E_k · ... · E_1 · B_0^{-1},  E_j an identity except
+//       for one column built from the FTRAN'd entering column.
 //
-// FTRAN (B x = b) applies the recorded L row-operations in pivot order,
-// back-substitutes through U, then applies the eta file; BTRAN (Bᵀ x = b)
-// runs the transposes in reverse. All solves skip zero entries, so work
-// scales with the nonzeros actually touched (the hyper-sparse case —
-// unit BTRAN rhs for the dual pivot row — stays far below O(m)).
+// The two schemes never mix within one factorization; the kind is
+// latched by factorize() from set_update_kind().
 //
-// Refactorization policy: `should_refactorize()` fires when the eta file
-// grows past a fixed length or its accumulated nonzeros dwarf the LU
-// factors (each eta makes every later solve more expensive, so the
-// O(nnz) refactorization eventually pays for itself); numerical-drift
-// triggers live in the simplex (it cross-checks the FTRAN'd pivot
-// element against the BTRAN'd pivot row). `update()` refuses tiny eta
-// pivots, which also forces a refactorization.
+// FTRAN (B x = b) applies the recorded L row-operations, then (FT mode)
+// the Forrest–Tomlin row-etas oldest-first, then back-substitutes
+// through U; PFI mode instead applies its column-etas after U. BTRAN
+// (Bᵀ x = b) runs the transposes in reverse order. All solves skip zero
+// entries, so work scales with the nonzeros actually touched (the
+// hyper-sparse case — unit BTRAN rhs for the dual pivot row — stays far
+// below O(m)). Inner loops run over SoA (int32 index / double value)
+// arrays so the gather-heavy halves vectorize through simd.hpp.
+//
+// Refactorization policy: `should_refactorize()` fires when the update
+// file length passes an adaptive cadence (scaled with the basis
+// dimension — see refactor_cadence()) or when accumulated update
+// nonzeros dwarf the LU factors; numerical-drift triggers live in the
+// simplex (it cross-checks the FTRAN'd pivot element against the
+// BTRAN'd pivot row). `update()` refuses tiny pivots, which also forces
+// a refactorization.
 #pragma once
 
 #include <cstddef>
@@ -46,18 +64,48 @@ struct CscMatrix {
   std::size_t nonzeros() const { return row_index.size(); }
 };
 
+/// How simplex pivots are absorbed between refactorizations.
+enum class BasisUpdateKind {
+  kForrestTomlin,   ///< FT row-spike updates of U (default)
+  kProductFormEta,  ///< product-form eta file (baseline / differential oracle)
+};
+
+const char* basis_update_kind_name(BasisUpdateKind kind);
+
 /// Cumulative factorization-engine counters. Kept by the simplex across
 /// loads (the backend layer reports per-solve deltas into SolverStats).
 struct BasisFactorStats {
   std::size_t factorizations = 0;       ///< full (re)factorizations
-  std::size_t updates = 0;              ///< pivots absorbed as updates
-  std::size_t eta_nonzeros = 0;         ///< nnz appended to the eta file
+  std::size_t updates = 0;              ///< pivots absorbed as updates (both kinds)
+  std::size_t ft_updates = 0;           ///< ... of which Forrest–Tomlin
+  std::size_t eta_updates = 0;          ///< ... of which product-form eta
+  std::size_t eta_nonzeros = 0;         ///< nnz appended to the update file
   std::size_t singular_recoveries = 0;  ///< crash-basis fallbacks
+  std::size_t refactor_cadence = 0;     ///< adaptive update cap chosen for the basis dimension
   double factor_seconds = 0.0;          ///< wall time inside factorize/refactorize
   double pivot_seconds = 0.0;           ///< wall time pivoting (solve loop minus factor)
 };
 
-/// Sparse LU factors of one basis matrix plus the eta file of pivots
+/// Structure-of-arrays sparse vector: parallel int32 index / double
+/// value arrays. The hot FTRAN/BTRAN loops stream idx/val contiguously
+/// and feed AVX2's vpgatherdpd (which takes int32 indices) directly.
+struct SparseVec {
+  std::vector<std::int32_t> idx;
+  std::vector<double> val;
+
+  std::size_t size() const { return idx.size(); }
+  bool empty() const { return idx.empty(); }
+  void clear() {
+    idx.clear();
+    val.clear();
+  }
+  void push(std::size_t i, double v) {
+    idx.push_back(static_cast<std::int32_t>(i));
+    val.push_back(v);
+  }
+};
+
+/// Sparse LU factors of one basis matrix plus the update file of pivots
 /// applied since the last factorization. Input/output index spaces:
 /// FTRAN maps constraint-row space to basis-position space, BTRAN the
 /// reverse — matching B's shape (rows × basis positions).
@@ -65,13 +113,19 @@ class BasisLu {
  public:
   /// Factorizes the basis selected by `basic` (size m): entry j < n is
   /// structural column j of `A`, entry j >= n the logical column
-  /// -e_{j-n}. Clears the eta file. Returns false (and invalidates the
-  /// engine) when the basis is numerically singular.
+  /// -e_{j-n}. Clears the update file and latches the update kind.
+  /// Returns false (and invalidates the engine) when the basis is
+  /// numerically singular.
   bool factorize(const CscMatrix& A, std::size_t n,
                  const std::vector<std::int32_t>& basic);
 
   bool valid() const { return valid_; }
   std::size_t dimension() const { return m_; }
+
+  /// Selects the update scheme for subsequent factorizations (never
+  /// retroactive: an in-flight factorization keeps the kind it latched).
+  void set_update_kind(BasisUpdateKind kind) { requested_kind_ = kind; }
+  BasisUpdateKind update_kind() const { return active_kind_; }
 
   /// x := B^{-1} x (x dense, size m; zeros are skipped, not scanned-free).
   void ftran(std::vector<double>& x) const;
@@ -81,48 +135,96 @@ class BasisLu {
 
   /// Absorbs a simplex pivot replacing basis position `r`, where `w` is
   /// the FTRAN'd entering column (w = B^{-1} a_q). Returns false when
-  /// |w[r]| is too small to trust as an eta pivot — the caller must
-  /// refactorize instead.
+  /// the resulting pivot element is too small to trust — the caller
+  /// must refactorize instead.
   bool update(std::size_t r, const std::vector<double>& w);
 
-  /// Eta-file-driven refactorization trigger (see file comment).
+  /// Update-file-driven refactorization trigger (see file comment).
   bool should_refactorize() const;
 
-  std::size_t eta_count() const { return etas_.size(); }
+  /// Adaptive update cap chosen by the last factorize() for this basis
+  /// dimension (the satellite replacing the historical hard-coded 64/96).
+  std::size_t refactor_cadence() const { return cadence_; }
+
+  std::size_t eta_count() const { return etas_.size() + ft_etas_.size(); }
   std::size_t lu_nonzeros() const { return lu_nonzeros_; }
   std::size_t eta_file_nonzeros() const { return eta_file_nonzeros_; }
 
  private:
   struct Eta {
-    std::size_t pivot = 0;  ///< basis position replaced
-    double inv_pivot = 0.0; ///< 1 / w[pivot]
-    std::vector<std::pair<std::size_t, double>> entries;  ///< (i, w[i]), i != pivot
+    std::size_t pivot = 0;   ///< basis position replaced
+    double inv_pivot = 0.0;  ///< 1 / w[pivot]
+    SparseVec entries;       ///< (i, w[i]), i != pivot
   };
+
+  /// Forrest–Tomlin row-eta: the multipliers that re-triangularized U
+  /// after a spike. FTRAN applies x[target] -= Σ μ·x[source]; BTRAN the
+  /// transpose. Both index constraint-row space (between L and U).
+  struct FtEta {
+    std::size_t target = 0;  ///< constraint row of the spiked U row
+    SparseVec entries;       ///< (source constraint row, μ)
+  };
+
+  bool update_product_form(std::size_t r, const std::vector<double>& w);
+  bool update_forrest_tomlin(std::size_t r, const std::vector<double>& w);
 
   std::size_t m_ = 0;
   bool valid_ = false;
+  BasisUpdateKind requested_kind_ = BasisUpdateKind::kForrestTomlin;
+  BasisUpdateKind active_kind_ = BasisUpdateKind::kForrestTomlin;
 
-  // Pivot order: step t eliminated row prow_[t] against basis position
-  // pcol_[t].
+  // ---- L: immutable once factorized (updates never touch it) ----
+  /// L as row operations applied in factorization order: at step t,
+  /// x[i] -= mult * x[lrow_[t]] for (i, mult) in lcols_[t].
+  std::vector<std::size_t> lrow_;
+  std::vector<SparseVec> lcols_;
+
+  // ---- U: pivot sequence, permuted in place by Forrest–Tomlin ----
+  /// Step t eliminates constraint row prow_[t] against basis position
+  /// pcol_[t]; urows_[t] holds the row's entries right of the diagonal
+  /// as (basis position, coeff); udiag_[t] is the pivot element.
   std::vector<std::size_t> prow_;
   std::vector<std::size_t> pcol_;
-
-  /// L as row operations in pivot order: at step t, x[i] -= mult * x[prow_[t]].
-  std::vector<std::vector<std::pair<std::size_t, double>>> lcols_;
-  /// U rows in pivot order: entries (basis position, coeff) right of the
-  /// diagonal; udiag_[t] is the pivot element.
-  std::vector<std::vector<std::pair<std::size_t, double>>> urows_;
+  std::vector<SparseVec> urows_;
   std::vector<double> udiag_;
+  /// step_of_col_[basis position] = current step index in the U
+  /// sequence (maintained across FT permutations).
+  std::vector<std::int32_t> step_of_col_;
   std::size_t lu_nonzeros_ = 0;
 
+  // ---- update file (one of the two is populated per factorization) ----
   std::vector<Eta> etas_;
+  std::vector<FtEta> ft_etas_;
   std::size_t eta_file_nonzeros_ = 0;
+  std::size_t updates_since_factor_ = 0;
+  std::size_t u_fill_ = 0;  ///< net U nonzeros added by FT spikes
+  std::size_t cadence_ = 0;
 
   /// Solve scratch reused across ftran/btran calls (no per-call heap
   /// allocation in the pivot loop). BasisLu is single-owner,
   /// single-threaded — parallel searches give each worker its own
   /// simplex and therefore its own engine.
   mutable std::vector<double> solve_scratch_;
+  /// FT update scratch: spike values per basis position + per step.
+  std::vector<double> spike_vals_;
+  std::vector<double> vstep_;
+  /// FTRAN intermediate x right before U back-substitution — which *is*
+  /// U·(result) in constraint-row space, i.e. the Forrest–Tomlin spike
+  /// of a subsequent update(result). Caching it turns the update's
+  /// O(nnz(U)) spike pass into an O(m) copy; update() validates the
+  /// cache against one directly-computed entry before trusting it, so a
+  /// stale cache (an intervening ftran on a different column) degrades
+  /// to the slow path, never to a wrong spike.
+  mutable std::vector<double> spike_cache_;
+  mutable bool spike_cache_valid_ = false;
+  /// factorize() working state, persistent so inner-vector capacities
+  /// survive across the thousands of refactorizations of a long search.
+  std::vector<std::vector<std::pair<std::size_t, double>>> fac_colv_;
+  std::vector<std::vector<std::size_t>> fac_rowpat_;
+  std::vector<std::size_t> fac_rowcount_, fac_colcount_;
+  std::vector<std::uint8_t> fac_rowactive_, fac_colactive_;
+  std::vector<std::size_t> fac_colsing_, fac_rowsing_;
+  std::vector<std::size_t> fac_pos_, fac_stamp_;
 };
 
 }  // namespace dpv::lp

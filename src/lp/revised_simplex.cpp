@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace dpv::lp {
 
@@ -15,7 +16,18 @@ constexpr double kInf = 1e30;
 constexpr double kPrimalTol = 1e-7;
 constexpr double kZeroTol = 1e-9;
 constexpr double kPivotTol = 1e-8;
-constexpr std::size_t kRefactorInterval = 96;  // dense-inverse hygiene cadence
+/// Devex weights past this trigger a reference-framework restart (all
+/// weights back to 1, counted in pricing_resets()).
+constexpr double kDevexResetCap = 1e10;
+
+/// Dense-inverse hygiene cadence, adaptive to the basis dimension
+/// (historically a hard-coded 96): a refactorization costs O(m³) against
+/// O(m²) per update, so amortizing it over ~m pivots keeps the overhead
+/// a constant fraction while small bases still refresh frequently enough
+/// to bound drift.
+std::size_t dense_refactor_interval(std::size_t m) {
+  return std::clamp<std::size_t>(m, 48, 384);
+}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -116,6 +128,10 @@ void RevisedSimplex::load(const LpProblem& problem) {
   xb_.clear();
   alpha_.assign(total_, 0.0);
   touched_.clear();
+  devex_.clear();
+  dval_.clear();
+  dval_valid_ = false;
+  lu_.set_update_kind(options_.basis_update);
 }
 
 void RevisedSimplex::set_bounds(std::size_t var, double lo, double up) {
@@ -214,8 +230,16 @@ void RevisedSimplex::reset_to_logical_basis() {
     binv_.assign(m_ * m_, 0.0);
     for (std::size_t i = 0; i < m_; ++i) binv_[i * m_ + i] = -1.0;
     ++factor_stats_.factorizations;
+    factor_stats_.refactor_cadence = dense_refactor_interval(m_);
     pivots_since_refactor_ = 0;
   }
+  devex_.assign(m_, 1.0);
+  // All-logical basis ⇒ duals are zero ⇒ d = c directly (logicals cost 0).
+  dval_ = cost_;
+  dval_valid_ = true;
+  // basic_ changed wholesale — the per-row bound caches follow (this is
+  // the singular-recovery path; run_dual cannot see them stale).
+  rebuild_basic_bounds();
   recompute_basic_values();
 }
 
@@ -234,13 +258,27 @@ bool RevisedSimplex::install_basis(const SimplexBasis& basis) {
     if (status[j] == kAtLower && lo_[j] <= -kInf) return false;
     if (status[j] == kAtUpper && up_[j] >= kInf) return false;
   }
+  // Dive fast path: when the incoming basis is exactly the one whose
+  // factors are already in memory (a child node popped right after its
+  // parent solved — the dominant warm-restart pattern on depth-first
+  // dives), the factorization, update file and Devex weights all remain
+  // valid: the basis matrix only depends on which columns are basic, not
+  // on the bounds the caller just tightened. Only the nonbasic resting
+  // values need recomputing.
+  const bool factors_ok = sparse() ? lu_.valid() : binv_.size() == m_ * m_;
+  const bool reuse = options_.reuse_matching_basis && factors_ok &&
+                     basic_.size() == m_ &&
+                     std::equal(basic_.begin(), basic_.end(), basis.basic.begin());
   basic_.assign(basis.basic.begin(), basis.basic.end());
   status_ = std::move(status);
-  if (!refactorize()) {
-    // A singular warm basis: the caller crashes back to the all-logical
-    // basis (a cold solve); surface the event in the stats.
-    ++factor_stats_.singular_recoveries;
-    return false;
+  if (!reuse) {
+    if (!refactorize()) {
+      // A singular warm basis: the caller crashes back to the all-logical
+      // basis (a cold solve); surface the event in the stats.
+      ++factor_stats_.singular_recoveries;
+      return false;
+    }
+    devex_.assign(m_, 1.0);
   }
   recompute_basic_values();
   return true;
@@ -274,6 +312,10 @@ SimplexBasis RevisedSimplex::capture_basis() const {
 
 bool RevisedSimplex::refactorize() {
   const auto start = std::chrono::steady_clock::now();
+  // Fresh factors get fresh reduced costs: the incremental d updates
+  // accumulate the same kind of drift the factorization does, so the
+  // two are rebuilt on the same cadence.
+  dval_valid_ = false;
   bool ok;
   if (sparse()) {
     ok = lu_.factorize(A_, n_, basic_);
@@ -327,6 +369,8 @@ bool RevisedSimplex::refactorize() {
   factor_stats_.factor_seconds += seconds_since(start);
   if (ok) {
     ++factor_stats_.factorizations;
+    factor_stats_.refactor_cadence =
+        sparse() ? lu_.refactor_cadence() : dense_refactor_interval(m_);
     pivots_since_refactor_ = 0;
   }
   return ok;
@@ -358,12 +402,40 @@ void RevisedSimplex::recompute_basic_values() {
     return;
   }
   xb_.assign(m_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r)
+    xb_[r] = simd::dot(&binv_[r * m_], residual.data(), m_);
+}
+
+void RevisedSimplex::rebuild_basic_bounds() {
+  blo_.resize(m_);
+  bup_.resize(m_);
   for (std::size_t r = 0; r < m_; ++r) {
-    double sum = 0.0;
-    const double* row = &binv_[r * m_];
-    for (std::size_t c = 0; c < m_; ++c) sum += row[c] * residual[c];
-    xb_[r] = sum;
+    const std::size_t j = static_cast<std::size_t>(basic_[r]);
+    blo_[r] = lo_[j];
+    bup_[r] = up_[j];
   }
+}
+
+void RevisedSimplex::recompute_reduced_costs() {
+  dval_.assign(total_, 0.0);
+  if (!all_costs_zero_) {
+    std::vector<double> duals(m_, 0.0);
+    if (sparse()) {
+      for (std::size_t k = 0; k < m_; ++k) duals[k] = cost_[basic_[k]];
+      lu_.btran(duals);
+    } else {
+      for (std::size_t k = 0; k < m_; ++k) {
+        const double cb = cost_[basic_[k]];
+        if (cb == 0.0) continue;
+        simd::axpy(cb, &binv_[k * m_], duals.data(), m_);
+      }
+    }
+    for (std::size_t j = 0; j < total_; ++j) {
+      if (status_[j] == kBasic) continue;
+      dval_[j] = cost_[j] - row_dot_column(duals.data(), j);
+    }
+  }
+  dval_valid_ = true;
 }
 
 void RevisedSimplex::run_dual(LpSolution& solution) {
@@ -380,10 +452,17 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     }
   } split{std::chrono::steady_clock::now(), factor_stats_.factor_seconds, factor_stats_};
 
-  std::vector<double> duals(m_);
   std::vector<double> rho(m_);
   std::vector<double> w(m_);
   std::size_t iterations = 0;
+  const bool devex = options_.pricing == PricingRule::kDevex;
+  if (devex && devex_.size() != m_) devex_.assign(m_, 1.0);
+  rebuild_basic_bounds();
+  // Historical (pre-incremental) pricing state: one BTRAN for the duals
+  // every iteration, reduced costs derived lazily per ratio-test column.
+  const bool incr_d = options_.incremental_reduced_costs;
+  std::vector<double> duals;
+  if (!incr_d) dval_valid_ = false;  // dval_ is not maintained on this path
 
   while (true) {
     if (iterations >= options_.max_iterations) {
@@ -392,56 +471,48 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
       return;
     }
     const bool use_bland = iterations >= options_.bland_after;
-
-    // Leaving row: the basic variable with the worst bound violation
-    // (Bland: the smallest variable index among the violated).
-    std::size_t leave_row = m_;
-    double worst = kPrimalTol;
-    bool below = false;
-    for (std::size_t r = 0; r < m_; ++r) {
-      const std::size_t j = static_cast<std::size_t>(basic_[r]);
-      double viol = 0.0;
-      bool this_below = false;
-      if (xb_[r] < lo_[j] - kPrimalTol) {
-        viol = lo_[j] - xb_[r];
-        this_below = true;
-      } else if (xb_[r] > up_[j] + kPrimalTol) {
-        viol = xb_[r] - up_[j];
+    if (incr_d) {
+      if (!dval_valid_) recompute_reduced_costs();
+    } else if (!all_costs_zero_) {
+      duals.assign(m_, 0.0);
+      if (sparse()) {
+        for (std::size_t k = 0; k < m_; ++k) duals[k] = cost_[basic_[k]];
+        lu_.btran(duals);
       } else {
-        continue;
+        for (std::size_t k = 0; k < m_; ++k) {
+          const double cb = cost_[basic_[k]];
+          if (cb == 0.0) continue;
+          simd::axpy(cb, &binv_[k * m_], duals.data(), m_);
+        }
       }
-      const bool take = use_bland
-                            ? (leave_row == m_ ||
-                               basic_[r] < basic_[leave_row])
-                            : viol > worst;
-      if (take) {
-        worst = use_bland ? worst : viol;
-        leave_row = r;
-        below = this_below;
+    }
+
+    // Leaving row. Dantzig: the basic variable with the worst bound
+    // violation. Devex: the violation squared is weighted down by the
+    // reference estimate of ||e_r B^{-1}||², approximating the dual
+    // steepest-edge row choice at O(1) extra cost. (Bland: the smallest
+    // variable index among the violated.)
+    std::size_t leave_row = m_;
+    bool below = false;
+    if (use_bland) {
+      for (std::size_t r = 0; r < m_; ++r) {
+        const bool this_below = xb_[r] < blo_[r] - kPrimalTol;
+        if (!this_below && xb_[r] <= bup_[r] + kPrimalTol) continue;
+        if (leave_row == m_ || basic_[r] < basic_[leave_row]) {
+          leave_row = r;
+          below = this_below;
+        }
       }
+    } else {
+      leave_row = simd::argmax_violation(xb_.data(), blo_.data(), bup_.data(),
+                                         devex ? devex_.data() : nullptr,
+                                         kPrimalTol, m_);
+      if (leave_row < m_) below = xb_[leave_row] < blo_[leave_row] - kPrimalTol;
     }
     if (leave_row == m_) {
       solution.status = SolveStatus::kOptimal;
       solution.iterations = iterations;
       return;
-    }
-
-    // Duals y = c_B^T B^{-1}; skipped entirely for pure feasibility
-    // problems (every reduced cost is zero — the verifier's common case).
-    if (!all_costs_zero_) {
-      if (sparse()) {
-        std::fill(duals.begin(), duals.end(), 0.0);
-        for (std::size_t k = 0; k < m_; ++k) duals[k] = cost_[basic_[k]];
-        lu_.btran(duals);
-      } else {
-        std::fill(duals.begin(), duals.end(), 0.0);
-        for (std::size_t k = 0; k < m_; ++k) {
-          const double cb = cost_[basic_[k]];
-          if (cb == 0.0) continue;
-          const double* row = &binv_[k * m_];
-          for (std::size_t c = 0; c < m_; ++c) duals[c] += cb * row[c];
-        }
-      }
     }
 
     // Pivot row rho^T A scattered over the BTRAN nonzeros only.
@@ -464,16 +535,11 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
       if (status_[j] == kAtLower ? signed_alpha >= -kPivotTol
                                  : signed_alpha <= kPivotTol)
         continue;
-      double d = 0.0;
-      if (!all_costs_zero_) {
-        d = cost_[j] - (j >= n_ ? -duals[j - n_] : [&] {
-          double sum = 0.0;
-          for (std::size_t e = A_.col_start[j]; e < A_.col_start[j + 1]; ++e)
-            sum += duals[A_.row_index[e]] * A_.value[e];
-          return sum;
-        }());
-      }
-      const double ratio = std::max(std::abs(d), 0.0) / std::abs(alpha);
+      const double d = incr_d ? dval_[j]
+                       : all_costs_zero_
+                           ? 0.0
+                           : cost_[j] - row_dot_column(duals.data(), j);
+      const double ratio = std::abs(d) / std::abs(alpha);
       const bool take =
           use_bland
               ? (ratio < best_ratio - kZeroTol ||
@@ -523,21 +589,56 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     const std::size_t leave_var = static_cast<std::size_t>(basic_[leave_row]);
     const double target = below ? lo_[leave_var] : up_[leave_var];
     const double t = (xb_[leave_row] - target) / w[leave_row];
-    for (std::size_t r = 0; r < m_; ++r) {
-      if (r == leave_row) continue;
-      if (w[r] == 0.0) continue;
-      xb_[r] -= t * w[r];
-    }
+    // Full-vector axpy (leave_row included — its slot is overwritten on
+    // the next line anyway, which keeps the loop branch-free).
+    simd::axpy(-t, w.data(), xb_.data(), m_);
     xb_[leave_row] = nonbasic_value(q) + t;
+    // Dual-pivot reduced-cost maintenance: d ← d − θ_d·α over the pivot
+    // row (α is zero outside touched_, so those entries are untouched).
+    // Runs before the status flips so "basic" still means pre-pivot.
+    if (incr_d && !all_costs_zero_) {
+      const double theta_d = dval_[q] / best_alpha;
+      if (theta_d != 0.0)
+        for (const std::size_t j : touched_)
+          if (status_[j] != kBasic) dval_[j] -= theta_d * alpha_[j];
+      dval_[leave_var] = -theta_d;
+      dval_[q] = 0.0;
+    }
     status_[leave_var] = below ? kAtLower : kAtUpper;
     status_[q] = kBasic;
     basic_[leave_row] = static_cast<std::int32_t>(q);
+    blo_[leave_row] = lo_[q];
+    bup_[leave_row] = up_[q];
+
+    // Devex reference-framework update (Forrest–Goldfarb): propagate the
+    // leaving row's weight through the pivot column the iteration already
+    // FTRAN'd, so the estimates track ||e_r B^{-1}||² without extra
+    // solves. Estimates past the trust cap restart the framework.
+    if (devex) {
+      const double alpha_pivot = w[leave_row];
+      const double gr = devex_[leave_row];
+      const double inv_a2 = 1.0 / (alpha_pivot * alpha_pivot);
+      const double gnew = std::max(gr * inv_a2, 1.0);
+      if (gnew > kDevexResetCap) {
+        devex_.assign(m_, 1.0);
+        ++pricing_resets_;
+      } else {
+        // leave_row rides along (its candidate is exactly gr, a no-op
+        // against the current weight) and is then set explicitly.
+        simd::max_square_scaled(w.data(), inv_a2 * gr, devex_.data(), m_);
+        devex_[leave_row] = gnew;
+      }
+    }
 
     // Absorb the pivot into the factorization.
     if (sparse()) {
       const std::size_t eta_before = lu_.eta_file_nonzeros();
       if (lu_.update(leave_row, w)) {
         ++factor_stats_.updates;
+        if (lu_.update_kind() == BasisUpdateKind::kForrestTomlin)
+          ++factor_stats_.ft_updates;
+        else
+          ++factor_stats_.eta_updates;
         factor_stats_.eta_nonzeros += lu_.eta_file_nonzeros() - eta_before;
       } else if (!refactorize()) {
         recover_singular_basis();
@@ -549,21 +650,21 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
       // Update B^{-1}: eliminate column w against the pivot row.
       const double inv = 1.0 / w[leave_row];
       double* prow = &binv_[leave_row * m_];
-      for (std::size_t c = 0; c < m_; ++c) prow[c] *= inv;
+      simd::scale_shift(prow, inv, 0.0, m_);
       for (std::size_t r = 0; r < m_; ++r) {
         if (r == leave_row) continue;
         const double factor = w[r];
         if (factor == 0.0) continue;
-        double* row = &binv_[r * m_];
-        for (std::size_t c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+        simd::axpy(-factor, prow, &binv_[r * m_], m_);
       }
       ++factor_stats_.updates;
     }
 
     ++iterations;
     ++pivots_since_refactor_;
-    const bool want_refactor = sparse() ? lu_.should_refactorize()
-                                        : pivots_since_refactor_ >= kRefactorInterval;
+    const bool want_refactor =
+        sparse() ? lu_.should_refactorize()
+                 : pivots_since_refactor_ >= dense_refactor_interval(m_);
     if (want_refactor) {
       if (!refactorize()) recover_singular_basis();
       recompute_basic_values();

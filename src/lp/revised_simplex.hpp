@@ -16,15 +16,23 @@
 // typically needing only a handful of pivots.
 //
 // The basis inverse lives behind SimplexOptions::factorization:
-//   * kSparseLu (default) — sparse LU of the basis with product-form eta
-//     updates (lp::BasisLu); FTRAN/BTRAN and the pivot-row pricing all
-//     scale with nonzeros, and refactorization is driven by the eta-file
-//     length plus a numerical-drift trigger.
+//   * kSparseLu (default) — sparse LU of the basis (lp::BasisLu) with
+//     Forrest–Tomlin updates by default (product-form etas behind
+//     SimplexOptions::basis_update for differential tests); FTRAN/BTRAN
+//     and the pivot-row pricing all scale with nonzeros, and
+//     refactorization is driven by an adaptive update cadence plus a
+//     numerical-drift trigger.
 //   * kDenseInverse — the original explicit m×m B^{-1}, kept as the
 //     differential-testing oracle (O(m²) per pivot).
 // Either way, a refactorization that discovers a singular basis falls
 // back to the all-logical crash basis (reported in factor_stats())
 // instead of failing the solve.
+//
+// Leaving-row pricing follows SimplexOptions::pricing: Devex reference
+// weights (default) or plain Dantzig most-violated; see PricingRule in
+// lp/simplex.hpp. Devex state survives a warm resolve() when
+// SimplexOptions::reuse_matching_basis recognises the incoming basis as
+// the one already factorized (the branch-and-bound dive fast path).
 #pragma once
 
 #include <cstddef>
@@ -111,6 +119,10 @@ class RevisedSimplex {
   /// backend layer reports per-solve deltas).
   const BasisFactorStats& factor_stats() const { return factor_stats_; }
 
+  /// Cumulative Devex reference-framework restarts (weights reset to 1
+  /// after growing past trust). Zero under kDantzig pricing.
+  std::size_t pricing_resets() const { return pricing_resets_; }
+
   std::size_t structural_count() const { return n_; }
   std::size_t basis_row_count() const { return m_; }
 
@@ -138,6 +150,11 @@ class RevisedSimplex {
   /// Scatters alpha = rho^T A over all columns into alpha_/touched_
   /// (structural via the CSR mirror, logical n+i as -rho[i]).
   void compute_pivot_row(const std::vector<double>& rho, bool sort_touched);
+  /// Rebuilds dval_ from scratch: one BTRAN for the duals, one pass over
+  /// the columns. Called when dval_valid_ is down (fresh factorization,
+  /// cold basis install) — every dual pivot afterwards maintains dval_
+  /// incrementally from the pivot row it already computed.
+  void recompute_reduced_costs();
   /// Runs dual simplex to primal feasibility; fills `solution`.
   void run_dual(LpSolution& solution);
   void extract(LpSolution& solution) const;
@@ -172,6 +189,28 @@ class RevisedSimplex {
   std::size_t pivots_since_refactor_ = 0;
   bool last_resolve_was_warm_ = false;
   std::size_t last_solve_iterations_ = 0;
+  /// Reduced costs d_j = c_j - y^T A_j, maintained incrementally across
+  /// dual pivots (d -= θ_d · α over the touched pivot-row columns — the
+  /// textbook update, sparing a full duals BTRAN plus a sparse dot per
+  /// ratio-test column every iteration). Invalidated by refactorization
+  /// and cold installs; bound changes never touch it (reduced costs
+  /// depend on costs and the basic set only). Unused (all zero) when
+  /// all_costs_zero_.
+  std::vector<double> dval_;
+  bool dval_valid_ = false;
+  /// Dense per-row copies of the basic variable's box (blo_[r] =
+  /// lo_[basic_[r]], bup_[r] = up_[basic_[r]]): the leaving-row scan is
+  /// the one O(m)-every-iteration loop left in the dual pivot, and these
+  /// turn its double indirection through basic_ into three contiguous
+  /// streams that simd::argmax_violation consumes 4 lanes at a time.
+  /// Rebuilt at run_dual entry (covers set_bounds and installs), patched
+  /// O(1) per pivot, re-derived after a singular-basis recovery.
+  std::vector<double> blo_, bup_;
+  void rebuild_basic_bounds();
+  /// Devex reference weights per basis row (estimates of ||e_r B^{-1}||²;
+  /// reset to 1 on refactorized installs and framework restarts).
+  std::vector<double> devex_;
+  std::size_t pricing_resets_ = 0;
   BasisFactorStats factor_stats_;
 };
 

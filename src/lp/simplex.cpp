@@ -32,6 +32,16 @@ const char* factorization_kind_name(FactorizationKind kind) {
   return "unknown";
 }
 
+const char* pricing_rule_name(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::kDantzig:
+      return "dantzig";
+    case PricingRule::kDevex:
+      return "devex";
+  }
+  return "unknown";
+}
+
 namespace {
 
 /// Dense simplex tableau with an explicit basis.

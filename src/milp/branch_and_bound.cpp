@@ -147,7 +147,12 @@ class Worker {
         overridden_.clear();
       }
       apply_fixings(node);
-      const lp::LpSolution lp = node.parent_basis
+      // A node presolved by its parent's sibling batch carries its own
+      // relaxation solution: the pop skips the LP entirely. The fixings
+      // above still land on the backend, so branching-rule probes and
+      // this node's own sibling batch solve against the right box.
+      const lp::LpSolution lp = node.presolved ? node.presolved->solution
+                                : node.parent_basis
                                     ? backend_->resolve(*node.parent_basis)
                                     : backend_->solve();
 
@@ -169,8 +174,16 @@ class Worker {
       }
       std::shared_ptr<const solver::WarmBasis> basis;
       if (lp.status == lp::SolveStatus::kOptimal && any_fractional &&
-          backend_->supports_warm_start())
-        basis = std::make_shared<const solver::WarmBasis>(backend_->capture_basis());
+          backend_->supports_warm_start()) {
+        // For a presolved node the backend holds whatever its batch
+        // solved last, not this node's basis — use the snapshot cached
+        // with the solution (null only on a failed capture: children
+        // then cold-solve, which is merely slower).
+        if (node.presolved)
+          basis = node.presolved->basis;
+        else
+          basis = std::make_shared<const solver::WarmBasis>(backend_->capture_basis());
+      }
       search::BranchDecision decision;
       if (any_fractional) {
         if (frontier_.stopped()) {
@@ -313,10 +326,36 @@ class Worker {
       one.branch_frac = 1.0 - value;
       one.probe_recorded = decision.up_recorded;
       if (decision.have_up_bound) one.bound = decision.up_bound;
+      bool push_zero = !decision.down_infeasible;
+      bool push_one = !decision.up_infeasible;
+
+      // ---- Batched sibling re-solves -------------------------------
+      // Solve both children now, while the parent basis is the one the
+      // backend just worked from (sharing its factorization and Devex
+      // pricing weights via the reuse_matching_basis fast path), and
+      // queue them under their own — strictly tighter — relaxation
+      // objectives. Skipped when the branching rule's probes already
+      // solved either child: the probe WAS that solve, and batching
+      // would repeat the LP work it paid for.
+      const bool probe_touched =
+          decision.down_recorded || decision.up_recorded ||
+          decision.down_infeasible || decision.up_infeasible ||
+          decision.have_down_bound || decision.have_up_bound;
+      if (options_.batch_sibling_solves && !probe_touched && basis != nullptr) {
+        const solver::ChildBounds specs[2] = {{branch_var, 0.0, 0.0},
+                                              {branch_var, 1.0, 1.0}};
+        solver::ChildResult results[2];
+        backend_->solve_children(*basis, specs, 2, results);
+        // solve_children leaves the last child's override active on the
+        // backend; track it so apply_fixings resets the box before the
+        // next node's solve.
+        overridden_.push_back(branch_var);
+        push_zero = attach_presolved(zero, results[0]);
+        push_one = attach_presolved(one, results[1]);
+      }
+
       // Push the rounded-toward branch last so a LIFO pops it first
       // (dive toward integrality); order is irrelevant to a heap.
-      const bool push_zero = !decision.down_infeasible;
-      const bool push_one = !decision.up_infeasible;
       if (value >= 0.5) {
         if (push_zero) frontier_.push(index_, std::move(zero));
         if (push_one) frontier_.push(index_, std::move(one));
@@ -351,6 +390,33 @@ class Worker {
     search::record_child_outcome(*pseudocosts_, node.branch_var, node.branch_up,
                                  node.branch_frac, /*infeasible=*/false, degradation,
                                  drop);
+  }
+
+  /// Folds one batched child solve into its SearchNode: records the
+  /// pseudocost outcome now (the batch was this child's solve — its pop
+  /// must not record the same event again), tightens the queue bound to
+  /// the child's own relaxation objective, and caches the solution +
+  /// basis snapshot so the pop skips the LP. Returns false when the
+  /// child's relaxation proved infeasible: pruned without ever entering
+  /// the frontier. A child the batch could not solve to completion
+  /// (iteration limit) is pushed plain and re-solved at pop time.
+  bool attach_presolved(SearchNode& child, solver::ChildResult& result) {
+    const lp::LpSolution& lp = result.solution;
+    if (lp.status != lp::SolveStatus::kOptimal &&
+        lp.status != lp::SolveStatus::kInfeasible)
+      return true;
+    record_branch_outcome(child, lp);
+    child.probe_recorded = true;
+    if (lp.status == lp::SolveStatus::kInfeasible) return false;
+    child.bound = lp.objective;
+    child.has_bound = true;
+    auto cached = std::make_shared<SearchNode::PresolvedChild>();
+    cached->solution = std::move(result.solution);
+    if (!result.basis.empty())
+      cached->basis =
+          std::make_shared<const solver::WarmBasis>(std::move(result.basis));
+    child.presolved = std::move(cached);
+    return true;
   }
 
   /// Resets the previous node's overrides, then applies this node's.

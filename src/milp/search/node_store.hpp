@@ -65,6 +65,17 @@ struct SearchNode {
   /// the pseudocost table; the node's own re-solve must not record the
   /// same event again.
   bool probe_recorded = false;
+
+  /// Relaxation already solved at push time by a batched sibling
+  /// re-solve (LpBackend::solve_children): the pop skips the LP and
+  /// reuses this solution/basis. Sound even when cuts were separated
+  /// after the batch: the cached objective is a valid (merely weaker)
+  /// bound, and globally-valid cut rows cannot cut off integral points.
+  struct PresolvedChild {
+    lp::LpSolution solution;
+    std::shared_ptr<const solver::WarmBasis> basis;
+  };
+  std::shared_ptr<const PresolvedChild> presolved;
 };
 
 /// Open-node container; see file comment for the shipped orderings.

@@ -26,8 +26,12 @@ void SolverStats::merge(const SolverStats& other) {
   cut_rounds += other.cut_rounds;
   basis_factorizations += other.basis_factorizations;
   basis_updates += other.basis_updates;
+  ft_updates += other.ft_updates;
+  eta_updates += other.eta_updates;
   eta_nonzeros += other.eta_nonzeros;
   singular_recoveries += other.singular_recoveries;
+  pricing_resets += other.pricing_resets;
+  sibling_batches += other.sibling_batches;
   factor_seconds += other.factor_seconds;
   pivot_seconds += other.pivot_seconds;
   nodes_stolen += other.nodes_stolen;
@@ -47,6 +51,19 @@ double SolverStats::avg_eta_nonzeros() const {
   return basis_updates == 0 ? 0.0
                             : static_cast<double>(eta_nonzeros) /
                                   static_cast<double>(basis_updates);
+}
+
+void LpBackend::solve_children(const WarmBasis& parent,
+                               const ChildBounds* children, std::size_t count,
+                               ChildResult* out) {
+  ++stats_.sibling_batches;
+  for (std::size_t i = 0; i < count; ++i) {
+    set_bounds(children[i].var, children[i].lo, children[i].up);
+    out[i].solution = resolve(parent);
+    out[i].basis = out[i].solution.status == lp::SolveStatus::kOptimal
+                       ? capture_basis()
+                       : WarmBasis{};
+  }
 }
 
 namespace {
@@ -147,15 +164,21 @@ class RevisedBoundedBackend final : public LpBackend {
     const lp::BasisFactorStats& now = simplex_.factor_stats();
     stats_.basis_factorizations += now.factorizations - seen_.factorizations;
     stats_.basis_updates += now.updates - seen_.updates;
+    stats_.ft_updates += now.ft_updates - seen_.ft_updates;
+    stats_.eta_updates += now.eta_updates - seen_.eta_updates;
     stats_.eta_nonzeros += now.eta_nonzeros - seen_.eta_nonzeros;
     stats_.singular_recoveries += now.singular_recoveries - seen_.singular_recoveries;
     stats_.factor_seconds += now.factor_seconds - seen_.factor_seconds;
     stats_.pivot_seconds += now.pivot_seconds - seen_.pivot_seconds;
     seen_ = now;
+    const std::size_t resets = simplex_.pricing_resets();
+    stats_.pricing_resets += resets - seen_pricing_resets_;
+    seen_pricing_resets_ = resets;
   }
 
   lp::RevisedSimplex simplex_;
   lp::BasisFactorStats seen_;
+  std::size_t seen_pricing_resets_ = 0;
 };
 
 }  // namespace

@@ -52,13 +52,24 @@ struct SolverStats {
   std::size_t cut_rounds = 0;
   /// Basis-factorization accounting from the revised simplex (see
   /// lp::BasisFactorStats; all zero on the dense-tableau backend):
-  /// full (re)factorizations, pivots absorbed as updates, nonzeros
-  /// appended to the sparse-LU eta file, and singular-basis fallbacks
-  /// to the all-logical crash basis.
+  /// full (re)factorizations, pivots absorbed as updates (split by
+  /// update scheme: Forrest–Tomlin vs product-form eta), nonzeros
+  /// appended to the update file, and singular-basis fallbacks to the
+  /// all-logical crash basis.
   std::size_t basis_factorizations = 0;
   std::size_t basis_updates = 0;
+  std::size_t ft_updates = 0;
+  std::size_t eta_updates = 0;
   std::size_t eta_nonzeros = 0;
   std::size_t singular_recoveries = 0;
+  /// Devex reference-framework restarts (lp::PricingRule::kDevex only;
+  /// weights reset to 1 after growing past trust — a pricing-quality
+  /// signal: frequent resets mean the steepest-edge estimates keep
+  /// degenerating into Dantzig).
+  std::size_t pricing_resets = 0;
+  /// Batched sibling re-solves issued through solve_children (each batch
+  /// covers every child of one branch from the shared parent basis).
+  std::size_t sibling_batches = 0;
   /// Where LP wall time goes: inside factorize/refactorize vs the rest
   /// of the pivot loop (pricing, ratio tests, FTRAN/BTRAN, updates).
   double factor_seconds = 0.0;
@@ -83,6 +94,20 @@ struct SolverStats {
   double warm_hit_rate() const;
   /// Mean nonzeros per eta update (0 when no updates were recorded).
   double avg_eta_nonzeros() const;
+};
+
+/// One child of a branch for LpBackend::solve_children: override the box
+/// of `var` to [lo, up] on top of the backend's currently loaded bounds.
+struct ChildBounds {
+  std::size_t var = 0;
+  double lo = 0.0;
+  double up = 0.0;
+};
+
+/// Per-child outcome of a batched sibling solve.
+struct ChildResult {
+  lp::LpSolution solution;
+  WarmBasis basis;  ///< child basis snapshot (empty when the solve failed)
 };
 
 /// One loaded LP instance with mutable variable boxes. Not thread-safe;
@@ -110,6 +135,25 @@ class LpBackend {
 
   /// Basis snapshot after a successful solve; empty when unsupported.
   virtual WarmBasis capture_basis() const = 0;
+
+  /// Batched sibling re-solves: solves every child of one branch from
+  /// the shared `parent` basis, writing `children[i]`'s solution and
+  /// basis snapshot into `out[i]`. The point of batching is that the
+  /// expensive per-child setup is shared: the first child typically
+  /// finds the parent's factors still in memory (the revised backend's
+  /// reuse_matching_basis fast path skips its refactorization entirely)
+  /// and the Devex pricing weights trained on the parent carry into
+  /// both children instead of being rebuilt per pop.
+  ///
+  /// Bounds contract: each child's override is applied before its solve
+  /// and left in place for the next, so on return the LAST child's
+  /// override is still active. Callers re-apply their own bounds before
+  /// the next solve (branch & bound re-applies node fixings per pop
+  /// anyway). Counted once in stats().sibling_batches plus the usual
+  /// per-resolve counters.
+  virtual void solve_children(const WarmBasis& parent,
+                              const ChildBounds* children, std::size_t count,
+                              ChildResult* out);
 
   /// True when row_of_basis can read the simplex tableau of the last
   /// optimal solve (the raw material for Gomory cuts).

@@ -25,12 +25,14 @@ namespace {
 constexpr double kTol = 1e-6;
 
 using lp::BasisLu;
+using lp::BasisUpdateKind;
 using lp::CscMatrix;
 using lp::FactorizationKind;
 using lp::LinearTerm;
 using lp::LpProblem;
 using lp::LpSolution;
 using lp::Objective;
+using lp::PricingRule;
 using lp::RevisedSimplex;
 using lp::RowSense;
 using lp::SimplexOptions;
@@ -250,6 +252,119 @@ TEST(BasisLuFactor, EtaUpdatesStayEquivalentToRefactorizationAcrossPivotChains) 
   }
 }
 
+TEST(BasisLuFactor, ForrestTomlinAndProductFormAgreeOverHundredPivotChains) {
+  for (int seed = 0; seed < 4; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 + 11);
+    const std::size_t m = 24;
+    const std::size_t n = 60;
+    const CscMatrix A = random_csc(rng, m, n);
+    std::vector<std::int32_t> basic(m);
+    for (std::size_t k = 0; k < m; ++k) basic[k] = static_cast<std::int32_t>(n + k);
+
+    BasisLu ft;
+    ft.set_update_kind(BasisUpdateKind::kForrestTomlin);
+    BasisLu pfi;
+    pfi.set_update_kind(BasisUpdateKind::kProductFormEta);
+    ASSERT_TRUE(ft.factorize(A, n, basic));
+    ASSERT_TRUE(pfi.factorize(A, n, basic));
+    ASSERT_EQ(ft.update_kind(), BasisUpdateKind::kForrestTomlin);
+    ASSERT_EQ(pfi.update_kind(), BasisUpdateKind::kProductFormEta);
+
+    std::size_t applied = 0;
+    for (int attempt = 0; attempt < 1000 && applied < 100; ++attempt) {
+      const std::size_t q =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n) - 1));
+      bool in_basis = false;
+      for (const std::int32_t b : basic)
+        if (static_cast<std::size_t>(b) == q) in_basis = true;
+      if (in_basis) continue;
+      std::vector<double> column(m, 0.0);
+      for (std::size_t e = A.col_start[q]; e < A.col_start[q + 1]; ++e)
+        column[A.row_index[e]] = A.value[e];
+      std::vector<double> w_ft = column, w_pfi = column;
+      ft.ftran(w_ft);
+      pfi.ftran(w_pfi);
+      for (std::size_t i = 0; i < m; ++i)
+        ASSERT_NEAR(w_ft[i], w_pfi[i], 1e-6)
+            << "ftran seed " << seed << " pivot " << applied;
+      std::size_t r = m;
+      double best = 1e-6;
+      for (std::size_t i = 0; i < m; ++i) {
+        if (std::abs(w_ft[i]) > best) {
+          best = std::abs(w_ft[i]);
+          r = i;
+        }
+      }
+      if (r == m) continue;
+      const bool ok_ft = ft.update(r, w_ft);
+      const bool ok_pfi = pfi.update(r, w_pfi);
+      basic[r] = static_cast<std::int32_t>(q);
+      if (!ok_ft || !ok_pfi) {
+        // A scheme declined a marginal pivot: both restart from a fresh
+        // factorization of the current basis and the chain continues.
+        ASSERT_TRUE(ft.factorize(A, n, basic));
+        ASSERT_TRUE(pfi.factorize(A, n, basic));
+      }
+      ++applied;
+
+      // Both update schemes must agree with each other AND with a
+      // from-scratch factorization of the current basis.
+      BasisLu fresh;
+      ASSERT_TRUE(fresh.factorize(A, n, basic)) << "seed " << seed;
+      std::vector<double> rhs(m);
+      for (std::size_t i = 0; i < m; ++i) rhs[i] = rng.uniform(-1.0, 1.0);
+      std::vector<double> via_ft = rhs, via_pfi = rhs, via_fresh = rhs;
+      ft.ftran(via_ft);
+      pfi.ftran(via_pfi);
+      fresh.ftran(via_fresh);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(via_ft[i], via_fresh[i], 1e-5)
+            << "ft-ftran seed " << seed << " pivot " << applied;
+        EXPECT_NEAR(via_pfi[i], via_fresh[i], 1e-5)
+            << "pfi-ftran seed " << seed << " pivot " << applied;
+      }
+      via_ft = via_pfi = via_fresh = rhs;
+      ft.btran(via_ft);
+      pfi.btran(via_pfi);
+      fresh.btran(via_fresh);
+      for (std::size_t i = 0; i < m; ++i) {
+        EXPECT_NEAR(via_ft[i], via_fresh[i], 1e-5)
+            << "ft-btran seed " << seed << " pivot " << applied;
+        EXPECT_NEAR(via_pfi[i], via_fresh[i], 1e-5)
+            << "pfi-btran seed " << seed << " pivot " << applied;
+      }
+    }
+    ASSERT_GE(applied, 100u) << "seed " << seed;
+  }
+}
+
+TEST(BasisLuFactor, AdaptiveCadenceScalesWithBasisDimension) {
+  Rng rng(91);
+  for (const std::size_t m : {std::size_t{8}, std::size_t{200}, std::size_t{900}}) {
+    const CscMatrix A = random_csc(rng, m, m + 4);
+    std::vector<std::int32_t> basic(m);
+    for (std::size_t k = 0; k < m; ++k)
+      basic[k] = static_cast<std::int32_t>(m + 4 + k);
+    // Forrest–Tomlin keeps U triangular, so it sustains a longer update
+    // run than the eta file: cadence clamp(m, 64, 512) vs clamp(m/2, 32,
+    // 256).
+    BasisLu ft;
+    ft.set_update_kind(BasisUpdateKind::kForrestTomlin);
+    ASSERT_TRUE(ft.factorize(A, m + 4, basic));
+    EXPECT_GE(ft.refactor_cadence(), 64u);
+    EXPECT_LE(ft.refactor_cadence(), 512u);
+    if (m >= 200) EXPECT_GE(ft.refactor_cadence(), m / 2);
+
+    BasisLu pfi;
+    pfi.set_update_kind(BasisUpdateKind::kProductFormEta);
+    ASSERT_TRUE(pfi.factorize(A, m + 4, basic));
+    EXPECT_GE(pfi.refactor_cadence(), 32u);
+    EXPECT_LE(pfi.refactor_cadence(), 256u);
+    if (m >= 200) EXPECT_GE(pfi.refactor_cadence(), m / 4);
+    EXPECT_LE(pfi.refactor_cadence(), ft.refactor_cadence());
+  }
+}
+
 // ------------------------------------------- revised simplex parity
 
 SimplexOptions options_for(FactorizationKind kind) {
@@ -332,6 +447,85 @@ TEST_P(FactorizationRandomLp, SparseLuAgreesWithDenseInverse) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomLps, FactorizationRandomLp, ::testing::Range(0, 60));
+
+class PricingRandomLp : public ::testing::TestWithParam<int> {};
+
+TEST_P(PricingRandomLp, DevexAndDantzigReachTheSameOptima) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 48611 + 9);
+  const LpProblem p = random_lp(rng);
+  for (const FactorizationKind kind :
+       {FactorizationKind::kDenseInverse, FactorizationKind::kSparseLu}) {
+    SimplexOptions dantzig_options = options_for(kind);
+    dantzig_options.pricing = PricingRule::kDantzig;
+    SimplexOptions devex_options = options_for(kind);
+    devex_options.pricing = PricingRule::kDevex;
+    RevisedSimplex dantzig(dantzig_options);
+    RevisedSimplex devex(devex_options);
+    dantzig.load(p);
+    devex.load(p);
+    const LpSolution a = dantzig.solve();
+    const LpSolution b = devex.solve();
+    ASSERT_EQ(a.status, b.status) << "seed " << GetParam();
+    EXPECT_EQ(dantzig.pricing_resets(), 0u);  // Dantzig never runs the framework
+    if (a.status != SolveStatus::kOptimal) continue;
+    EXPECT_NEAR(a.objective, b.objective, kTol) << "seed " << GetParam();
+    expect_feasible(p, a, "dantzig");
+    expect_feasible(p, b, "devex");
+  }
+}
+
+// The legacy reduced-cost path (per-iteration duals BTRAN + lazy
+// pricing dots, incremental_reduced_costs = false) is kept as the
+// bench's pr5-baseline rung; it must stay a faithful differential
+// twin of the incremental default.
+TEST_P(PricingRandomLp, LegacyReducedCostPathMatchesIncremental) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 76493 + 21);
+  const LpProblem p = random_lp(rng);
+  for (const PricingRule pricing : {PricingRule::kDantzig, PricingRule::kDevex}) {
+    SimplexOptions incr_options = options_for(FactorizationKind::kSparseLu);
+    incr_options.pricing = pricing;
+    SimplexOptions legacy_options = incr_options;
+    legacy_options.incremental_reduced_costs = false;
+    RevisedSimplex incr(incr_options);
+    RevisedSimplex legacy(legacy_options);
+    incr.load(p);
+    legacy.load(p);
+    const LpSolution a = incr.solve();
+    const LpSolution b = legacy.solve();
+    ASSERT_EQ(a.status, b.status) << "seed " << GetParam();
+    if (a.status != SolveStatus::kOptimal) continue;
+    EXPECT_NEAR(a.objective, b.objective, kTol) << "seed " << GetParam();
+    expect_feasible(p, b, "legacy-reduced-costs");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, PricingRandomLp, ::testing::Range(0, 60));
+
+TEST(BasisUpdateCounters, FactorStatsAttributeUpdatesToTheActiveScheme) {
+  std::size_t exercised = 0;
+  for (int seed = 0; seed < 20 && exercised < 5; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 30103 + 17);
+    const LpProblem p = random_lp(rng);
+    SimplexOptions ft_options = options_for(FactorizationKind::kSparseLu);
+    ft_options.basis_update = BasisUpdateKind::kForrestTomlin;
+    SimplexOptions pfi_options = options_for(FactorizationKind::kSparseLu);
+    pfi_options.basis_update = BasisUpdateKind::kProductFormEta;
+    RevisedSimplex ft(ft_options);
+    RevisedSimplex pfi(pfi_options);
+    ft.load(p);
+    pfi.load(p);
+    const LpSolution a = ft.solve();
+    const LpSolution b = pfi.solve();
+    ASSERT_EQ(a.status, b.status) << "seed " << seed;
+    EXPECT_EQ(ft.factor_stats().eta_updates, 0u) << "seed " << seed;
+    EXPECT_EQ(pfi.factor_stats().ft_updates, 0u) << "seed " << seed;
+    EXPECT_EQ(ft.factor_stats().ft_updates, ft.factor_stats().updates);
+    EXPECT_EQ(pfi.factor_stats().eta_updates, pfi.factor_stats().updates);
+    EXPECT_GT(ft.factor_stats().refactor_cadence, 0u);
+    if (ft.factor_stats().updates > 0 && pfi.factor_stats().updates > 0) ++exercised;
+  }
+  EXPECT_GE(exercised, 5u);  // the sweep must hit real update chains
+}
 
 TEST(FactorizationParity, TableauRowsMatchOnTextbookLp) {
   LpProblem p;
@@ -520,6 +714,51 @@ TEST(FactorizationVerdictParity, FullBatteryAcrossBackendsThreadsAndCuts) {
                   r.solver_stats.basis_updates > 0)
                 EXPECT_GT(r.solver_stats.eta_nonzeros, 0u) << "seed " << seed;
             }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(PricingVerdictParity, DevexAndSiblingBatchingPreserveVerdictsAcrossGrid) {
+  for (const std::uint64_t seed : {41u, 42u}) {
+    Rng rng(seed);
+    const std::size_t in_n = 3, hidden = 6;
+    const nn::Network net = make_tail_net(rng, in_n, hidden);
+    const double threshold = seed % 2 == 0 ? -5.0 : forcing_threshold(net, in_n, rng);
+    const verify::VerificationQuery q = tail_query(net, in_n, threshold);
+
+    verify::TailVerifierOptions base;
+    base.milp.max_nodes = 20000;
+    const verify::VerificationResult reference = verify::TailVerifier(base).verify(q);
+    ASSERT_NE(reference.verdict, verify::Verdict::kUnknown) << "seed " << seed;
+
+    for (const PricingRule pricing : {PricingRule::kDantzig, PricingRule::kDevex}) {
+      for (const bool batch : {false, true}) {
+        for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+          for (const std::size_t rounds : {std::size_t{0}, std::size_t{4}}) {
+            verify::TailVerifierOptions options = base;
+            options.milp.lp_options.pricing = pricing;
+            options.milp.batch_sibling_solves = batch;
+            options.milp.threads = threads;
+            options.milp.cuts.root_rounds = rounds;
+            const verify::VerificationResult r = verify::TailVerifier(options).verify(q);
+            EXPECT_EQ(r.verdict, reference.verdict)
+                << "seed " << seed << " pricing " << lp::pricing_rule_name(pricing)
+                << " batch " << batch << " threads " << threads << " rounds "
+                << rounds;
+            if (r.verdict == verify::Verdict::kUnsafe)
+              EXPECT_TRUE(r.counterexample_validated) << "seed " << seed;
+            if (pricing == PricingRule::kDantzig)
+              EXPECT_EQ(r.solver_stats.pricing_resets, 0u) << "seed " << seed;
+            if (!batch)
+              EXPECT_EQ(r.solver_stats.sibling_batches, 0u) << "seed " << seed;
+            else if (r.milp_nodes > 2 && threads == 1 && rounds == 0)
+              // A serial branching search with batching on must have
+              // expanded at least one node through solve_children.
+              EXPECT_GT(r.solver_stats.sibling_batches, 0u)
+                  << "seed " << seed << " nodes " << r.milp_nodes;
           }
         }
       }

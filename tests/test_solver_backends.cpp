@@ -206,6 +206,52 @@ TEST(WarmStart, BoundTighteningResolvesCheaply) {
   EXPECT_LE(warm.iterations, std::max<std::size_t>(cold.iterations, 2));
 }
 
+TEST(WarmStart, SolveChildrenMatchesSequentialResolvesOnBothBackends) {
+  // The same chained LP as above; branch on variable 3 and compare the
+  // batched sibling solve against two manual set_bounds + resolve calls.
+  Rng rng(91);
+  const std::size_t n = 12;
+  LpProblem p;
+  for (std::size_t i = 0; i < n; ++i) p.add_variable(-2.0, 2.0);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    p.add_row({{i, 1.0}, {i + 1, rng.uniform(0.3, 1.5)}}, RowSense::kLessEqual,
+              rng.uniform(0.5, 2.0));
+  std::vector<LinearTerm> objective;
+  for (std::size_t i = 0; i < n; ++i) objective.push_back({i, rng.uniform(-1.0, 1.0)});
+  p.set_objective(objective, Objective::kMinimize);
+
+  for (const LpBackendKind kind :
+       {LpBackendKind::kRevisedBounded, LpBackendKind::kDenseTableau}) {
+    auto batched = backend_for(kind);
+    batched->load(p);
+    ASSERT_EQ(batched->solve().status, SolveStatus::kOptimal);
+    const solver::WarmBasis parent = batched->capture_basis();
+
+    const solver::ChildBounds children[2] = {{3, 0.0, 0.0}, {3, 1.0, 1.0}};
+    solver::ChildResult results[2];
+    batched->solve_children(parent, children, 2, results);
+    EXPECT_EQ(batched->stats().sibling_batches, 1u);
+
+    auto manual = backend_for(kind);
+    manual->load(p);
+    ASSERT_EQ(manual->solve().status, SolveStatus::kOptimal);
+    const solver::WarmBasis manual_parent = manual->capture_basis();
+    for (int c = 0; c < 2; ++c) {
+      manual->set_bounds(children[c].var, children[c].lo, children[c].up);
+      const LpSolution ref = manual->resolve(manual_parent);
+      ASSERT_EQ(results[c].solution.status, ref.status)
+          << solver::lp_backend_kind_name(kind) << " child " << c;
+      if (ref.status == SolveStatus::kOptimal) {
+        EXPECT_NEAR(results[c].solution.objective, ref.objective, kTol)
+            << solver::lp_backend_kind_name(kind) << " child " << c;
+        // A warm-capable backend must hand back a usable child basis.
+        if (batched->supports_warm_start())
+          EXPECT_FALSE(results[c].basis.empty());
+      }
+    }
+  }
+}
+
 TEST(WarmStart, StaleBasisFallsBackToColdSolve) {
   LpProblem p;
   p.add_variable(0.0, 1.0);

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_simplex.json against the committed
+baseline snapshot in bench/baselines/BENCH_simplex.json.
+
+CI machines are heterogeneous, so absolute wall-clock seconds are NOT
+compared.  The contract is on machine-independent quantities:
+
+  * per-config pivot and node counts (same nets, same seeds, same node
+    budget -> deterministic modulo algorithm changes), and
+  * the headline speedup *ratios* (pr5-baseline vs the shipped LP core),
+    which divide out the machine constant.
+
+A drift beyond --tolerance (default 20%) on any of those fails the run,
+as does a verdict-parity break or a headline widest-tail speedup below
+--min-speedup (default 1.5x, the PR's acceptance bar).
+
+Usage:
+  tools/bench_compare.py build/BENCH_simplex.json \
+      [--baseline bench/baselines/BENCH_simplex.json] \
+      [--tolerance 0.20] [--min-speedup 1.5]
+"""
+
+import argparse
+import json
+import sys
+
+# Counters whose relative drift vs the baseline is bounded by --tolerance.
+# All are pivot-path quantities independent of the host's clock speed.
+COUNTED = ("pivots", "nodes", "refactorizations", "updates")
+
+# Ratio metrics: floor = ratio must stay >= (1 - tolerance) * baseline
+# (faster than baseline is never a failure).
+RATIO_KEYS = ("speedup_battery", "speedup_widest_tail")
+
+
+def fail(msg):
+    print(f"bench_compare: FAIL: {msg}")
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly generated BENCH_simplex.json")
+    ap.add_argument("--baseline", default="bench/baselines/BENCH_simplex.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative drift on counters and ratios")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="hard floor on the headline widest-tail speedup")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        cur = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    rc = 0
+
+    if not cur.get("verdict_parity", False):
+        rc |= fail("verdict_parity is false in the current run")
+
+    cur_cfgs = {c["config"]: c for c in cur.get("configs", [])}
+    base_cfgs = {c["config"]: c for c in base.get("configs", [])}
+    missing = sorted(set(base_cfgs) - set(cur_cfgs))
+    if missing:
+        rc |= fail(f"configs missing from current run: {', '.join(missing)}")
+
+    for name, b in base_cfgs.items():
+        c = cur_cfgs.get(name)
+        if c is None:
+            continue
+        for key in COUNTED:
+            bv, cv = b.get(key, 0), c.get(key, 0)
+            if bv == 0:
+                if cv != 0:
+                    rc |= fail(f"{name}: {key} was 0 in baseline, now {cv}")
+                continue
+            drift = abs(cv - bv) / bv
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            print(f"  {name:>14s} {key:>16s}: {bv:>8} -> {cv:>8} "
+                  f"({drift:+.1%}) {status}")
+            if drift > args.tolerance:
+                rc |= fail(f"{name}: {key} drifted {drift:.1%} "
+                           f"(> {args.tolerance:.0%})")
+
+    cur_head = cur.get("headline", {})
+    base_head = base.get("headline", {})
+    for key in RATIO_KEYS:
+        bv, cv = base_head.get(key, 0.0), cur_head.get(key, 0.0)
+        floor = (1.0 - args.tolerance) * bv
+        print(f"  headline {key}: baseline {bv:.2f}x -> current {cv:.2f}x "
+              f"(floor {floor:.2f}x)")
+        if bv > 0 and cv < floor:
+            rc |= fail(f"headline {key} regressed: {cv:.2f}x < floor "
+                       f"{floor:.2f}x (baseline {bv:.2f}x)")
+
+    widest = cur_head.get("speedup_widest_tail", 0.0)
+    if widest < args.min_speedup:
+        rc |= fail(f"headline speedup_widest_tail {widest:.2f}x is below the "
+                   f"{args.min_speedup:.1f}x acceptance bar")
+
+    if rc == 0:
+        print("bench_compare: OK (counters and speedup ratios within "
+              f"{args.tolerance:.0%} of baseline; widest-tail "
+              f"{widest:.2f}x >= {args.min_speedup:.1f}x)")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

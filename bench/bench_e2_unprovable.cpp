@@ -11,9 +11,18 @@
 // This bench runs that exact query, prints the abstract counterexample
 // the MILP returns, and then attempts to concretize it back to an input
 // image with the gradient-based search (the adversarial-technique arm).
+//
+// Staged-pipeline axis: a mixed SAFE/UNSAFE battery over the same setup
+// run with the falsify-then-prove pipeline off and on. The funnel (who
+// settled each query: attack / zonotope / MILP) and the per-stage wall
+// seconds land in BENCH_funnel.json, drift-checked against
+// bench/baselines/BENCH_funnel.json by tools/bench_compare.py.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/experiment_setup.hpp"
 #include "train/adversarial.hpp"
@@ -73,6 +82,169 @@ void print_report() {
               "straight.\n\n");
 }
 
+// ---- Staged-pipeline (falsify-first) axis -----------------------------
+
+/// Mixed battery: reachable risks an attack should settle UNSAFE in
+/// milliseconds, far-out risks the zonotope sweep proves SAFE without an
+/// encoding, and the E2 boundary query the MILP has to decide.
+std::vector<verify::RiskSpec> funnel_battery() {
+  std::vector<verify::RiskSpec> risks;
+  risks.push_back(steer_straight());  // E2's boundary query
+  {
+    verify::RiskSpec r("heading-hard-left (heading <= -25)");
+    r.output_at_most(1, 2, -25.0);
+    risks.push_back(r);
+  }
+  {
+    verify::RiskSpec r("heading-hard-right (heading >= 25)");
+    r.output_at_least(1, 2, 25.0);
+    risks.push_back(r);
+  }
+  {
+    verify::RiskSpec r("waypoint-far-out (waypoint >= 50)");
+    r.output_at_least(0, 2, 50.0);
+    risks.push_back(r);
+  }
+  {
+    verify::RiskSpec r("waypoint-anywhere (waypoint <= 1e6)");
+    r.output_at_most(0, 2, 1e6);
+    risks.push_back(r);
+  }
+  {
+    verify::RiskSpec r("heading-negative (heading <= 0)");
+    r.output_at_most(1, 2, 0.0);
+    risks.push_back(r);
+  }
+  return risks;
+}
+
+struct FunnelSweep {
+  std::string config;
+  double wall_seconds = 0.0;
+  std::size_t attack_falsified = 0;
+  std::size_t zonotope_proved = 0;
+  std::size_t milp_proved = 0;
+  std::size_t milp_falsified = 0;
+  std::size_t unknown = 0;
+  double attack_seconds = 0.0;
+  double zonotope_seconds = 0.0;
+  double encode_seconds = 0.0;
+  double solve_seconds = 0.0;
+  std::size_t nodes = 0;
+  bool all_unsafe_validated = true;
+  std::string verdicts;
+  std::vector<verify::Verdict> verdict_list;
+};
+
+FunnelSweep run_funnel_sweep(const std::vector<verify::RiskSpec>& risks, bool falsify_on) {
+  const bench::VerificationSetup& setup = bench::verification_setup();
+  FunnelSweep sweep;
+  sweep.config = falsify_on ? "falsify-on" : "falsify-off";
+  verify::TailVerifierOptions options;
+  options.falsify.enabled = falsify_on;
+  const verify::TailVerifier verifier(options);
+  const auto start = std::chrono::steady_clock::now();
+  for (const verify::RiskSpec& risk : risks) {
+    const verify::VerificationResult r =
+        verifier.verify(bench::make_query(setup, risk, bench::BoundsKind::kMonitorBoxDiff));
+    sweep.verdict_list.push_back(r.verdict);
+    if (!sweep.verdicts.empty()) sweep.verdicts += ',';
+    sweep.verdicts += verify::verdict_name(r.verdict);
+    sweep.attack_seconds += r.attack_seconds;
+    sweep.zonotope_seconds += r.zonotope_seconds;
+    sweep.encode_seconds += r.encode_seconds;
+    sweep.solve_seconds += r.solve_seconds;
+    sweep.nodes += r.milp_nodes;
+    if (r.verdict == verify::Verdict::kUnknown) {
+      ++sweep.unknown;
+    } else {
+      switch (r.decided_by) {
+        case verify::DecisionStage::kAttack:
+          ++sweep.attack_falsified;
+          break;
+        case verify::DecisionStage::kZonotope:
+          ++sweep.zonotope_proved;
+          break;
+        case verify::DecisionStage::kMilp:
+          if (r.verdict == verify::Verdict::kUnsafe)
+            ++sweep.milp_falsified;
+          else
+            ++sweep.milp_proved;
+          break;
+      }
+    }
+    if (r.verdict == verify::Verdict::kUnsafe && !r.counterexample_validated)
+      sweep.all_unsafe_validated = false;
+  }
+  sweep.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  return sweep;
+}
+
+void emit_funnel_json(const FunnelSweep& off, const FunnelSweep& on, bool compatible) {
+  std::FILE* f = std::fopen("BENCH_funnel.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_funnel.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"e2_funnel\",\n  \"configs\": [\n");
+  for (const FunnelSweep* s : {&off, &on}) {
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"attack_falsified\": %zu, \"zonotope_proved\": %zu, "
+                 "\"milp_proved\": %zu, \"milp_falsified\": %zu, \"unknown\": %zu, "
+                 "\"nodes\": %zu, \"attack_seconds\": %.6f, \"zonotope_seconds\": %.6f, "
+                 "\"encode_seconds\": %.6f, \"solve_seconds\": %.6f, "
+                 "\"verdicts\": \"%s\"}%s\n",
+                 s->config.c_str(), s->wall_seconds, s->attack_falsified,
+                 s->zonotope_proved, s->milp_proved, s->milp_falsified, s->unknown,
+                 s->nodes, s->attack_seconds, s->zonotope_seconds, s->encode_seconds,
+                 s->solve_seconds, s->verdicts.c_str(), s == &off ? "," : "");
+  }
+  const double speedup = on.wall_seconds > 0.0 ? off.wall_seconds / on.wall_seconds : 0.0;
+  std::fprintf(f,
+               "  ],\n  \"headline\": {\"baseline\": \"falsify-off\", "
+               "\"optimized\": \"falsify-on\", \"speedup_battery\": %.3f},\n",
+               speedup);
+  std::fprintf(f, "  \"verdict_compatibility\": %s,\n", compatible ? "true" : "false");
+  std::fprintf(f, "  \"all_unsafe_validated\": %s\n}\n",
+               off.all_unsafe_validated && on.all_unsafe_validated ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_funnel.json\n");
+}
+
+void print_funnel_report() {
+  const std::vector<verify::RiskSpec> risks = funnel_battery();
+  std::printf("\n=== E2: staged falsify-then-prove axis (mixed battery, %zu queries) ===\n",
+              risks.size());
+  const FunnelSweep off = run_funnel_sweep(risks, false);
+  const FunnelSweep on = run_funnel_sweep(risks, true);
+
+  std::printf("%12s | %9s | %7s | %8s | %7s | %8s | %7s | %9s\n", "config", "wall s",
+              "attack", "zonotope", "milp", "unknown", "nodes", "verdicts");
+  std::printf("-------------+-----------+---------+----------+---------+----------+---------+---\n");
+  for (const FunnelSweep* s : {&off, &on})
+    std::printf("%12s | %9.3f | %7zu | %8zu | %7zu | %8zu | %7zu | %s\n",
+                s->config.c_str(), s->wall_seconds, s->attack_falsified,
+                s->zonotope_proved, s->milp_proved + s->milp_falsified, s->unknown,
+                s->nodes, s->verdicts.c_str());
+
+  // Decided verdicts must agree; only UNKNOWN may improve with the
+  // pipeline on (stage 0/1 are conservative).
+  bool compatible = true;
+  for (std::size_t i = 0; i < risks.size(); ++i) {
+    const verify::Verdict a = off.verdict_list[i], b = on.verdict_list[i];
+    if (a != verify::Verdict::kUnknown && b != verify::Verdict::kUnknown && a != b)
+      compatible = false;
+  }
+  std::printf("verdict compatibility: %s; all UNSAFE validated: %s; battery speedup %.2fx\n",
+              compatible ? "yes" : "NO", off.all_unsafe_validated && on.all_unsafe_validated
+                                             ? "yes"
+                                             : "NO",
+              on.wall_seconds > 0.0 ? off.wall_seconds / on.wall_seconds : 0.0);
+  emit_funnel_json(off, on, compatible);
+}
+
 void BM_VerifyE2_MonitorBoxDiff(benchmark::State& state) {
   const bench::VerificationSetup& setup = bench::verification_setup();
   const verify::VerificationQuery q =
@@ -107,6 +279,7 @@ BENCHMARK(BM_CounterexampleConcretization)->Unit(benchmark::kMillisecond)->Itera
 
 int main(int argc, char** argv) {
   print_report();
+  print_funnel_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -78,6 +78,26 @@ SafetyCase AssumeGuaranteeVerifier::verify(const nn::Network& network,
   const verify::TailVerifier verifier(config_.verifier);
   result.verification = verifier.verify(query);
 
+  // Trace which pipeline stages ran and what each cost, so campaign
+  // reports can aggregate a per-stage funnel. A stage that did not
+  // decide records kUnknown (it passed the query on).
+  if (config_.verifier.falsify.enabled) {
+    const verify::VerificationResult& v = result.verification;
+    const bool attack_decided = v.decided_by == verify::DecisionStage::kAttack;
+    result.pipeline.push_back(
+        {"attack", attack_decided ? v.verdict : verify::Verdict::kUnknown, 0, 0,
+         v.attack_seconds});
+    if (!attack_decided && config_.verifier.falsify.zonotope_prove) {
+      const bool zono_decided = v.decided_by == verify::DecisionStage::kZonotope;
+      result.pipeline.push_back(
+          {"zonotope", zono_decided ? v.verdict : verify::Verdict::kUnknown, 0, 0,
+           v.zonotope_seconds});
+    }
+    if (v.decided_by == verify::DecisionStage::kMilp)
+      result.pipeline.push_back({"milp", v.verdict, v.encoding.binaries, v.milp_nodes,
+                                 v.encode_seconds + v.solve_seconds});
+  }
+
   switch (result.verification.verdict) {
     case verify::Verdict::kSafe:
       result.verdict = config_.bounds == BoundsSource::kStaticAnalysis

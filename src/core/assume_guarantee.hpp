@@ -45,10 +45,27 @@ struct AssumeGuaranteeConfig {
   verify::TailVerifierOptions verifier = {};
 };
 
+/// One attempted step of a verification ladder — an escalation rung
+/// (src/core/escalation.hpp) or a stage of the staged falsify-then-prove
+/// pipeline — with its verdict and cost. Campaign reports aggregate the
+/// `seconds` per stage name into the funnel summary.
+struct EscalationStep {
+  std::string rung;
+  verify::Verdict verdict = verify::Verdict::kUnknown;
+  std::size_t binaries = 0;
+  std::size_t milp_nodes = 0;
+  double seconds = 0.0;
+};
+
 struct SafetyCase {
   SafetyVerdict verdict = SafetyVerdict::kUnknown;
   BoundsSource bounds_source = BoundsSource::kMonitorBoxDiff;
   verify::VerificationResult verification;
+  /// Staged-pipeline trace: one step per stage that actually ran
+  /// (attack / zonotope / milp), with per-stage wall seconds. Empty when
+  /// the falsify pipeline is off and the MILP decided directly — then
+  /// `verification`'s encode/solve seconds are the whole story.
+  std::vector<EscalationStep> pipeline;
   /// The monitor to deploy alongside a conditional proof.
   std::optional<monitor::DiffMonitor> deployed_monitor;
 

@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "common/check.hpp"
+#include "core/counterexample_pool.hpp"
 
 namespace dpv::core {
 
@@ -50,6 +51,21 @@ std::string CampaignReport::format_encoding_summary() const {
   if (cuts_added > 0 || cut_rounds > 0) {
     out << "; cuts: " << cuts_added << " added over " << cut_rounds
         << " root rounds, " << milp_nodes << " B&B nodes total";
+  }
+  // Staged-pipeline funnel: only when the falsify pipeline actually ran
+  // (a falsify-off campaign reads exactly as before).
+  if (funnel_attack_falsified + funnel_zonotope_proved + funnel_milp_proved +
+          funnel_milp_falsified + funnel_unknown >
+      0) {
+    out << "; funnel: " << funnel_attack_falsified << " attack-falsified / "
+        << funnel_zonotope_proved << " zonotope-proved / "
+        << funnel_milp_proved + funnel_milp_falsified << " milp-decided ("
+        << funnel_milp_proved << " safe, " << funnel_milp_falsified << " unsafe) / "
+        << funnel_unknown << " unknown; stage time " << attack_seconds << "s attack + "
+        << zonotope_seconds << "s zonotope";
+    if (pool_points_contributed > 0 || attack_seeds_tried > 0)
+      out << "; recycling: " << pool_points_contributed << " points pooled, "
+          << attack_seeds_tried << " seeds tried";
   }
   // Only when re-allocation actually engaged — a pool with no starved
   // entry to spend it on is the budget working, not news.
@@ -94,6 +110,13 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
     entry_config.assume_guarantee.verifier.encoding_cache = cache;
   }
 
+  // Start-point pool for stage-0 attacks: caller-shared (persists across
+  // campaigns) or private to this battery. Contributions happen only
+  // between passes, so every job of a pass snapshots the same state.
+  std::shared_ptr<CounterexamplePool> pool = config.counterexample_pool;
+  if (pool == nullptr) pool = std::make_shared<CounterexamplePool>();
+  CampaignReport report;
+
   // Entries are independent (each workflow run seeds its own RNGs from
   // the config), so they fan out over a worker pool; results land in
   // their entry slot, keeping report ordering deterministic regardless
@@ -113,6 +136,12 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
         WorkflowConfig job_config = entry_config;
         if (jobs[j].second > 0)
           job_config.assume_guarantee.verifier.milp.max_nodes = jobs[j].second;
+        // Per-entry deterministic attack seeding: derived from the
+        // configured falsify seed and the entry index (never thread or
+        // schedule state), plus recycled start points for this risk.
+        verify::FalsifyOptions& falsify = job_config.assume_guarantee.verifier.falsify;
+        falsify.seed += 0x9e3779b97f4a7c15ULL * (i + 1);
+        falsify.seed_points = pool->snapshot(entries[i].risk.name());
         try {
           results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
                                     entries[i].property_val, entries[i].risk, job_config);
@@ -141,7 +170,29 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   for (std::size_t i = 0; i < entries.size(); ++i) first_pass.emplace_back(i, 0);
   run_pass(first_pass);
 
-  CampaignReport report;
+  // Recycle this pass's discoveries into the pool, in entry order: a
+  // validated layer-l witness is a proven risk point for its risk
+  // region, and a frontier near-miss is the B&B's best open relaxation
+  // point — both are prime stage-0 starts for the retry pass below and
+  // for later campaigns sharing the pool. Contributing here (never from
+  // inside a worker) keeps snapshots schedule-independent.
+  const auto contribute_results = [&](const std::vector<std::size_t>& indices) {
+    for (const std::size_t i : indices) {
+      const verify::VerificationResult& v = results[i].safety.verification;
+      if (v.verdict == verify::Verdict::kUnsafe && v.counterexample_validated &&
+          v.counterexample_activation.numel() > 0) {
+        pool->contribute(entries[i].risk.name(), i, v.counterexample_activation);
+        ++report.pool_points_contributed;
+      }
+      if (v.have_frontier_activation) {
+        pool->contribute(entries[i].risk.name(), i, v.frontier_activation);
+        ++report.pool_points_contributed;
+      }
+    }
+  };
+  std::vector<std::size_t> all_indices(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) all_indices[i] = i;
+  contribute_results(all_indices);
 
   // Budget re-allocation: unused nodes of early finishers form a pool
   // that node-limit UNKNOWN entries draw from in one retry pass, split
@@ -149,6 +200,7 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   // pure function of the deterministic first-pass results, so verdicts
   // and tables stay bit-identical across thread counts.
   double retry_encode_seconds = 0.0, retry_solve_seconds = 0.0;
+  double retry_attack_seconds = 0.0, retry_zonotope_seconds = 0.0;
   std::size_t retry_nodes = 0;
   solver::SolverStats retry_stats;
   if (config.entry_node_budget > 0 && config.reallocate_node_budget) {
@@ -189,6 +241,8 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
         const verify::VerificationResult& v = results[i].safety.verification;
         retry_encode_seconds += v.encode_seconds;
         retry_solve_seconds += v.solve_seconds;
+        retry_attack_seconds += v.attack_seconds;
+        retry_zonotope_seconds += v.zonotope_seconds;
         retry_nodes += v.milp_nodes;
         solver::SolverStats first_pass = v.solver_stats;
         first_pass.best_bound_gap = 0.0;
@@ -196,11 +250,16 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
       }
       run_pass(retries);
       report.budget_entries_retried = retries.size();
+      std::vector<std::size_t> retried_indices;
       for (const auto& [i, budget] : retries) {
         (void)budget;
+        retried_indices.push_back(i);
         if (results[i].safety.verdict != SafetyVerdict::kUnknown)
           ++report.budget_entries_rescued;
       }
+      // A rescued UNSAFE or a fresh frontier near-miss is new seed
+      // material for campaigns sharing this pool.
+      contribute_results(retried_indices);
     }
   }
   if (cache != nullptr) {
@@ -212,10 +271,14 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   }
   report.reports.reserve(entries.size());
   for (WorkflowReport& wr : results) {
-    report.encode_seconds += wr.safety.verification.encode_seconds;
-    report.solve_seconds += wr.safety.verification.solve_seconds;
-    report.milp_nodes += wr.safety.verification.milp_nodes;
-    report.solver_totals.merge(wr.safety.verification.solver_stats);
+    const verify::VerificationResult& v = wr.safety.verification;
+    report.encode_seconds += v.encode_seconds;
+    report.solve_seconds += v.solve_seconds;
+    report.attack_seconds += v.attack_seconds;
+    report.zonotope_seconds += v.zonotope_seconds;
+    report.attack_seeds_tried += v.attack_seeds_tried;
+    report.milp_nodes += v.milp_nodes;
+    report.solver_totals.merge(v.solver_stats);
     if (!wr.characterizer_usable) {
       ++report.uncharacterizable_count;
     } else {
@@ -231,11 +294,37 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
           ++report.unknown_count;
           break;
       }
+      // Funnel: which stage settled this entry. Only meaningful when the
+      // falsify pipeline ran (all zero otherwise, and the summary line
+      // stays silent), except UNKNOWN which we only tally alongside the
+      // other funnel buckets.
+      if (!wr.safety.pipeline.empty()) {
+        if (wr.safety.verdict == SafetyVerdict::kUnknown) {
+          ++report.funnel_unknown;
+        } else {
+          switch (v.decided_by) {
+            case verify::DecisionStage::kAttack:
+              ++report.funnel_attack_falsified;
+              break;
+            case verify::DecisionStage::kZonotope:
+              ++report.funnel_zonotope_proved;
+              break;
+            case verify::DecisionStage::kMilp:
+              if (v.verdict == verify::Verdict::kUnsafe)
+                ++report.funnel_milp_falsified;
+              else
+                ++report.funnel_milp_proved;
+              break;
+          }
+        }
+      }
     }
     report.reports.push_back(std::move(wr));
   }
   report.encode_seconds += retry_encode_seconds;
   report.solve_seconds += retry_solve_seconds;
+  report.attack_seconds += retry_attack_seconds;
+  report.zonotope_seconds += retry_zonotope_seconds;
   report.milp_nodes += retry_nodes;
   report.solver_totals.merge(retry_stats);
   // The dedicated cut counters mirror the merged totals (kept as

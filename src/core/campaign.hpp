@@ -53,6 +53,24 @@ struct CampaignReport {
   std::size_t budget_entries_retried = 0;
   std::size_t budget_entries_rescued = 0;
 
+  /// Staged-pipeline funnel (all zero when `falsify_first` is off):
+  /// how many usable entries each stage settled, and what the cheap
+  /// stages cost in wall seconds. Counts partition the decided entries —
+  /// attack settles UNSAFE, zonotope settles SAFE, the MILP settles the
+  /// rest either way, and UNKNOWN survived all three.
+  std::size_t funnel_attack_falsified = 0;
+  std::size_t funnel_zonotope_proved = 0;
+  std::size_t funnel_milp_proved = 0;
+  std::size_t funnel_milp_falsified = 0;
+  std::size_t funnel_unknown = 0;
+  double attack_seconds = 0.0;    ///< total stage-0 wall time
+  double zonotope_seconds = 0.0;  ///< total stage-1 wall time
+  /// Counterexample recycling: layer-l points (validated witnesses and
+  /// B&B frontier near-misses) contributed to the start-point pool, and
+  /// recycled seeds actually consumed by stage-0 attacks.
+  std::size_t pool_points_contributed = 0;
+  std::size_t attack_seeds_tried = 0;
+
   /// Cutting-plane accounting summed across entries (all zero when
   /// `assume_guarantee.verifier.milp.cuts` leaves the engine off).
   /// `milp_nodes` totals the B&B nodes so node-count deltas between
@@ -88,6 +106,15 @@ struct CampaignReport {
 /// across thread counts. `config.entry_node_budget` (when nonzero) caps
 /// each entry's MILP node budget so one hard query cannot starve the
 /// battery.
+///
+/// With `config.falsify_first` (the default) every entry gets a
+/// deterministic per-entry attack seed derived from the configured
+/// falsify seed and its entry index, and stage-0 attacks are seeded from
+/// `config.counterexample_pool` (per-campaign private pool when null)
+/// under the entry's risk name. Witnesses and frontier near-misses are
+/// contributed back between passes — never from inside a worker — so the
+/// seed material every job sees is a pure function of entry index and
+/// prior-pass results, keeping tables bit-identical across thread counts.
 CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_layer,
                             const std::vector<CampaignEntry>& entries,
                             const WorkflowConfig& config);

@@ -57,6 +57,11 @@ EscalationOutcome EscalationVerifier::verify(const nn::Network& network,
   const std::size_t width = activations.front().numel();
 
   EscalationOutcome outcome;
+  // Discoveries carried up the ladder: a coarse rung's counterexample
+  // (possibly spurious under a tighter S̃) or frontier near-miss is a
+  // near-witness start for the next rung's stage-0 attack. Harmless when
+  // the falsify pipeline is off — seed points are only read there.
+  std::vector<Tensor> carried_seeds;
   for (const Rung& rung : kRungs) {
     monitor::RelationMonitor mon = monitor::RelationMonitor::from_activations(
         activations, pairs_up_to_stride(width, rung.pair_stride_limit),
@@ -74,7 +79,15 @@ EscalationOutcome EscalationVerifier::verify(const nn::Network& network,
 
     verify::TailVerifierOptions options = config_.verifier;
     options.encode.bounds = rung.bounds;
+    options.falsify.seed_points.insert(options.falsify.seed_points.end(),
+                                       carried_seeds.begin(), carried_seeds.end());
     const verify::VerificationResult result = verify::TailVerifier(options).verify(query);
+
+    if (result.verdict == verify::Verdict::kUnsafe &&
+        result.counterexample_activation.numel() > 0)
+      carried_seeds.push_back(result.counterexample_activation);
+    if (result.have_frontier_activation)
+      carried_seeds.push_back(result.frontier_activation);
 
     outcome.steps.push_back(EscalationStep{rung.name, result.verdict,
                                            result.encoding.binaries, result.milp_nodes,

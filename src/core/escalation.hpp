@@ -29,13 +29,8 @@
 
 namespace dpv::core {
 
-struct EscalationStep {
-  std::string rung;
-  verify::Verdict verdict = verify::Verdict::kUnknown;
-  std::size_t binaries = 0;
-  std::size_t milp_nodes = 0;
-  double seconds = 0.0;
-};
+// EscalationStep lives in core/assume_guarantee.hpp (shared with the
+// staged-pipeline trace in SafetyCase).
 
 struct EscalationOutcome {
   SafetyVerdict verdict = SafetyVerdict::kUnknown;

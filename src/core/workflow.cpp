@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "train/adversarial.hpp"
 
 namespace dpv::core {
 
@@ -26,6 +27,9 @@ std::string WorkflowReport::to_string() const {
       out << ' ' << safety.verification.counterexample_output[i];
     out << " (validated: " << (safety.verification.counterexample_validated ? "yes" : "no")
         << ")\n";
+    if (have_input_witness)
+      out << "input witness: concretized to feature distance " << input_witness_distance
+          << "\n";
   }
   out << "--- Table I (held-out estimate) ---\n" << table_one.format();
   return out.str();
@@ -60,12 +64,27 @@ WorkflowReport SafetyWorkflow::run(const std::string& property_name,
   // 2. Scalability: assume-guarantee verification over S̃ (or, when
   // configured for static analysis, over the normalized pixel box [0,1]^d0
   // of the paper's footnote 1).
-  const AssumeGuaranteeVerifier verifier(config.assume_guarantee);
+  AssumeGuaranteeConfig ag_config = config.assume_guarantee;
+  if (config.falsify_first) ag_config.verifier.falsify.enabled = true;
+  const AssumeGuaranteeVerifier verifier(ag_config);
   absint::Box input_box;
   if (config.assume_guarantee.bounds == BoundsSource::kStaticAnalysis)
     input_box = absint::uniform_box(perception_.input_shape().numel(), 0.0, 1.0);
   report.safety = verifier.verify(perception_, attach_layer_, &report.characterizer.network,
                                   risk, property_train.inputs(), input_box);
+
+  // Optional: pull the activation-space witness back into input space by
+  // gradient search from an ODD image (best-effort; never changes the
+  // verdict, which stands on the layer-l witness).
+  if (config.concretize_witnesses && report.safety.verdict == SafetyVerdict::kUnsafe &&
+      report.safety.verification.counterexample_activation.numel() > 0) {
+    const train::ConcretizationResult conc = train::concretize_activation(
+        perception_, attach_layer_, report.safety.verification.counterexample_activation,
+        property_train.inputs().front());
+    report.have_input_witness = true;
+    report.input_witness = conc.input;
+    report.input_witness_distance = conc.distance;
+  }
 
   // 3. Statistics: Table I on held-out data.
   report.table_one = estimate_table_one(perception_, attach_layer_,

@@ -12,6 +12,7 @@
 // monitor, characterizer quality and statistical strength.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/assume_guarantee.hpp"
@@ -20,6 +21,8 @@
 #include "verify/risk_spec.hpp"
 
 namespace dpv::core {
+
+class CounterexamplePool;
 
 struct WorkflowConfig {
   CharacterizerConfig characterizer = {};
@@ -56,6 +59,28 @@ struct WorkflowConfig {
   /// encode time changes. Ignored when the verifier options already
   /// carry a cache.
   bool share_tail_encodings = true;
+  /// Staged falsify-then-prove pipeline (src/verify/falsifier.hpp):
+  /// attack the risk margin first (UNSAFE settles with a validated
+  /// witness, no encoding), then try a zonotope bound proof (cheap
+  /// SAFE), and only survivors pay for the MILP. Decided verdicts are
+  /// compatible with a pipeline-off run — only UNKNOWNs can improve.
+  /// Tune the stages via `assume_guarantee.verifier.falsify` (restarts,
+  /// steps, seed); this flag only flips `falsify.enabled` so a default
+  /// config gets the fast path without hand-wiring verifier options.
+  bool falsify_first = true;
+  /// After an UNSAFE verdict, run train::concretize_activation from the
+  /// first property training image to search the *input* space for an
+  /// image whose layer-l features approach the activation witness (the
+  /// paper's "construct a counter example ... by using adversarial
+  /// perturbation techniques"). Off by default: it is a best-effort
+  /// gradient search whose result lands in WorkflowReport, not a
+  /// verdict change.
+  bool concretize_witnesses = false;
+  /// Start-point pool shared across campaigns: run_campaign contributes
+  /// MILP counterexamples and B&B frontier near-misses here and seeds
+  /// each entry's stage-0 attack from the snapshot under its risk name.
+  /// Null = run_campaign uses a private per-campaign pool.
+  std::shared_ptr<CounterexamplePool> counterexample_pool;
 };
 
 struct WorkflowReport {
@@ -67,6 +92,15 @@ struct WorkflowReport {
 
   SafetyCase safety;
   TableOneEstimate table_one;
+
+  /// Input-space witness from `concretize_witnesses`: an image whose
+  /// layer-l features approach the activation counterexample, plus the
+  /// residual ||f^(l)(input) - n̂_l||_inf. Best-effort — a large
+  /// distance means the activation witness may not be realizable from
+  /// the ODD images tried.
+  bool have_input_witness = false;
+  Tensor input_witness;
+  double input_witness_distance = 0.0;
 
   /// Human-readable multi-line report.
   std::string to_string() const;

@@ -47,6 +47,11 @@ struct SharedSearch {
   bool found_first_feasible = false;
   bool node_budget_exhausted = false;
   bool lp_iteration_limit_hit = false;
+  /// Best fractional relaxation point expanded so far (frontier seed for
+  /// counterexample recycling on node-limit stops). Guarded by `mutex`.
+  bool have_frontier_point = false;
+  double frontier_objective = 0.0;
+  std::vector<double> frontier_values;
   std::exception_ptr error;
 
   /// Node-local cut pool (CutOptions::local): append-only rows every
@@ -282,6 +287,16 @@ class Worker {
         lock.unlock();
         frontier_.complete();
         continue;
+      }
+
+      // Remember the most optimistic fractional point expanded: if the
+      // node budget runs out before a proof, it is the search's best
+      // near-miss and seeds the falsifier's start-point pool.
+      if (!shared_.have_frontier_point ||
+          better(lp.objective, shared_.frontier_objective)) {
+        shared_.have_frontier_point = true;
+        shared_.frontier_objective = lp.objective;
+        shared_.frontier_values = lp.values;
       }
 
       // Publish this node's cuts; every worker folds them in before its
@@ -526,6 +541,10 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
     result.status = MilpStatus::kFeasible;
   } else if (shared.node_budget_exhausted) {
     result.status = shared.have_incumbent ? MilpStatus::kFeasible : MilpStatus::kNodeLimit;
+    if (!shared.have_incumbent && shared.have_frontier_point) {
+      result.have_frontier_point = true;
+      result.frontier_values = std::move(shared.frontier_values);
+    }
     // The frontier that survived the stop bounds every unexplored
     // integral point: report it, and the optimality gap against the
     // incumbent (or the caller's bound target) — the "how close did

@@ -89,6 +89,12 @@ struct MilpResult {
   /// |incumbent − best_bound|, or |options.bound_target − best_bound|
   /// when the search holds no incumbent; 0 on a finished proof.
   double best_bound_gap = 0.0;
+  /// Relaxation point of the best fractional node the search expanded
+  /// (by objective, in the search direction). Surfaced on node-limit
+  /// stops without an incumbent so callers can recycle the near-miss as
+  /// attack seed material — the staged falsifier's start-point pool.
+  bool have_frontier_point = false;
+  std::vector<double> frontier_values;
 };
 
 struct BranchAndBoundOptions {

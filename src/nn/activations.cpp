@@ -13,6 +13,13 @@ Tensor ElementwiseActivation::forward(const Tensor& x) const {
   return y;
 }
 
+Tensor ElementwiseActivation::backward_input(const Tensor& x, const Tensor& grad_out) const {
+  check(grad_out.numel() == x.numel(), "activation: gradient size mismatch");
+  Tensor gx = grad_out;
+  for (std::size_t i = 0; i < gx.numel(); ++i) gx[i] *= derivative(x[i], apply(x[i]));
+  return gx;
+}
+
 Tensor ElementwiseActivation::forward_train(const Tensor& x, std::size_t slot) {
   Tensor y = forward(x);
   cached_inputs_[slot] = x;

@@ -21,6 +21,7 @@ class ElementwiseActivation : public Layer {
   Shape output_shape() const override { return shape_; }
 
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
 
  protected:
   /// Scalar activation value.

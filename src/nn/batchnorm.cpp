@@ -30,6 +30,15 @@ Tensor BatchNorm::forward(const Tensor& x) const {
   return y;
 }
 
+Tensor BatchNorm::backward_input(const Tensor& /*x*/, const Tensor& grad_out) const {
+  // Frozen inference form y_i = scale_i * x_i + shift_i, so the VJP is a
+  // per-feature rescale by the effective scale.
+  check(grad_out.numel() == features_, "BatchNorm::backward_input: gradient length mismatch");
+  Tensor gx = grad_out;
+  for (std::size_t i = 0; i < features_; ++i) gx[i] *= effective_scale(i);
+  return gx;
+}
+
 double BatchNorm::effective_scale(std::size_t feature) const {
   return gamma_[feature] / std::sqrt(running_var_[feature] + eps_);
 }

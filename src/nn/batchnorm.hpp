@@ -25,6 +25,7 @@ class BatchNorm : public Layer {
   Shape output_shape() const override { return Shape{features_}; }
 
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
   std::vector<Tensor> forward_batch(const std::vector<Tensor>& xs, bool training) override;
   std::vector<Tensor> backward_batch(const std::vector<Tensor>& grad_out) override;
   std::vector<ParamRef> params() override;

@@ -80,6 +80,38 @@ Tensor Conv2D::forward(const Tensor& x_in) const {
   return y;
 }
 
+Tensor Conv2D::backward_input(const Tensor& /*x*/, const Tensor& grad_out_in) const {
+  const Tensor grad_out =
+      grad_out_in.shape().rank() == 3 ? grad_out_in : grad_out_in.reshaped(output_shape());
+  Tensor gx(input_shape());
+  const std::size_t k2 = kernel_ * kernel_;
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    for (std::size_t orow = 0; orow < out_height_; ++orow) {
+      for (std::size_t ocol = 0; ocol < out_width_; ++ocol) {
+        const double g = grad_out.at3(oc, orow, ocol);
+        if (g == 0.0) continue;
+        const long base_r = static_cast<long>(orow * stride_) - static_cast<long>(padding_);
+        const long base_c = static_cast<long>(ocol * stride_) - static_cast<long>(padding_);
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          const std::size_t wbase = (oc * in_channels_ + ic) * k2;
+          for (std::size_t kr = 0; kr < kernel_; ++kr) {
+            for (std::size_t kc = 0; kc < kernel_; ++kc) {
+              const long r = base_r + static_cast<long>(kr);
+              const long c = base_c + static_cast<long>(kc);
+              if (r < 0 || c < 0 || r >= static_cast<long>(in_height_) ||
+                  c >= static_cast<long>(in_width_))
+                continue;
+              gx.at3(ic, static_cast<std::size_t>(r), static_cast<std::size_t>(c)) +=
+                  g * weight_[wbase + kr * kernel_ + kc];
+            }
+          }
+        }
+      }
+    }
+  }
+  return gx;
+}
+
 std::vector<ParamRef> Conv2D::params() {
   return {{"weight", &weight_, &weight_grad_}, {"bias", &bias_, &bias_grad_}};
 }

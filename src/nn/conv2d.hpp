@@ -28,6 +28,7 @@ class Conv2D : public Layer {
   Shape output_shape() const override { return Shape{out_channels_, out_height_, out_width_}; }
 
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
 

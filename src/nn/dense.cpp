@@ -40,6 +40,17 @@ Tensor Dense::forward(const Tensor& x) const {
   return y;
 }
 
+Tensor Dense::backward_input(const Tensor& /*x*/, const Tensor& grad_out) const {
+  check(grad_out.numel() == out_features_, "Dense::backward_input: gradient length mismatch");
+  Tensor gx(Shape{in_features_});
+  for (std::size_t r = 0; r < out_features_; ++r) {
+    const double g = grad_out[r];
+    if (g == 0.0) continue;
+    for (std::size_t c = 0; c < in_features_; ++c) gx[c] += weight_.at2(r, c) * g;
+  }
+  return gx;
+}
+
 std::vector<ParamRef> Dense::params() {
   return {{"weight", &weight_, &weight_grad_}, {"bias", &bias_, &bias_grad_}};
 }

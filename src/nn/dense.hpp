@@ -25,6 +25,7 @@ class Dense : public Layer {
   Shape output_shape() const override { return Shape{out_features_}; }
 
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
   std::vector<ParamRef> params() override;
   std::unique_ptr<Layer> clone() const override;
 

@@ -9,6 +9,10 @@ Tensor Flatten::forward(const Tensor& x) const {
   return x.reshaped(Shape{in_shape_.numel()});
 }
 
+Tensor Flatten::backward_input(const Tensor& /*x*/, const Tensor& grad_out) const {
+  return grad_out.reshaped(in_shape_);
+}
+
 std::unique_ptr<Layer> Flatten::clone() const { return std::make_unique<Flatten>(in_shape_); }
 
 Tensor Flatten::forward_train(const Tensor& x, std::size_t /*slot*/) { return forward(x); }

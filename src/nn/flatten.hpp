@@ -16,6 +16,7 @@ class Flatten : public Layer {
   Shape output_shape() const override { return Shape{in_shape_.numel()}; }
 
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
   std::unique_ptr<Layer> clone() const override;
 
  protected:

@@ -63,6 +63,13 @@ class Layer {
   /// and accumulates parameter gradients (callers zero them per step).
   virtual std::vector<Tensor> backward_batch(const std::vector<Tensor>& grad_out);
 
+  /// Stateless vector-Jacobian product: gradient of a scalar objective
+  /// w.r.t. the layer input, given the input `x` and the objective's
+  /// gradient w.r.t. the layer output at `x`. Never touches training
+  /// caches and never accumulates parameter gradients, so concurrent
+  /// attack workers can share one const network.
+  virtual Tensor backward_input(const Tensor& x, const Tensor& grad_out) const = 0;
+
   /// Learnable parameters (empty for stateless layers).
   virtual std::vector<ParamRef> params() { return {}; }
 

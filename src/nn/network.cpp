@@ -63,6 +63,27 @@ std::vector<Tensor> Network::all_layer_outputs(const Tensor& x) const {
   return outs;
 }
 
+Tensor Network::input_gradient(const Tensor& x, const Tensor& grad_out, std::size_t from_layer,
+                               std::size_t to_layer) const {
+  check(from_layer <= to_layer && to_layer <= layers_.size(),
+        "Network::input_gradient: layer range out of bounds");
+  std::vector<Tensor> inputs;
+  inputs.reserve(to_layer - from_layer);
+  Tensor v = x;
+  for (std::size_t i = from_layer; i < to_layer; ++i) {
+    inputs.push_back(v);
+    v = layers_[i]->forward(v);
+  }
+  Tensor g = grad_out;
+  for (std::size_t i = to_layer; i-- > from_layer;)
+    g = layers_[i]->backward_input(inputs[i - from_layer], g);
+  return g;
+}
+
+Tensor Network::input_gradient(const Tensor& x, const Tensor& grad_out) const {
+  return input_gradient(x, grad_out, 0, layers_.size());
+}
+
 std::vector<Tensor> Network::forward_batch(const std::vector<Tensor>& xs, bool training) {
   std::vector<Tensor> vs = xs;
   for (auto& layer : layers_) vs = layer->forward_batch(vs, training);

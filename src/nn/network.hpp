@@ -47,6 +47,17 @@ class Network {
   /// Activations after every layer: result[k] = f^(k+1)(x), size L.
   std::vector<Tensor> all_layer_outputs(const Tensor& x) const;
 
+  /// Gradient of grad_out · f_[from,to)(x) with respect to `x`, where
+  /// f_[from,to) runs layers from..to-1 on a layer-`from` activation.
+  /// Stateless (forward + backward_input chain), so it is safe to call
+  /// concurrently on a shared const network — the property the staged
+  /// falsifier relies on to attack in parallel without cloning.
+  Tensor input_gradient(const Tensor& x, const Tensor& grad_out, std::size_t from_layer,
+                        std::size_t to_layer) const;
+
+  /// Whole-network convenience overload: d(grad_out · f(x)) / dx.
+  Tensor input_gradient(const Tensor& x, const Tensor& grad_out) const;
+
   /// Training-mode forward through all layers; caches for backward.
   std::vector<Tensor> forward_batch(const std::vector<Tensor>& xs, bool training);
 

@@ -36,6 +36,32 @@ Tensor MaxPool2D::forward(const Tensor& x_in) const {
   return y;
 }
 
+Tensor MaxPool2D::backward_input(const Tensor& x_in, const Tensor& grad_out) const {
+  // Recomputes the argmax from `x` instead of reading the training cache;
+  // ties resolve to the first window cell, matching forward_train.
+  const Tensor x = x_in.shape().rank() == 3 ? x_in : x_in.reshaped(input_shape());
+  Tensor gx(input_shape());
+  std::size_t out_idx = 0;
+  for (std::size_t c = 0; c < channels_; ++c)
+    for (std::size_t orow = 0; orow < out_height_; ++orow)
+      for (std::size_t ocol = 0; ocol < out_width_; ++ocol, ++out_idx) {
+        double best = -std::numeric_limits<double>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t wr = 0; wr < window_; ++wr)
+          for (std::size_t wc = 0; wc < window_; ++wc) {
+            const std::size_t r = orow * window_ + wr;
+            const std::size_t col = ocol * window_ + wc;
+            const double v = x.at3(c, r, col);
+            if (v > best) {
+              best = v;
+              best_idx = (c * in_height_ + r) * in_width_ + col;
+            }
+          }
+        gx[best_idx] += grad_out[out_idx];
+      }
+  return gx;
+}
+
 std::unique_ptr<Layer> MaxPool2D::clone() const {
   return std::make_unique<MaxPool2D>(channels_, in_height_, in_width_, window_);
 }
@@ -91,6 +117,19 @@ Tensor AvgPool2D::forward(const Tensor& x_in) const {
         y.at3(c, orow, ocol) = acc * inv_area;
       }
   return y;
+}
+
+Tensor AvgPool2D::backward_input(const Tensor& /*x*/, const Tensor& grad_out) const {
+  Tensor gx(input_shape());
+  const double inv_area = 1.0 / static_cast<double>(window_ * window_);
+  std::size_t out_idx = 0;
+  for (std::size_t c = 0; c < channels_; ++c)
+    for (std::size_t orow = 0; orow < out_height_; ++orow)
+      for (std::size_t ocol = 0; ocol < out_width_; ++ocol, ++out_idx)
+        for (std::size_t wr = 0; wr < window_; ++wr)
+          for (std::size_t wc = 0; wc < window_; ++wc)
+            gx.at3(c, orow * window_ + wr, ocol * window_ + wc) += grad_out[out_idx] * inv_area;
+  return gx;
 }
 
 std::unique_ptr<Layer> AvgPool2D::clone() const {

@@ -33,6 +33,7 @@ class MaxPool2D : public Pool2D {
   using Pool2D::Pool2D;
   LayerKind kind() const override { return LayerKind::kMaxPool2D; }
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
   std::unique_ptr<Layer> clone() const override;
 
  protected:
@@ -51,6 +52,7 @@ class AvgPool2D : public Pool2D {
   using Pool2D::Pool2D;
   LayerKind kind() const override { return LayerKind::kAvgPool2D; }
   Tensor forward(const Tensor& x) const override;
+  Tensor backward_input(const Tensor& x, const Tensor& grad_out) const override;
   std::unique_ptr<Layer> clone() const override;
 
  protected:

@@ -4,18 +4,17 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/rng.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace dpv::train {
 
 namespace {
 
-Tensor input_gradient(nn::Network& net, const Tensor& input, const Tensor& target,
-                      const Loss& loss) {
-  net.zero_grad();
-  const std::vector<Tensor> ys = net.forward_batch({input}, /*training=*/true);
-  const std::vector<Tensor> gxs = net.backward_batch({loss.gradient(ys[0], target)});
-  return gxs[0];
+Tensor loss_input_gradient(const nn::Network& net, const Tensor& input, const Tensor& target,
+                           const Loss& loss) {
+  const Tensor pred = net.forward(input);
+  return net.input_gradient(input, loss.gradient(pred, target));
 }
 
 void project(Tensor& x, const Tensor& center, double epsilon, double lo, double hi) {
@@ -25,27 +24,11 @@ void project(Tensor& x, const Tensor& center, double epsilon, double lo, double 
   }
 }
 
-}  // namespace
-
-Tensor fgsm_attack(nn::Network& net, const Tensor& input, const Tensor& target,
-                   const Loss& loss, const AttackConfig& config) {
-  check(config.epsilon > 0.0, "fgsm_attack: epsilon must be positive");
-  const Tensor grad = input_gradient(net, input, target, loss);
-  Tensor adv = input;
-  for (std::size_t i = 0; i < adv.numel(); ++i) {
-    const double sign = grad[i] > 0.0 ? 1.0 : (grad[i] < 0.0 ? -1.0 : 0.0);
-    adv[i] += config.epsilon * sign;
-  }
-  project(adv, input, config.epsilon, config.clamp_lo, config.clamp_hi);
-  return adv;
-}
-
-Tensor pgd_attack(nn::Network& net, const Tensor& input, const Tensor& target, const Loss& loss,
-                  const AttackConfig& config) {
-  check(config.steps > 0, "pgd_attack: steps must be positive");
-  Tensor adv = input;
+Tensor pgd_from(const nn::Network& net, const Tensor& start, const Tensor& input,
+                const Tensor& target, const Loss& loss, const AttackConfig& config) {
+  Tensor adv = start;
   for (std::size_t step = 0; step < config.steps; ++step) {
-    const Tensor grad = input_gradient(net, adv, target, loss);
+    const Tensor grad = loss_input_gradient(net, adv, target, loss);
     for (std::size_t i = 0; i < adv.numel(); ++i) {
       const double sign = grad[i] > 0.0 ? 1.0 : (grad[i] < 0.0 ? -1.0 : 0.0);
       adv[i] += config.step_size * sign;
@@ -55,31 +38,66 @@ Tensor pgd_attack(nn::Network& net, const Tensor& input, const Tensor& target, c
   return adv;
 }
 
+}  // namespace
+
+Tensor fgsm_attack(const nn::Network& net, const Tensor& input, const Tensor& target,
+                   const Loss& loss, const AttackConfig& config) {
+  check(config.epsilon > 0.0, "fgsm_attack: epsilon must be positive");
+  const Tensor grad = loss_input_gradient(net, input, target, loss);
+  Tensor adv = input;
+  for (std::size_t i = 0; i < adv.numel(); ++i) {
+    const double sign = grad[i] > 0.0 ? 1.0 : (grad[i] < 0.0 ? -1.0 : 0.0);
+    adv[i] += config.epsilon * sign;
+  }
+  project(adv, input, config.epsilon, config.clamp_lo, config.clamp_hi);
+  return adv;
+}
+
+Tensor pgd_attack(const nn::Network& net, const Tensor& input, const Tensor& target,
+                  const Loss& loss, const AttackConfig& config) {
+  check(config.steps > 0, "pgd_attack: steps must be positive");
+  check(config.restarts > 0, "pgd_attack: restarts must be positive");
+  Rng rng(config.seed);
+  Tensor best_adv = pgd_from(net, input, input, target, loss, config);
+  double best_loss = loss.value(net.forward(best_adv), target);
+  for (std::size_t r = 1; r < config.restarts; ++r) {
+    Tensor start = input;
+    for (std::size_t i = 0; i < start.numel(); ++i)
+      start[i] += rng.uniform(-config.epsilon, config.epsilon);
+    project(start, input, config.epsilon, config.clamp_lo, config.clamp_hi);
+    const Tensor adv = pgd_from(net, start, input, target, loss, config);
+    const double l = loss.value(net.forward(adv), target);
+    if (l > best_loss) {
+      best_loss = l;
+      best_adv = adv;
+    }
+  }
+  return best_adv;
+}
+
 ConcretizationResult concretize_activation(const nn::Network& net, std::size_t l,
                                            const Tensor& target_activation, const Tensor& seed,
                                            std::size_t max_iterations, double step_size,
                                            double clamp_lo, double clamp_hi) {
   check(l <= net.layer_count(), "concretize_activation: layer index out of range");
-  nn::Network prefix = net.clone_prefix(l);
-  check(prefix.layer_count() > 0, "concretize_activation: empty prefix");
-  check(prefix.output_shape().numel() == target_activation.numel(),
+  check(l > 0, "concretize_activation: empty prefix");
+  check(net.forward_prefix(seed, l).numel() == target_activation.numel(),
         "concretize_activation: target activation size mismatch");
 
   const MseLoss feature_loss;
   ConcretizationResult result;
   result.input = seed;
   Tensor x = seed;
-  double best = max_abs_diff(prefix.forward(x), target_activation);
+  double best = max_abs_diff(net.forward_prefix(x, l), target_activation);
   result.distance = best;
 
   for (std::size_t it = 0; it < max_iterations; ++it) {
-    prefix.zero_grad();
-    const std::vector<Tensor> ys = prefix.forward_batch({x}, /*training=*/true);
-    const std::vector<Tensor> gxs =
-        prefix.backward_batch({feature_loss.gradient(ys[0], target_activation)});
+    const Tensor features = net.forward_prefix(x, l);
+    const Tensor gx =
+        net.input_gradient(x, feature_loss.gradient(features, target_activation), 0, l);
     for (std::size_t i = 0; i < x.numel(); ++i)
-      x[i] = std::clamp(x[i] - step_size * gxs[0][i], clamp_lo, clamp_hi);
-    const double dist = max_abs_diff(prefix.forward(x), target_activation);
+      x[i] = std::clamp(x[i] - step_size * gx[i], clamp_lo, clamp_hi);
+    const double dist = max_abs_diff(net.forward_prefix(x, l), target_activation);
     result.iterations = it + 1;
     if (dist < best) {
       best = dist;

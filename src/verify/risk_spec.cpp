@@ -1,5 +1,8 @@
 #include "verify/risk_spec.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -17,6 +20,26 @@ bool OutputInequality::satisfied_by(const Tensor& output, double tolerance) cons
       return lhs >= rhs - tolerance;
     case lp::RowSense::kEqual:
       return std::abs(lhs - rhs) <= tolerance;
+  }
+  throw InternalError("OutputInequality: unknown sense");
+}
+
+double OutputInequality::lhs(const Tensor& output) const {
+  check(output.numel() == coeffs.size(), "OutputInequality: output dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) acc += coeffs[i] * output[i];
+  return acc;
+}
+
+double OutputInequality::margin(const Tensor& output) const {
+  const double v = lhs(output);
+  switch (sense) {
+    case lp::RowSense::kLessEqual:
+      return rhs - v;
+    case lp::RowSense::kGreaterEqual:
+      return v - rhs;
+    case lp::RowSense::kEqual:
+      return -std::abs(v - rhs);
   }
   throw InternalError("OutputInequality: unknown sense");
 }
@@ -84,6 +107,12 @@ bool RiskSpec::satisfied_by(const Tensor& output, double tolerance) const {
   for (const OutputInequality& ineq : inequalities_)
     if (!ineq.satisfied_by(output, tolerance)) return false;
   return true;
+}
+
+double RiskSpec::min_margin(const Tensor& output) const {
+  double worst = std::numeric_limits<double>::infinity();
+  for (const OutputInequality& ineq : inequalities_) worst = std::min(worst, ineq.margin(output));
+  return worst;
 }
 
 }  // namespace dpv::verify

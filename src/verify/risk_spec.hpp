@@ -23,6 +23,15 @@ struct OutputInequality {
   double rhs = 0.0;
 
   bool satisfied_by(const Tensor& output, double tolerance = 1e-9) const;
+
+  /// The inequality's left-hand side sum_i coeffs[i] * output[i].
+  double lhs(const Tensor& output) const;
+
+  /// Signed satisfaction margin: positive when the inequality holds with
+  /// that much slack, negative by the violation amount. kEqual margins
+  /// are -|lhs - rhs| (at most zero). The staged falsifier ascends this.
+  double margin(const Tensor& output) const;
+
   std::string to_string() const;
 };
 
@@ -52,6 +61,11 @@ class RiskSpec {
   /// True when every inequality holds for `output` (i.e. the output is in
   /// the risk region).
   bool satisfied_by(const Tensor& output, double tolerance = 1e-9) const;
+
+  /// Minimum signed margin over all inequalities: the output is inside
+  /// the risk region iff this is >= 0, and the most-violated inequality
+  /// is the binding one. Empty specs report +infinity (vacuously in).
+  double min_margin(const Tensor& output) const;
 
  private:
   std::string name_;

@@ -21,9 +21,24 @@ const char* verdict_name(Verdict verdict) {
   return "?";
 }
 
+const char* decision_stage_name(DecisionStage stage) {
+  switch (stage) {
+    case DecisionStage::kAttack:
+      return "attack";
+    case DecisionStage::kZonotope:
+      return "zonotope";
+    case DecisionStage::kMilp:
+      return "milp";
+  }
+  return "?";
+}
+
 std::string VerificationResult::summary() const {
   std::ostringstream out;
-  out << verdict_name(verdict) << " (relu=" << encoding.relu_neurons
+  out << verdict_name(verdict);
+  if (decided_by != DecisionStage::kMilp)
+    out << " [" << decision_stage_name(decided_by) << "]";
+  out << " (relu=" << encoding.relu_neurons
       << ", stable=" << encoding.stable_relus << ", binaries=" << encoding.binaries
       << ", nodes=" << milp_nodes << ", lp-iters=" << lp_iterations << ", backend="
       << solver::lp_backend_kind_name(backend);
@@ -65,6 +80,44 @@ TailVerifier::TailVerifier(TailVerifierOptions options) : options_(std::move(opt
 
 VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   VerificationResult result;
+
+  // ---- Staged pipeline, stages 0 and 1 ------------------------------
+  // Stage 0 settles UNSAFE with a validated concrete witness (skipping
+  // the encoding entirely); stage 1 settles SAFE from a sound output-
+  // range over-approximation. Both are conservative: anything they
+  // decide, the MILP below would have decided the same way, so verdicts
+  // stay compatible with a pipeline-off run — only UNKNOWNs can change.
+  if (options_.falsify.enabled) {
+    const auto attack_start = std::chrono::steady_clock::now();
+    const FalsifyReport attack = falsify_query(query, options_.falsify);
+    result.attack_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - attack_start).count();
+    result.attack_starts = attack.starts;
+    result.attack_seeds_tried = attack.seeds_tried;
+    if (attack.falsified) {
+      result.verdict = Verdict::kUnsafe;
+      result.decided_by = DecisionStage::kAttack;
+      result.counterexample_activation = attack.counterexample_activation;
+      result.counterexample_output = attack.counterexample_output;
+      result.characterizer_logit = attack.characterizer_logit;
+      // validate_witness already re-ran the concrete tail with a
+      // stricter margin than validation_tolerance.
+      result.counterexample_validated = true;
+      return result;
+    }
+    if (options_.falsify.zonotope_prove) {
+      const auto zono_start = std::chrono::steady_clock::now();
+      const BoundProofReport proof = prove_by_bounds(query, options_.falsify);
+      result.zonotope_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - zono_start).count();
+      if (proof.proved_safe) {
+        result.verdict = Verdict::kSafe;
+        result.decided_by = DecisionStage::kZonotope;
+        result.note = proof.reason;
+        return result;
+      }
+    }
+  }
 
   // Encode (or stamp out from the shared base) and time it separately
   // from the solve, so encode-vs-solve cost is visible per query. On a
@@ -161,6 +214,17 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
           note << "; best-bound gap " << milp_result.best_bound_gap
                << " (open relaxation margin beyond the risk threshold)";
         }
+      }
+      // Recycle the best open relaxation point as attack seed material:
+      // restricted to the layer-l variables it is a near-miss start for
+      // the falsifier on this or a related query.
+      if (milp_result.have_frontier_point) {
+        const std::size_t n = encoding.input_vars.size();
+        Tensor frontier(Shape{n});
+        for (std::size_t i = 0; i < n; ++i)
+          frontier[i] = milp_result.frontier_values[encoding.input_vars[i]];
+        result.have_frontier_activation = true;
+        result.frontier_activation = std::move(frontier);
       }
       result.note = note.str();
       break;

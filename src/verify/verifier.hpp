@@ -15,6 +15,7 @@
 
 #include "verify/encoder.hpp"
 #include "verify/encoding_cache.hpp"
+#include "verify/falsifier.hpp"
 
 namespace dpv::verify {
 
@@ -25,6 +26,17 @@ enum class Verdict {
 };
 
 const char* verdict_name(Verdict verdict);
+
+/// Which stage of the staged falsify-then-prove pipeline produced the
+/// final verdict. kMilp also covers UNKNOWN results (the MILP is always
+/// the last stage to run) and every verdict of a pipeline-off run.
+enum class DecisionStage {
+  kAttack,    ///< stage 0: multi-start PGD on the risk margin
+  kZonotope,  ///< stage 1: zonotope/interval output-range proof
+  kMilp,      ///< stage 2: encoding + branch & bound
+};
+
+const char* decision_stage_name(DecisionStage stage);
 
 struct VerificationResult {
   Verdict verdict = Verdict::kUnknown;
@@ -67,6 +79,20 @@ struct VerificationResult {
   /// Set when the verdict is kUnknown for a reason worth surfacing (e.g.
   /// an LP iteration limit rather than the node budget).
   std::string note;
+
+  /// Staged-pipeline funnel: which stage decided, and what each cheap
+  /// stage cost. attack/zonotope seconds stay 0 when the pipeline is
+  /// off; milp cost is encode_seconds + solve_seconds as before.
+  DecisionStage decided_by = DecisionStage::kMilp;
+  double attack_seconds = 0.0;
+  double zonotope_seconds = 0.0;
+  std::size_t attack_starts = 0;       ///< PGD starts consumed by stage 0
+  std::size_t attack_seeds_tried = 0;  ///< recycled pool seeds consumed
+  /// Near-miss relaxation point from a node-limit MILP stop, mapped to
+  /// layer-l activation space — recycled into the campaign's start-point
+  /// pool to seed the next attack on a related query.
+  bool have_frontier_activation = false;
+  Tensor frontier_activation;
 
   std::string summary() const;
 };
@@ -111,6 +137,13 @@ struct TailVerifierOptions {
   /// rows. Null = fresh encode per query. The cache is thread-safe and
   /// meant to be shared across a campaign's worker pool.
   std::shared_ptr<EncodingCache> encoding_cache;
+  /// Staged falsify-then-prove pipeline (src/verify/falsifier.hpp).
+  /// When `falsify.enabled`, verify() runs multi-start PGD on the risk
+  /// margin first (UNSAFE settles with a validated witness and no
+  /// encoding), then the zonotope bound proof (cheap SAFE), and only
+  /// survivors pay for the MILP. Off by default at this level; the
+  /// workflow's `falsify_first` flag turns it on for campaigns.
+  FalsifyOptions falsify = {};
 };
 
 class TailVerifier {

@@ -292,6 +292,9 @@ TEST(Campaign, BudgetReallocationRescuesStarvedEntries) {
 
   WorkflowConfig config;
   config.characterizer.trainer.epochs = 60;
+  // Node-budget mechanics need the B&B to actually run out of nodes;
+  // the staged pipeline would settle the easy entries without it.
+  config.falsify_first = false;
 
   // Find a risk threshold whose uncapped search needs real branching
   // (near the reachable boundary either verdict qualifies — a starved

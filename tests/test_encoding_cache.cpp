@@ -227,6 +227,9 @@ TEST(EncodingCacheCampaign, FreshAndCachedPathsAreBitIdenticalAcrossThreads) {
 
   core::WorkflowConfig config;
   config.characterizer.trainer.epochs = 20;
+  // The cache-accounting assertions need every entry to reach the
+  // encoder; the staged pipeline would settle these easy queries first.
+  config.falsify_first = false;
 
   std::vector<std::string> tables;
   std::vector<core::CampaignReport> kept;

@@ -1,23 +1,32 @@
 #!/usr/bin/env python3
-"""Compare a freshly generated BENCH_simplex.json against the committed
-baseline snapshot in bench/baselines/BENCH_simplex.json.
+"""Compare a freshly generated bench JSON against its committed baseline
+snapshot in bench/baselines/.
+
+Two bench shapes are understood, dispatched on the file's "bench" field:
+
+  * the LP-core chain (BENCH_simplex.json, the default): per-config
+    pivot/node counters plus the headline speedup ratios, and
+  * the staged-pipeline funnel (BENCH_funnel.json, "bench": "e2_funnel"):
+    per-config funnel counters (attack-falsified / zonotope-proved /
+    milp-decided / unknown), the verdict-compatibility and
+    witness-validation flags, and the battery speedup ratio.
 
 CI machines are heterogeneous, so absolute wall-clock seconds are NOT
-compared.  The contract is on machine-independent quantities:
-
-  * per-config pivot and node counts (same nets, same seeds, same node
-    budget -> deterministic modulo algorithm changes), and
-  * the headline speedup *ratios* (pr5-baseline vs the shipped LP core),
-    which divide out the machine constant.
+compared.  The contract is on machine-independent quantities: counters
+(same nets, same seeds -> deterministic modulo algorithm changes) and
+speedup *ratios*, which divide out the machine constant.
 
 A drift beyond --tolerance (default 20%) on any of those fails the run,
-as does a verdict-parity break or a headline widest-tail speedup below
---min-speedup (default 1.5x, the PR's acceptance bar).
+as does a verdict-parity/compatibility break or a headline speedup below
+--min-speedup (default 1.5x, the PR's acceptance bar; applied to the
+widest-tail ratio for the LP chain and the battery ratio for the funnel).
 
 Usage:
   tools/bench_compare.py build/BENCH_simplex.json \
       [--baseline bench/baselines/BENCH_simplex.json] \
       [--tolerance 0.20] [--min-speedup 1.5]
+  tools/bench_compare.py build/BENCH_funnel.json \
+      --baseline bench/baselines/BENCH_funnel.json
 """
 
 import argparse
@@ -32,10 +41,67 @@ COUNTED = ("pivots", "nodes", "refactorizations", "updates")
 # (faster than baseline is never a failure).
 RATIO_KEYS = ("speedup_battery", "speedup_widest_tail")
 
+# Funnel counters: who settled how many queries. Small deterministic
+# integers, so drift is measured against max(baseline, 1).
+FUNNEL_COUNTED = ("attack_falsified", "zonotope_proved", "milp_proved",
+                  "milp_falsified", "unknown", "nodes")
+
 
 def fail(msg):
     print(f"bench_compare: FAIL: {msg}")
     return 1
+
+
+def compare_funnel(cur, base, args):
+    """Drift-check BENCH_funnel.json: funnel counters per config, the
+    soundness flags, and the battery speedup ratio."""
+    rc = 0
+
+    if not cur.get("verdict_compatibility", False):
+        rc |= fail("verdict_compatibility is false in the current run "
+                   "(a decided verdict changed between falsify off and on)")
+    if not cur.get("all_unsafe_validated", False):
+        rc |= fail("all_unsafe_validated is false in the current run "
+                   "(an UNSAFE verdict lacks a forward-pass-validated witness)")
+
+    cur_cfgs = {c["config"]: c for c in cur.get("configs", [])}
+    base_cfgs = {c["config"]: c for c in base.get("configs", [])}
+    missing = sorted(set(base_cfgs) - set(cur_cfgs))
+    if missing:
+        rc |= fail(f"configs missing from current run: {', '.join(missing)}")
+
+    for name, b in base_cfgs.items():
+        c = cur_cfgs.get(name)
+        if c is None:
+            continue
+        for key in FUNNEL_COUNTED:
+            bv, cv = b.get(key, 0), c.get(key, 0)
+            drift = abs(cv - bv) / max(bv, 1)
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            print(f"  {name:>14s} {key:>18s}: {bv:>6} -> {cv:>6} "
+                  f"({drift:+.1%}) {status}")
+            if drift > args.tolerance:
+                rc |= fail(f"{name}: {key} drifted {drift:.1%} "
+                           f"(> {args.tolerance:.0%})")
+
+    bv = base.get("headline", {}).get("speedup_battery", 0.0)
+    cv = cur.get("headline", {}).get("speedup_battery", 0.0)
+    floor = (1.0 - args.tolerance) * bv
+    print(f"  headline speedup_battery: baseline {bv:.2f}x -> current "
+          f"{cv:.2f}x (floor {floor:.2f}x)")
+    if bv > 0 and cv < floor:
+        rc |= fail(f"headline speedup_battery regressed: {cv:.2f}x < floor "
+                   f"{floor:.2f}x (baseline {bv:.2f}x)")
+    if cv < args.min_speedup:
+        rc |= fail(f"headline speedup_battery {cv:.2f}x is below the "
+                   f"{args.min_speedup:.1f}x acceptance bar")
+
+    if rc == 0:
+        print("bench_compare: OK (funnel counters within "
+              f"{args.tolerance:.0%} of baseline; battery speedup "
+              f"{cv:.2f}x >= {args.min_speedup:.1f}x; verdicts compatible, "
+              "all UNSAFE witnesses validated)")
+    return rc
 
 
 def main():
@@ -52,6 +118,9 @@ def main():
         cur = json.load(f)
     with open(args.baseline) as f:
         base = json.load(f)
+
+    if cur.get("bench") == "e2_funnel":
+        return compare_funnel(cur, base, args)
 
     rc = 0
 

@@ -12,7 +12,7 @@
 set -u
 cd "$(dirname "$0")/.." || exit 1
 
-DOCS="README.md docs/ARCHITECTURE.md src/milp/README.md src/solver/README.md src/verify/README.md"
+DOCS="README.md docs/ARCHITECTURE.md src/milp/README.md src/solver/README.md src/verify/README.md src/core/README.md src/train/README.md"
 fail=0
 
 for doc in $DOCS; do
@@ -121,6 +121,31 @@ check_symbol src/common  "argmax_violation"
 check_symbol src/common  "sparse_gather_dot"
 check_symbol src/common  "max_square_scaled"
 check_symbol src/common  "hadamard_fma"
+check_symbol src/verify  "FalsifyOptions"
+check_symbol src/verify  "falsify_query"
+check_symbol src/verify  "prove_by_bounds"
+check_symbol src/verify  "validate_witness"
+check_symbol src/verify  "require_margin"
+check_symbol src/verify  "DecisionStage"
+check_symbol src/verify  "decided_by"
+check_symbol src/verify  "frontier_activation"
+check_symbol src/verify  "min_margin"
+check_symbol src/verify  "validation_tolerance"
+check_symbol src/milp    "frontier_values"
+check_symbol src/core    "falsify_first"
+check_symbol src/core    "concretize_witnesses"
+check_symbol src/core    "counterexample_pool"
+check_symbol src/core    "CounterexamplePool"
+check_symbol src/core    "EscalationStep"
+check_symbol src/core    "funnel_attack_falsified"
+check_symbol src/core    "pool_points_contributed"
+check_symbol src/core    "attack_seeds_tried"
+check_symbol src/core    "input_witness_distance"
+check_symbol src/train   "AttackConfig"
+check_symbol src/train   "pgd_attack"
+check_symbol src/train   "concretize_activation"
+check_symbol src/nn      "input_gradient"
+check_symbol src/absint  "zonotope_supported"
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

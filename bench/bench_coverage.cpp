@@ -1,0 +1,171 @@
+// Scenario-coverage bench: compositional verification over the ODD grid.
+//
+// The paper verifies single (property, risk) queries; the coverage
+// engine (src/core/coverage.hpp) extends that to a safety argument over
+// the whole operational design domain. This bench runs the engine on the
+// shared testbed network against a reachable steering risk, at 1 and 4
+// worker threads, and checks the two acceptance bars:
+//
+//   * coverage: >= 60% of the domain volume certified within the round
+//     budget (the unsafe band around hard-left curvature is genuinely
+//     falsifiable, so 100% is not attainable -- the engine must isolate
+//     it and certify the rest), and
+//   * determinism: the coverage map and report tables are bit-identical
+//     across thread counts.
+//
+// Counters (cells certified / split depth / MILP nodes / wall per round)
+// land in BENCH_coverage.json, drift-checked against
+// bench/baselines/BENCH_coverage.json by tools/bench_compare.py.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common/testbed.hpp"
+#include "core/coverage.hpp"
+
+namespace {
+
+using namespace dpv;
+
+/// Reachable risk: hard-left steering. Ground truth heading is
+/// 0.8 * curvature, so scenarios with curvature <= -0.875 genuinely
+/// reach the risk region -- the hard-left end of the curvature range. The
+/// engine has to falsify that band and certify the remainder.
+verify::RiskSpec coverage_risk() {
+  verify::RiskSpec risk("heading-hard-left (heading <= -0.7)");
+  risk.output_at_most(1, 2, -0.7);
+  return risk;
+}
+
+core::CoverageOptions coverage_options(std::size_t threads) {
+  core::CoverageOptions options;
+  options.render = bench::testbed().model.config.render;
+  options.threads = threads;
+  return options;
+}
+
+struct CoverageStat {
+  std::string config;
+  core::CoverageReport report;
+  std::size_t cells_total = 0;
+  std::size_t cells_certified = 0;
+  std::size_t cells_unsafe = 0;
+  std::size_t cells_unknown = 0;
+  std::size_t max_depth = 0;
+  std::size_t milp_nodes = 0;
+};
+
+CoverageStat run_config(std::size_t threads) {
+  const bench::Testbed& tb = bench::testbed();
+  CoverageStat stat;
+  stat.config = "threads-" + std::to_string(threads);
+  stat.report = core::run_coverage(tb.model.network, tb.model.attach_layer, coverage_risk(),
+                                   core::OperationalDomain{}, coverage_options(threads));
+  for (const std::size_t id : stat.report.map.leaves()) {
+    const core::CoverageCell& cell = stat.report.map.cell(id);
+    switch (cell.status) {
+      case core::CellStatus::kCertified:
+        ++stat.cells_certified;
+        break;
+      case core::CellStatus::kUnsafe:
+        ++stat.cells_unsafe;
+        break;
+      default:
+        ++stat.cells_unknown;
+        break;
+    }
+  }
+  stat.cells_total = stat.report.map.cells().size();
+  for (const core::CoverageRound& round : stat.report.rounds) {
+    stat.max_depth = std::max(stat.max_depth, round.max_depth);
+    stat.milp_nodes += round.milp_nodes;
+  }
+  return stat;
+}
+
+void emit_json(const CoverageStat& one, const CoverageStat& four, bool determinism_ok) {
+  std::FILE* f = std::fopen("BENCH_coverage.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_coverage.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"coverage\",\n  \"configs\": [\n");
+  for (const CoverageStat* s : {&one, &four}) {
+    const core::CoverageReport& r = s->report;
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"certified_fraction\": %.6f, \"certified_unconditional_fraction\": %.6f, "
+                 "\"unsafe_fraction\": %.6f, \"cells_total\": %zu, "
+                 "\"cells_certified\": %zu, \"cells_unsafe\": %zu, \"cells_unknown\": %zu, "
+                 "\"max_depth\": %zu, \"rounds\": %zu, \"nodes\": %zu, "
+                 "\"scenario_falsified\": %zu, \"static_proved\": %zu, "
+                 "\"attack_falsified\": %zu, \"zonotope_proved\": %zu, "
+                 "\"milp_proved\": %zu, \"milp_falsified\": %zu, "
+                 "\"pool_points\": %zu, \"round_wall_seconds\": [",
+                 s->config.c_str(), r.wall_seconds, r.map.certified_volume_fraction(),
+                 r.map.certified_unconditional_fraction(), r.map.unsafe_volume_fraction(),
+                 s->cells_total, s->cells_certified, s->cells_unsafe, s->cells_unknown,
+                 s->max_depth, r.rounds.size(), s->milp_nodes, r.scenario_falsified,
+                 r.static_proved, r.attack_falsified, r.zonotope_proved, r.milp_proved,
+                 r.milp_falsified, r.pool_points_contributed);
+    for (std::size_t i = 0; i < r.rounds.size(); ++i)
+      std::fprintf(f, "%s%.6f", i == 0 ? "" : ", ", r.rounds[i].wall_seconds);
+    std::fprintf(f, "]}%s\n", s == &one ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"headline\": {\"certified_fraction\": %.6f, "
+               "\"min_certified_fraction\": 0.60},\n",
+               one.report.map.certified_volume_fraction());
+  std::fprintf(f, "  \"determinism_ok\": %s\n}\n", determinism_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_coverage.json\n");
+}
+
+void print_report() {
+  std::printf("\n=== Coverage: %s over the full ODD ===\n", coverage_risk().name().c_str());
+  const CoverageStat one = run_config(1);
+  const CoverageStat four = run_config(4);
+
+  // Determinism bar: everything the report derives from cell outcomes
+  // must be bit-identical across thread counts (wall times live in
+  // format_summary, which is allowed to differ).
+  const bool determinism_ok =
+      one.report.format_table() == four.report.format_table() &&
+      one.report.map.format_map() == four.report.map.format_map();
+
+  std::printf("%s", one.report.format_table().c_str());
+  std::printf("%s", one.report.format_summary().c_str());
+  std::printf("\nthreads-4 wall: %.3f s (threads-1: %.3f s); determinism across "
+              "thread counts: %s\n",
+              four.report.wall_seconds, one.report.wall_seconds,
+              determinism_ok ? "bit-identical" : "MISMATCH");
+  const double certified = one.report.map.certified_volume_fraction();
+  std::printf("certified volume: %.1f%% (acceptance floor 60%%): %s\n\n", 100.0 * certified,
+              certified >= 0.60 ? "PASS" : "FAIL");
+  emit_json(one, four, determinism_ok);
+}
+
+void BM_CoverageRun(benchmark::State& state) {
+  const bench::Testbed& tb = bench::testbed();
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const core::CoverageReport report =
+        core::run_coverage(tb.model.network, tb.model.attach_layer, coverage_risk(),
+                           core::OperationalDomain{}, coverage_options(threads));
+    benchmark::DoNotOptimize(report.map.certified_volume_fraction());
+    state.counters["certified_pct"] = 100.0 * report.map.certified_volume_fraction();
+    state.counters["cells"] = static_cast<double>(report.map.cells().size());
+  }
+}
+BENCHMARK(BM_CoverageRun)->Arg(1)->Arg(4)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

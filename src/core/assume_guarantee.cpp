@@ -50,9 +50,6 @@ SafetyCase AssumeGuaranteeVerifier::verify(const nn::Network& network,
                                            const verify::RiskSpec& risk,
                                            const std::vector<Tensor>& odd_inputs,
                                            const absint::Box& input_box) const {
-  SafetyCase result;
-  result.bounds_source = config_.bounds;
-
   verify::VerificationQuery query;
   query.network = &network;
   query.attach_layer = attach_layer;
@@ -63,18 +60,44 @@ SafetyCase AssumeGuaranteeVerifier::verify(const nn::Network& network,
     check(!input_box.empty(),
           "AssumeGuaranteeVerifier: static analysis requires the raw input box");
     query.input_box = absint::propagate_box_range(network, input_box, 0, attach_layer);
-  } else {
-    check(!odd_inputs.empty(),
-          "AssumeGuaranteeVerifier: monitor bounds require ODD training inputs");
-    const std::vector<Tensor> activations =
-        monitor::record_activations(network, attach_layer, odd_inputs);
-    monitor::DiffMonitor mon =
-        monitor::DiffMonitor::from_activations(activations, config_.monitor_margin);
-    query.input_box = mon.box();
-    if (config_.bounds == BoundsSource::kMonitorBoxDiff) query.diff_bounds = mon.diff_bounds();
-    result.deployed_monitor = std::move(mon);
+    return finish(query);
   }
 
+  check(!odd_inputs.empty(),
+        "AssumeGuaranteeVerifier: monitor bounds require ODD training inputs");
+  const std::vector<Tensor> activations =
+      monitor::record_activations(network, attach_layer, odd_inputs);
+  monitor::DiffMonitor mon =
+      monitor::DiffMonitor::from_activations(activations, config_.monitor_margin);
+  query.input_box = mon.box();
+  if (config_.bounds == BoundsSource::kMonitorBoxDiff) query.diff_bounds = mon.diff_bounds();
+  SafetyCase result = finish(query);
+  result.deployed_monitor = std::move(mon);
+  return result;
+}
+
+SafetyCase AssumeGuaranteeVerifier::verify_with_monitor(const nn::Network& network,
+                                                        std::size_t attach_layer,
+                                                        const nn::Network* characterizer,
+                                                        const verify::RiskSpec& risk,
+                                                        const monitor::DiffMonitor& mon) const {
+  check(config_.bounds != BoundsSource::kStaticAnalysis,
+        "AssumeGuaranteeVerifier: verify_with_monitor needs a monitor bounds source");
+  verify::VerificationQuery query;
+  query.network = &network;
+  query.attach_layer = attach_layer;
+  query.characterizer = characterizer;
+  query.risk = risk;
+  query.input_box = mon.box();
+  if (config_.bounds == BoundsSource::kMonitorBoxDiff) query.diff_bounds = mon.diff_bounds();
+  SafetyCase result = finish(query);
+  result.deployed_monitor = mon;
+  return result;
+}
+
+SafetyCase AssumeGuaranteeVerifier::finish(verify::VerificationQuery& query) const {
+  SafetyCase result;
+  result.bounds_source = config_.bounds;
   const verify::TailVerifier verifier(config_.verifier);
   result.verification = verifier.verify(query);
 

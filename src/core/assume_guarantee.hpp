@@ -87,7 +87,24 @@ class AssumeGuaranteeVerifier {
                     const std::vector<Tensor>& odd_inputs,
                     const absint::Box& input_box) const;
 
+  /// Same verification, but against a caller-built monitor: the query's
+  /// layer-l box (and, under kMonitorBoxDiff, diff bounds) come from
+  /// `mon` as-is — `monitor_margin` is NOT re-applied, the caller bakes
+  /// any margin in when building the monitor. This is the entry point
+  /// for callers that scope S̃ themselves (the scenario-coverage engine
+  /// builds one monitor per domain cell from that cell's renders).
+  /// `config_.bounds` must be a monitor source. A SAFE verdict is
+  /// conditional on deploying exactly `mon`.
+  SafetyCase verify_with_monitor(const nn::Network& network, std::size_t attach_layer,
+                                 const nn::Network* characterizer,
+                                 const verify::RiskSpec& risk,
+                                 const monitor::DiffMonitor& mon) const;
+
  private:
+  /// Shared tail: runs the verifier on a fully-built query, records the
+  /// pipeline trace, and maps the raw verdict to a SafetyVerdict.
+  SafetyCase finish(verify::VerificationQuery& query) const;
+
   AssumeGuaranteeConfig config_;
 };
 

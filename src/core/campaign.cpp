@@ -1,16 +1,13 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
 #include <iomanip>
 #include <memory>
-#include <mutex>
 #include <sstream>
-#include <thread>
 
 #include "common/check.hpp"
 #include "core/counterexample_pool.hpp"
+#include "core/parallel_pass.hpp"
 
 namespace dpv::core {
 
@@ -125,44 +122,20 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   // retry pass below reuses it with per-entry grants.
   std::vector<WorkflowReport> results(entries.size());
   const auto run_pass = [&](const std::vector<std::pair<std::size_t, std::size_t>>& jobs) {
-    std::atomic<std::size_t> next_job{0};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-    const auto run_jobs = [&] {
-      while (true) {
-        const std::size_t j = next_job.fetch_add(1);
-        if (j >= jobs.size()) return;
-        const std::size_t i = jobs[j].first;
-        WorkflowConfig job_config = entry_config;
-        if (jobs[j].second > 0)
-          job_config.assume_guarantee.verifier.milp.max_nodes = jobs[j].second;
-        // Per-entry deterministic attack seeding: derived from the
-        // configured falsify seed and the entry index (never thread or
-        // schedule state), plus recycled start points for this risk.
-        verify::FalsifyOptions& falsify = job_config.assume_guarantee.verifier.falsify;
-        falsify.seed += 0x9e3779b97f4a7c15ULL * (i + 1);
-        falsify.seed_points = pool->snapshot(entries[i].risk.name());
-        try {
-          results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
-                                    entries[i].property_val, entries[i].risk, job_config);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!error) error = std::current_exception();
-          return;
-        }
-      }
-    };
-    const std::size_t thread_count =
-        std::min(std::max<std::size_t>(config.campaign_threads, 1), jobs.size());
-    if (thread_count <= 1) {
-      run_jobs();
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(thread_count);
-      for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(run_jobs);
-      for (std::thread& t : pool) t.join();
-    }
-    if (error) std::rethrow_exception(error);
+    run_parallel_pass(jobs.size(), config.campaign_threads, [&](std::size_t j) {
+      const std::size_t i = jobs[j].first;
+      WorkflowConfig job_config = entry_config;
+      if (jobs[j].second > 0)
+        job_config.assume_guarantee.verifier.milp.max_nodes = jobs[j].second;
+      // Per-entry deterministic attack seeding: derived from the
+      // configured falsify seed and the entry index (never thread or
+      // schedule state), plus recycled start points for this risk.
+      verify::FalsifyOptions& falsify = job_config.assume_guarantee.verifier.falsify;
+      falsify.seed += 0x9e3779b97f4a7c15ULL * (i + 1);
+      falsify.seed_points = pool->snapshot(entries[i].risk.name());
+      results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
+                                entries[i].property_val, entries[i].risk, job_config);
+    });
   };
 
   std::vector<std::pair<std::size_t, std::size_t>> first_pass;

@@ -1,0 +1,43 @@
+#include "core/parallel_pass.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dpv::core {
+
+void run_parallel_pass(std::size_t count, std::size_t threads,
+                       const std::function<void(std::size_t)>& job) {
+  if (count == 0) return;
+  std::atomic<std::size_t> next_job{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  const auto worker = [&] {
+    while (true) {
+      const std::size_t j = next_job.fetch_add(1);
+      if (j >= count) return;
+      try {
+        job(j);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        return;
+      }
+    }
+  };
+  const std::size_t thread_count = std::min(std::max<std::size_t>(threads, 1), count);
+  if (thread_count <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(thread_count);
+    for (std::size_t t = 0; t < thread_count; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace dpv::core

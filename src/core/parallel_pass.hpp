@@ -1,0 +1,25 @@
+// Deterministic fan-out of independent jobs over a worker pool.
+//
+// The campaign runner and the scenario-coverage engine share one
+// parallelism pattern: a fixed job list, each job writing only to its
+// own result slot, claimed off an atomic counter by `threads` workers.
+// Nothing a job computes may depend on claim order, so results are
+// bit-identical across thread counts — the property every determinism
+// test in this repo leans on. This header is that pattern, once.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace dpv::core {
+
+/// Runs `job(i)` for every i in [0, count) on up to `threads` workers
+/// (<= 1: inline on the calling thread). Blocks until all jobs finish.
+/// If any job throws, the first exception (by claim order) is rethrown
+/// after the pool drains; workers stop claiming new jobs once an
+/// exception is recorded. Jobs must be independent: they may not
+/// observe each other's effects or any schedule state.
+void run_parallel_pass(std::size_t count, std::size_t threads,
+                       const std::function<void(std::size_t)>& job);
+
+}  // namespace dpv::core

@@ -88,4 +88,111 @@ Tensor render_road_image(const RoadScenario& scenario, const RenderConfig& confi
   return image;
 }
 
+namespace {
+
+using absint::Interval;
+
+/// Interval product (neither operand sign-restricted).
+Interval mul(const Interval& a, const Interval& b) {
+  const double p1 = a.lo * b.lo, p2 = a.lo * b.hi, p3 = a.hi * b.lo, p4 = a.hi * b.hi;
+  return Interval(std::min(std::min(p1, p2), std::min(p3, p4)),
+                  std::max(std::max(p1, p2), std::max(p3, p4)));
+}
+
+/// |x| over an interval.
+Interval abs_interval(const Interval& a) {
+  if (a.lo >= 0.0) return a;
+  if (a.hi <= 0.0) return Interval(-a.hi, -a.lo);
+  return Interval(0.0, std::max(-a.lo, a.hi));
+}
+
+/// road_center_column over (curvature, lane_offset) intervals at a depth
+/// interval [t]: 0.5w - lane * 0.25w(1-t) + curv * 0.40w t^2. Exact for
+/// a point t; conservative when t itself is an interval (vehicle rows).
+Interval center_column_hull(const ScenarioBox& box, const RenderConfig& config,
+                            const Interval& t) {
+  const double w = static_cast<double>(config.width);
+  const Interval one_minus_t(1.0 - t.hi, 1.0 - t.lo);
+  const Interval t_sq(t.lo * t.lo, t.hi * t.hi);  // t in [0, 1]
+  Interval c = mul(absint::scale(box.lane_offset, -0.25 * w), one_minus_t) +
+               mul(absint::scale(box.curvature, 0.40 * w), t_sq);
+  return absint::shift(c, 0.5 * w);
+}
+
+/// road_half_width over a depth interval (decreasing in t).
+Interval half_width_hull(const RenderConfig& config, const Interval& t) {
+  return Interval(road_half_width(config, t.hi), road_half_width(config, t.lo));
+}
+
+}  // namespace
+
+ImageBounds render_road_image_bounds(const ScenarioBox& box, const RenderConfig& config,
+                                     const RenderBoundsOptions& options) {
+  check(config.width >= 8 && config.height >= 4, "render_road_image_bounds: image too small");
+  ImageBounds bounds{Tensor(Shape{1, config.height, config.width}),
+                     Tensor(Shape{1, config.height, config.width})};
+
+  // Vehicle extent hull: the rows and columns any vehicle placement in
+  // the box could touch (empty when the box is traffic-free).
+  long vehicle_row_lo = 1, vehicle_row_hi = 0;
+  Interval vehicle_cols(0.0, 0.0);  // only read when traffic_adjacent set it
+  if (box.traffic_adjacent) {
+    const Interval t0 = box.traffic_distance;
+    const Interval hw = half_width_hull(config, t0);
+    const Interval center = center_column_hull(box, config, t0);
+    const Interval vehicle_center = center + absint::scale(hw, 1.9);
+    const double vehicle_half_w = std::max(1.0, 0.45 * hw.hi);
+    const double h1 = static_cast<double>(config.height - 1);
+    const Interval row_center((1.0 - t0.hi) * h1, (1.0 - t0.lo) * h1);
+    const double vehicle_half_h =
+        std::max(1.0, 0.10 * static_cast<double>(config.height) + 1.2 * (1.0 - t0.lo));
+    vehicle_row_lo = static_cast<long>(std::floor(row_center.lo - vehicle_half_h));
+    vehicle_row_hi = static_cast<long>(std::ceil(row_center.hi + vehicle_half_h));
+    vehicle_cols = Interval(vehicle_center.lo - vehicle_half_w,
+                            vehicle_center.hi + vehicle_half_w);
+  }
+
+  const double tex = options.texture_noise_bound;
+  for (std::size_t row = 0; row < config.height; ++row) {
+    const double t = 1.0 - static_cast<double>(row) / static_cast<double>(config.height - 1);
+    const Interval center = center_column_hull(box, config, Interval(t, t));
+    const double half_width = road_half_width(config, t);
+    for (std::size_t col = 0; col < config.width; ++col) {
+      const double x = static_cast<double>(col) + 0.5;
+      const Interval dist(x - center.hi, x - center.lo);
+      const Interval ad = abs_interval(dist);
+
+      // Hull over every surface category the pixel could be, mirroring
+      // render_road_image's branch structure over the |dist| interval.
+      Interval value(0.0, 0.0);  // replaced by the first include()
+      bool any = false;
+      const auto include = [&](double lo, double hi) {
+        value = any ? value.hull(Interval(lo, hi)) : Interval(lo, hi);
+        any = true;
+      };
+      if (ad.lo <= half_width) {
+        include(kRoadValue - tex, kRoadValue + tex);
+        if (ad.lo < 0.6 && (row % 4) < 2) include(kCenterlineValue, kCenterlineValue);
+      }
+      if (ad.hi > half_width && ad.lo < half_width + 0.9)
+        include(kMarkingValue, kMarkingValue);
+      if (ad.hi >= half_width + 0.9) include(kGrassValue - tex, kGrassValue + tex);
+      if (box.traffic_adjacent && static_cast<long>(row) >= vehicle_row_lo &&
+          static_cast<long>(row) <= vehicle_row_hi && x >= vehicle_cols.lo &&
+          x <= vehicle_cols.hi)
+        include(kVehicleShadow, kVehicleValue);
+
+      // Illumination interval (pixel values are non-negative, brightness
+      // positive), sensor noise budget, then the renderer's clamp.
+      const double lit_lo = std::max(0.0, value.lo) * box.brightness.lo;
+      const double lit_hi = std::max(0.0, value.hi) * box.brightness.hi;
+      bounds.lo.at3(0, row, col) =
+          std::clamp(lit_lo - options.sensor_noise_bound, 0.0, 1.0);
+      bounds.hi.at3(0, row, col) =
+          std::clamp(lit_hi + options.sensor_noise_bound, 0.0, 1.0);
+    }
+  }
+  return bounds;
+}
+
 }  // namespace dpv::data

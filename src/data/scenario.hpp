@@ -13,10 +13,19 @@
 // image but irrelevant to the output, so close-to-output layers are free
 // to discard them — which is exactly why characterizers for those
 // properties degrade to coin flipping.
+//
+// The operational design domain itself is first-class: `ScenarioBox` is
+// an axis-aligned box of scenario parameters (one cell of a coverage
+// decomposition), `scenario_domain()` is the full ODD every sampler
+// draws from, and the split/sample/membership helpers are what the
+// scenario-coverage engine (src/core/coverage.hpp) refines over.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 
+#include "absint/interval.hpp"
 #include "common/rng.hpp"
 
 namespace dpv::data {
@@ -46,8 +55,54 @@ struct Affordances {
   double heading = 0.0;
 };
 
+/// Axis-aligned box of scenario parameters: the continuous dimensions as
+/// intervals, plus the discrete traffic-presence flag (a box covers
+/// either traffic-free or traffic-bearing scenarios, never both — the
+/// coverage engine certifies the two worlds as separate domains).
+/// Dimension order is fixed: curvature, lane offset, brightness, traffic
+/// distance — the order `dim()` indexes and reports print.
+struct ScenarioBox {
+  static constexpr std::size_t kDimensions = 4;
+
+  absint::Interval curvature;
+  absint::Interval lane_offset;
+  absint::Interval brightness;
+  absint::Interval traffic_distance;
+  bool traffic_adjacent = false;
+
+  absint::Interval& dim(std::size_t d);
+  const absint::Interval& dim(std::size_t d) const;
+};
+
+/// Canonical name of dimension `d` ("curvature", "lane-offset",
+/// "brightness", "traffic-distance").
+const char* scenario_dimension_name(std::size_t d);
+
+/// The full operational design domain: the exact parameter ranges
+/// `sample_scenario` draws from (documented on RoadScenario). Traffic
+/// presence is set (the harder world — the vehicle is visible in-image);
+/// flip `traffic_adjacent` off for the traffic-free domain.
+ScenarioBox scenario_domain();
+
+/// Product of the interval widths (the box's 4-volume).
+double scenario_box_volume(const ScenarioBox& box);
+
+/// True when every continuous parameter lies inside the box and the
+/// traffic flag matches. noise_seed is free (it parameterizes the
+/// renderer, not the operational state).
+bool scenario_in_box(const ScenarioBox& box, const RoadScenario& scenario);
+
+/// Halves the box along dimension `d` at its midpoint; `.first` is the
+/// lower half. The two halves share exactly the splitting face, so a
+/// refinement tree's leaves always tile the parent box.
+std::pair<ScenarioBox, ScenarioBox> split_scenario_box(const ScenarioBox& box, std::size_t d);
+
 /// Uniformly samples a scenario from the operational design domain.
 RoadScenario sample_scenario(Rng& rng);
+
+/// Uniformly samples a scenario from `box` (traffic presence comes from
+/// the box flag; a fresh noise seed is drawn from `rng`).
+RoadScenario sample_scenario_in(const ScenarioBox& box, Rng& rng);
 
 /// Ground-truth affordances. A function of curvature and lane offset only.
 Affordances ground_truth_affordances(const RoadScenario& scenario);

@@ -4,6 +4,8 @@
 // perception factory's attachment-point contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/check.hpp"
 #include "data/dataset_gen.hpp"
 #include "data/perception_model.hpp"
@@ -25,18 +27,71 @@ RoadScenario base_scenario() {
 }
 
 TEST(Scenario, SamplingStaysInsideDocumentedRanges) {
+  // The ODD box is the single source of truth: sample_scenario must pin
+  // to exactly the ranges scenario_domain() declares (which are the
+  // documented RoadScenario ranges), and actually span them.
+  const ScenarioBox odd = scenario_domain();
+  EXPECT_DOUBLE_EQ(odd.curvature.lo, -1.0);
+  EXPECT_DOUBLE_EQ(odd.curvature.hi, 1.0);
+  EXPECT_DOUBLE_EQ(odd.lane_offset.lo, -0.3);
+  EXPECT_DOUBLE_EQ(odd.lane_offset.hi, 0.3);
+  EXPECT_DOUBLE_EQ(odd.brightness.lo, 0.6);
+  EXPECT_DOUBLE_EQ(odd.brightness.hi, 1.1);
+  EXPECT_DOUBLE_EQ(odd.traffic_distance.lo, 0.3);
+  EXPECT_DOUBLE_EQ(odd.traffic_distance.hi, 0.8);
+
   Rng rng(1);
-  for (int i = 0; i < 200; ++i) {
+  ScenarioBox seen;
+  for (std::size_t d = 0; d < ScenarioBox::kDimensions; ++d)
+    seen.dim(d) = absint::Interval(odd.dim(d).midpoint(), odd.dim(d).midpoint());
+  bool saw_traffic = false, saw_free = false;
+  for (int i = 0; i < 400; ++i) {
     const RoadScenario s = sample_scenario(rng);
-    EXPECT_GE(s.curvature, -1.0);
-    EXPECT_LE(s.curvature, 1.0);
-    EXPECT_GE(s.lane_offset, -0.3);
-    EXPECT_LE(s.lane_offset, 0.3);
-    EXPECT_GE(s.brightness, 0.6);
-    EXPECT_LE(s.brightness, 1.1);
-    EXPECT_GE(s.traffic_distance, 0.3);
-    EXPECT_LE(s.traffic_distance, 0.8);
+    ScenarioBox membership = odd;
+    membership.traffic_adjacent = s.traffic_adjacent;
+    EXPECT_TRUE(scenario_in_box(membership, s));
+    seen.curvature = seen.curvature.hull(absint::Interval(s.curvature, s.curvature));
+    seen.lane_offset = seen.lane_offset.hull(absint::Interval(s.lane_offset, s.lane_offset));
+    seen.brightness = seen.brightness.hull(absint::Interval(s.brightness, s.brightness));
+    seen.traffic_distance =
+        seen.traffic_distance.hull(absint::Interval(s.traffic_distance, s.traffic_distance));
+    (s.traffic_adjacent ? saw_traffic : saw_free) = true;
   }
+  // 400 uniform draws cover at least 90% of every documented range.
+  for (std::size_t d = 0; d < ScenarioBox::kDimensions; ++d)
+    EXPECT_GT(seen.dim(d).width(), 0.9 * odd.dim(d).width()) << scenario_dimension_name(d);
+  EXPECT_TRUE(saw_traffic);
+  EXPECT_TRUE(saw_free);
+}
+
+TEST(Scenario, SampleInBoxRespectsBoxAndTrafficFlag) {
+  ScenarioBox box = scenario_domain();
+  box.curvature = absint::Interval(-0.25, 0.125);
+  box.brightness = absint::Interval(0.7, 0.75);
+  for (const bool traffic : {false, true}) {
+    box.traffic_adjacent = traffic;
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+      const RoadScenario s = sample_scenario_in(box, rng);
+      EXPECT_TRUE(scenario_in_box(box, s));
+      EXPECT_EQ(s.traffic_adjacent, traffic);
+    }
+  }
+}
+
+TEST(Scenario, BoxVolumeAndSplitAreConsistent) {
+  const ScenarioBox odd = scenario_domain();
+  const double volume = scenario_box_volume(odd);
+  EXPECT_GT(volume, 0.0);
+  for (std::size_t d = 0; d < ScenarioBox::kDimensions; ++d) {
+    const auto [lower, upper] = split_scenario_box(odd, d);
+    // Halves share exactly the splitting face and partition the volume.
+    EXPECT_DOUBLE_EQ(lower.dim(d).hi, upper.dim(d).lo);
+    EXPECT_DOUBLE_EQ(lower.dim(d).lo, odd.dim(d).lo);
+    EXPECT_DOUBLE_EQ(upper.dim(d).hi, odd.dim(d).hi);
+    EXPECT_NEAR(scenario_box_volume(lower) + scenario_box_volume(upper), volume, 1e-12);
+  }
+  EXPECT_THROW(split_scenario_box(odd, ScenarioBox::kDimensions), ContractViolation);
 }
 
 TEST(Scenario, AffordancesDependOnlyOnCurvatureAndOffset) {
@@ -55,6 +110,33 @@ TEST(Scenario, AffordancesDependOnlyOnCurvatureAndOffset) {
   EXPECT_GT(fa.heading, 0.0);
   a.curvature = -0.5;
   EXPECT_LT(ground_truth_affordances(a).heading, 0.0);
+}
+
+TEST(Scenario, AffordanceIndependenceHoldsAcrossRandomizedNuisances) {
+  // Property-based version of the information-bottleneck design point:
+  // randomize *every* output-irrelevant parameter — including
+  // traffic_distance, which a fixed-pair test can silently miss — and
+  // the labels must not move at all.
+  Rng rng(31);
+  const ScenarioBox odd = scenario_domain();
+  for (int i = 0; i < 200; ++i) {
+    RoadScenario a;
+    a.curvature = rng.uniform(odd.curvature.lo, odd.curvature.hi);
+    a.lane_offset = rng.uniform(odd.lane_offset.lo, odd.lane_offset.hi);
+    a.brightness = rng.uniform(odd.brightness.lo, odd.brightness.hi);
+    a.traffic_adjacent = rng.bernoulli(0.5);
+    a.traffic_distance = rng.uniform(odd.traffic_distance.lo, odd.traffic_distance.hi);
+    a.noise_seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    RoadScenario b = a;
+    b.brightness = rng.uniform(odd.brightness.lo, odd.brightness.hi);
+    b.traffic_adjacent = !a.traffic_adjacent;
+    b.traffic_distance = rng.uniform(odd.traffic_distance.lo, odd.traffic_distance.hi);
+    b.noise_seed = static_cast<std::uint64_t>(rng.uniform_int(0, 1 << 20));
+    const Affordances fa = ground_truth_affordances(a);
+    const Affordances fb = ground_truth_affordances(b);
+    EXPECT_DOUBLE_EQ(fa.waypoint_offset, fb.waypoint_offset);
+    EXPECT_DOUBLE_EQ(fa.heading, fb.heading);
+  }
 }
 
 TEST(Renderer, DeterministicPerSeed) {
@@ -130,6 +212,75 @@ TEST(Renderer, BrightnessScalesIntensity) {
 TEST(Renderer, RejectsTinyImages) {
   const RenderConfig config{.width = 4, .height = 2};
   EXPECT_THROW(render_road_image(base_scenario(), config), ContractViolation);
+}
+
+/// Random sub-box of the ODD along each dimension (possibly the full
+/// range), with a random traffic flag.
+ScenarioBox random_sub_box(Rng& rng) {
+  ScenarioBox box = scenario_domain();
+  for (std::size_t d = 0; d < ScenarioBox::kDimensions; ++d) {
+    const absint::Interval full = box.dim(d);
+    const double a = rng.uniform(full.lo, full.hi);
+    const double b = rng.uniform(full.lo, full.hi);
+    box.dim(d) = absint::Interval(std::min(a, b), std::max(a, b));
+  }
+  box.traffic_adjacent = rng.bernoulli(0.5);
+  return box;
+}
+
+TEST(Renderer, IntervalBoundsContainConcreteRenders) {
+  // Soundness of the coverage engine's input hull: every render of every
+  // scenario inside a box lies pixel-wise within the box's bounds.
+  // Deterministic (fixed seeds); the Gaussian noise stays inside the
+  // default 5-sigma budgets for these draws.
+  const RenderConfig config{.width = 24, .height = 12};
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const ScenarioBox box = random_sub_box(rng);
+    const ImageBounds bounds = render_road_image_bounds(box, config);
+    ASSERT_EQ(bounds.lo.shape(), (Shape{1, 12, 24}));
+    ASSERT_EQ(bounds.hi.shape(), (Shape{1, 12, 24}));
+    for (std::size_t i = 0; i < bounds.lo.numel(); ++i)
+      ASSERT_LE(bounds.lo[i], bounds.hi[i]);
+    for (int s = 0; s < 20; ++s) {
+      const RoadScenario scenario = sample_scenario_in(box, rng);
+      const Tensor image = render_road_image(scenario, config);
+      for (std::size_t i = 0; i < image.numel(); ++i) {
+        ASSERT_GE(image[i], bounds.lo[i] - 1e-12)
+            << "trial " << trial << " sample " << s << " pixel " << i;
+        ASSERT_LE(image[i], bounds.hi[i] + 1e-12)
+            << "trial " << trial << " sample " << s << " pixel " << i;
+      }
+    }
+  }
+}
+
+TEST(Renderer, BoundsOfPointBoxAreTightAroundNoiseBudgets) {
+  // A degenerate (point) box must reproduce the concrete render within
+  // bounds, and those bounds must be tight: outside the few pixels where
+  // the branch hull spans two surface categories (road vs centerline,
+  // road vs marking), the interval width is just the noise budgets.
+  const RenderConfig noiseless{.width = 32, .height = 16, .noise_stddev = 0.0};
+  RoadScenario s = base_scenario();
+  s.curvature = 0.4;
+  s.lane_offset = -0.1;
+  ScenarioBox point = scenario_domain();
+  point.curvature = absint::Interval(s.curvature, s.curvature);
+  point.lane_offset = absint::Interval(s.lane_offset, s.lane_offset);
+  point.brightness = absint::Interval(s.brightness, s.brightness);
+  point.traffic_adjacent = false;
+  const RenderBoundsOptions budgets;
+  const ImageBounds bounds = render_road_image_bounds(point, noiseless, budgets);
+  const Tensor image = render_road_image(s, noiseless);
+  const double tight_width = 2.0 * budgets.texture_noise_bound * s.brightness +
+                             2.0 * budgets.sensor_noise_bound;
+  std::size_t loose_pixels = 0;
+  for (std::size_t i = 0; i < image.numel(); ++i) {
+    ASSERT_GE(image[i], bounds.lo[i] - 1e-12) << "pixel " << i;
+    ASSERT_LE(image[i], bounds.hi[i] + 1e-12) << "pixel " << i;
+    if (bounds.hi[i] - bounds.lo[i] > tight_width + 1e-12) ++loose_pixels;
+  }
+  EXPECT_LE(loose_pixels, image.numel() / 5);
 }
 
 TEST(Properties, OraclesMatchScenarioParameters) {

@@ -2,14 +2,19 @@
 """Compare a freshly generated bench JSON against its committed baseline
 snapshot in bench/baselines/.
 
-Two bench shapes are understood, dispatched on the file's "bench" field:
+Three bench shapes are understood, dispatched on the file's "bench" field:
 
   * the LP-core chain (BENCH_simplex.json, the default): per-config
-    pivot/node counters plus the headline speedup ratios, and
+    pivot/node counters plus the headline speedup ratios,
   * the staged-pipeline funnel (BENCH_funnel.json, "bench": "e2_funnel"):
     per-config funnel counters (attack-falsified / zonotope-proved /
     milp-decided / unknown), the verdict-compatibility and
-    witness-validation flags, and the battery speedup ratio.
+    witness-validation flags, and the battery speedup ratio, and
+  * the scenario-coverage engine (BENCH_coverage.json, "bench":
+    "coverage"): per-config cell/funnel counters, the cross-thread
+    determinism flag, and the headline certified-volume fraction
+    (floors: baseline - 5 points absolute, and the file's
+    min_certified_fraction acceptance bar).
 
 CI machines are heterogeneous, so absolute wall-clock seconds are NOT
 compared.  The contract is on machine-independent quantities: counters
@@ -45,6 +50,14 @@ RATIO_KEYS = ("speedup_battery", "speedup_widest_tail")
 # integers, so drift is measured against max(baseline, 1).
 FUNNEL_COUNTED = ("attack_falsified", "zonotope_proved", "milp_proved",
                   "milp_falsified", "unknown", "nodes")
+
+# Coverage counters: refinement-tree shape and decision funnel per
+# config. Small deterministic integers (same drift rule as the funnel).
+COVERAGE_COUNTED = ("cells_total", "cells_certified", "cells_unsafe",
+                    "cells_unknown", "max_depth", "nodes",
+                    "scenario_falsified", "static_proved",
+                    "attack_falsified", "zonotope_proved", "milp_proved",
+                    "milp_falsified")
 
 
 def fail(msg):
@@ -104,6 +117,58 @@ def compare_funnel(cur, base, args):
     return rc
 
 
+def compare_coverage(cur, base, args):
+    """Drift-check BENCH_coverage.json: the determinism flag, per-config
+    cell/funnel counters, and the headline certified-volume fraction."""
+    rc = 0
+
+    if not cur.get("determinism_ok", False):
+        rc |= fail("determinism_ok is false in the current run "
+                   "(coverage map/report differ across thread counts)")
+
+    cur_cfgs = {c["config"]: c for c in cur.get("configs", [])}
+    base_cfgs = {c["config"]: c for c in base.get("configs", [])}
+    missing = sorted(set(base_cfgs) - set(cur_cfgs))
+    if missing:
+        rc |= fail(f"configs missing from current run: {', '.join(missing)}")
+
+    for name, b in base_cfgs.items():
+        c = cur_cfgs.get(name)
+        if c is None:
+            continue
+        for key in COVERAGE_COUNTED:
+            bv, cv = b.get(key, 0), c.get(key, 0)
+            drift = abs(cv - bv) / max(bv, 1)
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            print(f"  {name:>14s} {key:>18s}: {bv:>6} -> {cv:>6} "
+                  f"({drift:+.1%}) {status}")
+            if drift > args.tolerance:
+                rc |= fail(f"{name}: {key} drifted {drift:.1%} "
+                           f"(> {args.tolerance:.0%})")
+
+    # Certified volume: absolute floors, not ratios -- the fraction is
+    # already normalized. Never fails for certifying MORE than baseline.
+    bv = base.get("headline", {}).get("certified_fraction", 0.0)
+    cv = cur.get("headline", {}).get("certified_fraction", 0.0)
+    min_frac = cur.get("headline", {}).get("min_certified_fraction", 0.60)
+    floor = bv - 0.05
+    print(f"  headline certified_fraction: baseline {bv:.1%} -> current "
+          f"{cv:.1%} (floor {floor:.1%}, acceptance bar {min_frac:.0%})")
+    if cv < floor:
+        rc |= fail(f"certified_fraction regressed: {cv:.1%} < baseline "
+                   f"- 5 points ({floor:.1%})")
+    if cv < min_frac:
+        rc |= fail(f"certified_fraction {cv:.1%} is below the "
+                   f"{min_frac:.0%} acceptance bar")
+
+    if rc == 0:
+        print("bench_compare: OK (coverage counters within "
+              f"{args.tolerance:.0%} of baseline; certified volume "
+              f"{cv:.1%} >= max(baseline - 5pts, {min_frac:.0%}); map "
+              "bit-identical across thread counts)")
+    return rc
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="freshly generated BENCH_simplex.json")
@@ -121,6 +186,8 @@ def main():
 
     if cur.get("bench") == "e2_funnel":
         return compare_funnel(cur, base, args)
+    if cur.get("bench") == "coverage":
+        return compare_coverage(cur, base, args)
 
     rc = 0
 

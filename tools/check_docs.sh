@@ -146,6 +146,19 @@ check_symbol src/train   "pgd_attack"
 check_symbol src/train   "concretize_activation"
 check_symbol src/nn      "input_gradient"
 check_symbol src/absint  "zonotope_supported"
+check_symbol src/core    "OperationalDomain"
+check_symbol src/core    "CoverageMap"
+check_symbol src/core    "CoverageReport"
+check_symbol src/core    "run_coverage"
+check_symbol src/core    "choose_split_dimension"
+check_symbol src/core    "coverage_cell_seed"
+check_symbol src/core    "run_parallel_pass"
+check_symbol src/core    "verify_with_monitor"
+check_symbol src/data    "ScenarioBox"
+check_symbol src/data    "scenario_domain"
+check_symbol src/data    "sample_scenario_in"
+check_symbol src/data    "render_road_image_bounds"
+check_symbol src/data    "RenderBoundsOptions"
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

@@ -1,0 +1,269 @@
+// Fault-tolerance bench: checkpoint overhead, deadline cuts and resume
+// fidelity on the scenario-coverage engine.
+//
+// The robustness contract (src/core/README.md, "Deadlines, checkpoints,
+// resume") has three measurable claims:
+//
+//   * checkpointing is cheap — writing the round-boundary checkpoint must
+//     cost a small fraction of the run (headline
+//     checkpoint_overhead_fraction, acceptance bar 50%, in practice <1%),
+//   * checkpointing is transparent — a checkpointed run's table and map
+//     are bit-identical to an unmonitored run's, and
+//   * resume is exact — after a deadline cuts a run mid-round, re-running
+//     with resume=true (at a *different* thread count, to exercise the
+//     thread-count-excluded config hash) reproduces the uninterrupted
+//     run's table and map byte for byte.
+//
+// The interrupt axis sweeps a poll budget upward (x4 per step, serial so
+// the cut point is deterministic) and keeps the deepest cut that still
+// leaves the run interrupted — the maximal-salvage checkpoint — then
+// resumes from it. Counters and the fidelity flags land in
+// BENCH_resume.json, drift-checked against
+// bench/baselines/BENCH_resume.json by tools/bench_compare.py.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/run_control.hpp"
+#include "common/testbed.hpp"
+#include "core/coverage.hpp"
+
+namespace {
+
+using namespace dpv;
+
+constexpr const char* kCheckpointPath = "BENCH_resume_ckpt.txt";
+// The maximal-salvage interrupted checkpoint, preserved across the sweep's
+// final (completing) run so the resume config and BM_ResumeFromCheckpoint
+// can replay it.
+constexpr const char* kKeepPath = "BENCH_resume_ckpt.keep.txt";
+
+/// Same reachable risk the coverage bench uses: the hard-left band is
+/// genuinely falsifiable, so the run exercises every ladder stage and the
+/// checkpoint carries both certified and unsafe cells.
+verify::RiskSpec resume_risk() {
+  verify::RiskSpec risk("heading-hard-left (heading <= -0.7)");
+  risk.output_at_most(1, 2, -0.7);
+  return risk;
+}
+
+core::CoverageOptions resume_options(std::size_t threads) {
+  core::CoverageOptions options;
+  options.render = bench::testbed().model.config.render;
+  options.threads = threads;
+  return options;
+}
+
+core::CoverageReport run_once(const core::CoverageOptions& options) {
+  const bench::Testbed& tb = bench::testbed();
+  return core::run_coverage(tb.model.network, tb.model.attach_layer, resume_risk(),
+                            core::OperationalDomain{}, options);
+}
+
+bool copy_file(const char* from, const char* to) {
+  std::FILE* in = std::fopen(from, "rb");
+  if (in == nullptr) return false;
+  std::FILE* out = std::fopen(to, "wb");
+  if (out == nullptr) {
+    std::fclose(in);
+    return false;
+  }
+  char buffer[1 << 14];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) std::fwrite(buffer, 1, got, out);
+  std::fclose(in);
+  return std::fclose(out) == 0;
+}
+
+struct ResumeStat {
+  std::string config;
+  core::CoverageReport report;
+  std::size_t poll_budget = 0;
+  std::size_t cells_certified = 0;
+  std::size_t cells_unsafe = 0;
+  std::size_t cells_unknown = 0;
+  std::size_t milp_nodes = 0;
+};
+
+ResumeStat finish(std::string config, core::CoverageReport report, std::size_t poll_budget) {
+  ResumeStat stat;
+  stat.config = std::move(config);
+  stat.report = std::move(report);
+  stat.poll_budget = poll_budget;
+  for (const std::size_t id : stat.report.map.leaves()) {
+    switch (stat.report.map.cell(id).status) {
+      case core::CellStatus::kCertified:
+        ++stat.cells_certified;
+        break;
+      case core::CellStatus::kUnsafe:
+        ++stat.cells_unsafe;
+        break;
+      default:
+        ++stat.cells_unknown;
+        break;
+    }
+  }
+  for (const core::CoverageRound& round : stat.report.rounds) stat.milp_nodes += round.milp_nodes;
+  return stat;
+}
+
+void emit_json(const std::vector<ResumeStat>& stats, bool determinism_ok,
+               std::size_t rounds_restored, std::size_t total_rounds,
+               double checkpoint_overhead_fraction) {
+  std::FILE* f = std::fopen("BENCH_resume.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_resume.json: cannot open for writing\n");
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"resume\",\n  \"configs\": [\n");
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    const ResumeStat& s = stats[i];
+    const core::CoverageReport& r = s.report;
+    std::fprintf(f,
+                 "    {\"config\": \"%s\", \"wall_seconds\": %.6f, "
+                 "\"checkpoint_seconds\": %.6f, \"poll_budget\": %zu, "
+                 "\"interrupted\": %s, \"rounds\": %zu, \"rounds_restored\": %zu, "
+                 "\"cells_total\": %zu, \"cells_certified\": %zu, "
+                 "\"cells_unsafe\": %zu, \"cells_unknown\": %zu, \"nodes\": %zu, "
+                 "\"certified_fraction\": %.6f}%s\n",
+                 s.config.c_str(), r.wall_seconds, r.checkpoint_seconds, s.poll_budget,
+                 r.interrupted ? "true" : "false", r.rounds.size(), r.resume_rounds_restored,
+                 r.map.cells().size(), s.cells_certified, s.cells_unsafe, s.cells_unknown,
+                 s.milp_nodes, r.map.certified_volume_fraction(),
+                 i + 1 == stats.size() ? "" : ",");
+  }
+  std::fprintf(f,
+               "  ],\n  \"headline\": {\"rounds_restored\": %zu, \"total_rounds\": %zu, "
+               "\"checkpoint_overhead_fraction\": %.6f, "
+               "\"max_checkpoint_overhead_fraction\": 0.50},\n",
+               rounds_restored, total_rounds, checkpoint_overhead_fraction);
+  std::fprintf(f, "  \"determinism_ok\": %s\n}\n", determinism_ok ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote BENCH_resume.json\n");
+}
+
+void print_report() {
+  std::printf("\n=== Resume: checkpoint/deadline/resume fidelity on %s ===\n",
+              resume_risk().name().c_str());
+  std::remove(kCheckpointPath);
+  std::remove(kKeepPath);
+
+  // Reference: the uninterrupted, unmonitored run every other config must
+  // reproduce byte for byte.
+  const ResumeStat clean = finish("clean", run_once(resume_options(1)), 0);
+  const std::string table_ref = clean.report.format_table();
+  const std::string map_ref = clean.report.map.format_map();
+
+  // Checkpointing on, never cut: measures pure checkpoint overhead and
+  // asserts the monitoring is transparent.
+  core::CoverageOptions ckpt_options = resume_options(1);
+  ckpt_options.checkpoint_path = kCheckpointPath;
+  const ResumeStat checkpointed = finish("checkpointed", run_once(ckpt_options), 0);
+  const bool checkpoint_transparent = checkpointed.report.format_table() == table_ref &&
+                                      checkpointed.report.map.format_map() == map_ref;
+  std::remove(kCheckpointPath);
+
+  // Interrupt axis: serial runs under a poll budget, x4 per step. The
+  // last budget that still interrupts donates the maximal-salvage
+  // checkpoint; the first completing budget ends the sweep.
+  std::vector<ResumeStat> stats = {clean, checkpointed};
+  bool have_interrupt = false;
+  ResumeStat interrupted;
+  for (std::size_t budget = 256; budget <= (std::size_t{1} << 26); budget *= 4) {
+    std::remove(kCheckpointPath);
+    RunControl control;
+    control.set_poll_budget(budget);
+    core::CoverageOptions options = resume_options(1);
+    options.checkpoint_path = kCheckpointPath;
+    options.run_control = &control;
+    core::CoverageReport report = run_once(options);
+    if (!report.interrupted) break;
+    interrupted = finish("interrupted", std::move(report), budget);
+    have_interrupt = true;
+    std::remove(kKeepPath);
+    std::rename(kCheckpointPath, kKeepPath);
+  }
+
+  // Resume from the deepest cut — at a different thread count, which the
+  // config hash deliberately ignores — and demand the clean run's bytes.
+  bool resume_identical = false;
+  std::size_t rounds_restored = 0;
+  if (have_interrupt) {
+    stats.push_back(interrupted);
+    copy_file(kKeepPath, kCheckpointPath);
+    core::CoverageOptions options = resume_options(4);
+    options.checkpoint_path = kCheckpointPath;
+    options.resume = true;
+    ResumeStat resumed = finish("resumed", run_once(options), interrupted.poll_budget);
+    resume_identical = resumed.report.format_table() == table_ref &&
+                       resumed.report.map.format_map() == map_ref;
+    rounds_restored = resumed.report.resume_rounds_restored;
+    stats.push_back(resumed);
+  }
+  std::remove(kCheckpointPath);
+
+  const bool determinism_ok = checkpoint_transparent && resume_identical;
+  const double overhead =
+      checkpointed.report.wall_seconds > 0.0
+          ? checkpointed.report.checkpoint_seconds / checkpointed.report.wall_seconds
+          : 0.0;
+
+  std::printf("%s", clean.report.format_table().c_str());
+  std::printf("checkpointed run transparent: %s\n",
+              checkpoint_transparent ? "bit-identical" : "MISMATCH");
+  if (have_interrupt) {
+    std::printf("deepest cut: poll budget %zu left %zu round(s) on disk; resume "
+                "restored %zu of %zu and reproduced the clean table: %s\n",
+                interrupted.poll_budget, interrupted.report.rounds.size(), rounds_restored,
+                clean.report.rounds.size(), resume_identical ? "bit-identical" : "MISMATCH");
+  } else {
+    std::printf("WARNING: no poll budget in the sweep interrupted the run\n");
+  }
+  std::printf("checkpoint overhead: %.2f%% of wall (%.6f s of %.3f s)\n\n", 100.0 * overhead,
+              checkpointed.report.checkpoint_seconds, checkpointed.report.wall_seconds);
+  emit_json(stats, determinism_ok, rounds_restored, clean.report.rounds.size(), overhead);
+}
+
+void BM_CheckpointedCoverage(benchmark::State& state) {
+  for (auto _ : state) {
+    std::remove(kCheckpointPath);
+    core::CoverageOptions options = resume_options(1);
+    options.checkpoint_path = kCheckpointPath;
+    const core::CoverageReport report = run_once(options);
+    benchmark::DoNotOptimize(report.map.certified_volume_fraction());
+    state.counters["ckpt_seconds"] = report.checkpoint_seconds;
+  }
+  std::remove(kCheckpointPath);
+}
+BENCHMARK(BM_CheckpointedCoverage)->Unit(benchmark::kSecond)->Iterations(1);
+
+void BM_ResumeFromCheckpoint(benchmark::State& state) {
+  for (auto _ : state) {
+    if (!copy_file(kKeepPath, kCheckpointPath)) {
+      state.SkipWithError("no interrupted checkpoint on disk (sweep never cut)");
+      break;
+    }
+    core::CoverageOptions options = resume_options(1);
+    options.checkpoint_path = kCheckpointPath;
+    options.resume = true;
+    const core::CoverageReport report = run_once(options);
+    benchmark::DoNotOptimize(report.map.certified_volume_fraction());
+    state.counters["rounds_restored"] = static_cast<double>(report.resume_rounds_restored);
+  }
+  std::remove(kCheckpointPath);
+}
+BENCHMARK(BM_ResumeFromCheckpoint)->Unit(benchmark::kSecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::remove(kCheckpointPath);
+  std::remove(kKeepPath);
+  return 0;
+}

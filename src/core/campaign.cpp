@@ -1,15 +1,117 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <iomanip>
 #include <memory>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "core/checkpoint.hpp"
 #include "core/counterexample_pool.hpp"
 #include "core/parallel_pass.hpp"
+#include "verify/encoding_cache.hpp"
 
 namespace dpv::core {
+
+namespace {
+
+/// Hash of every semantics-affecting campaign option plus the entry
+/// identities — what a checkpoint must match before its records may be
+/// trusted. Thread counts and caching flags are deliberately excluded:
+/// they change wall time, never verdicts.
+std::size_t campaign_config_hash(const std::vector<CampaignEntry>& entries,
+                                 const WorkflowConfig& config) {
+  ConfigHasher h;
+  h.add(std::string("campaign"));
+  h.add(static_cast<std::uint64_t>(entries.size()));
+  for (const CampaignEntry& e : entries) {
+    h.add(e.property_name);
+    h.add(e.risk.name());
+  }
+  h.add(config.min_separability);
+  h.add(static_cast<std::uint64_t>(config.entry_node_budget));
+  h.add(config.reallocate_node_budget);
+  h.add(config.falsify_first);
+  h.add(config.concretize_witnesses);
+  h.add(static_cast<std::uint64_t>(config.characterizer.hidden));
+  h.add(config.characterizer.learning_rate);
+  h.add(static_cast<std::uint64_t>(config.characterizer.trainer.epochs));
+  h.add(static_cast<std::uint64_t>(config.characterizer.trainer.batch_size));
+  h.add(static_cast<std::uint64_t>(config.characterizer.trainer.shuffle_seed));
+  h.add(static_cast<std::uint64_t>(config.characterizer.init_seed));
+  h.add(static_cast<std::uint64_t>(config.assume_guarantee.bounds));
+  h.add(config.assume_guarantee.monitor_margin);
+  const verify::TailVerifierOptions& v = config.assume_guarantee.verifier;
+  h.add(static_cast<std::uint64_t>(v.milp.max_nodes));
+  h.add(v.validation_tolerance);
+  h.add(v.risk_margin_objective);
+  h.add(static_cast<std::uint64_t>(v.falsify.restarts));
+  h.add(static_cast<std::uint64_t>(v.falsify.steps));
+  h.add(v.falsify.step_scale);
+  h.add(static_cast<std::uint64_t>(v.falsify.seed));
+  return h.hash();
+}
+
+/// The checkpoint view of a settled first-pass result: exactly what the
+/// downstream passes read (see CampaignEntryRecord).
+CampaignEntryRecord make_entry_record(std::size_t i, const WorkflowReport& wr) {
+  const verify::VerificationResult& v = wr.safety.verification;
+  CampaignEntryRecord rec;
+  rec.index = i;
+  rec.property_name = wr.property_name;
+  rec.risk_name = wr.risk_name;
+  rec.train_confusion = wr.characterizer.train_confusion;
+  rec.validation_confusion = wr.characterizer.validation_confusion;
+  rec.characterizer_usable = wr.characterizer_usable;
+  rec.safety_verdict = wr.safety.verdict;
+  rec.bounds_source = wr.safety.bounds_source;
+  rec.pipeline_ran = !wr.safety.pipeline.empty();
+  rec.table_one = wr.table_one.counts;
+  rec.verdict = v.verdict;
+  rec.decided_by = v.decided_by;
+  rec.milp_nodes = v.milp_nodes;
+  rec.hit_node_limit = v.hit_node_limit;
+  rec.counterexample_validated = v.counterexample_validated;
+  if (v.counterexample_validated) rec.counterexample_activation = v.counterexample_activation;
+  rec.have_frontier_activation = v.have_frontier_activation;
+  if (v.have_frontier_activation) rec.frontier_activation = v.frontier_activation;
+  return rec;
+}
+
+/// Skeleton WorkflowReport from a restored record: verdict, table and
+/// pool-contribution fields are exact; heavyweight artifacts (trained
+/// characterizer network, deployed monitor, solver stats) are absent —
+/// they belong to the process that actually did the work.
+WorkflowReport restore_entry_record(const CampaignEntryRecord& rec) {
+  WorkflowReport wr;
+  wr.property_name = rec.property_name;
+  wr.risk_name = rec.risk_name;
+  wr.characterizer.train_confusion = rec.train_confusion;
+  wr.characterizer.validation_confusion = rec.validation_confusion;
+  wr.characterizer_usable = rec.characterizer_usable;
+  wr.safety.verdict = rec.safety_verdict;
+  wr.safety.bounds_source = rec.bounds_source;
+  if (rec.pipeline_ran) {
+    EscalationStep step;
+    step.rung = "checkpoint-restored";
+    step.verdict = rec.verdict;
+    wr.safety.pipeline.push_back(std::move(step));
+  }
+  wr.table_one.counts = rec.table_one;
+  verify::VerificationResult& v = wr.safety.verification;
+  v.verdict = rec.verdict;
+  v.decided_by = rec.decided_by;
+  v.milp_nodes = rec.milp_nodes;
+  v.hit_node_limit = rec.hit_node_limit;
+  v.counterexample_validated = rec.counterexample_validated;
+  v.counterexample_activation = rec.counterexample_activation;
+  v.have_frontier_activation = rec.have_frontier_activation;
+  v.frontier_activation = rec.frontier_activation;
+  return wr;
+}
+
+}  // namespace
 
 std::string CampaignReport::format_table() const {
   std::ostringstream out;
@@ -23,13 +125,18 @@ std::string CampaignReport::format_table() const {
     out << std::left << std::setw(28) << r.property_name << " | " << std::setw(34)
         << r.risk_name << " | " << std::setw(9) << r.characterizer.separability() << " | "
         << std::setw(38)
-        << (r.characterizer_usable ? safety_verdict_name(r.safety.verdict)
-                                   : "N/A (property not characterizable)")
+        << (r.deadline_skipped ? std::string("UNKNOWN (deadline-skipped)")
+            : r.characterizer_usable
+                ? std::string(safety_verdict_name(r.safety.verdict))
+                : std::string("N/A (property not characterizable)"))
         << " | " << r.table_one.guarantee() << "\n";
   }
   out << "\ntally: " << safe_count << " safe, " << unsafe_count << " unsafe, "
       << unknown_count << " unknown, " << uncharacterizable_count
       << " not characterizable at layer l";
+  if (interrupted)
+    out << "\n(run interrupted by deadline: deadline-skipped entries are tallied as unknown;"
+        << " resume from the checkpoint to settle them)";
   return out.str();
 }
 
@@ -78,8 +185,14 @@ std::string CampaignReport::format_encoding_summary() const {
       out << " (avg eta nnz " << solver_totals.avg_eta_nonzeros() << ")";
     if (solver_totals.singular_recoveries > 0)
       out << ", " << solver_totals.singular_recoveries << " singular recoveries";
+    if (solver_totals.nonfinite_recoveries > 0)
+      out << ", " << solver_totals.nonfinite_recoveries << " nonfinite recoveries";
     out << "; lp time " << solver_totals.factor_seconds << "s factor + "
         << solver_totals.pivot_seconds << "s pivot";
+  }
+  if (checkpoint_seconds > 0.0 || resume_entries_restored > 0) {
+    out << "; checkpoint: " << checkpoint_seconds << "s writing, "
+        << resume_entries_restored << " entries restored on resume";
   }
   return out.str();
 }
@@ -95,6 +208,10 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   WorkflowConfig entry_config = config;
   if (config.entry_node_budget > 0)
     entry_config.assume_guarantee.verifier.milp.max_nodes = config.entry_node_budget;
+  // The campaign deadline reaches into every entry's falsifier, B&B and
+  // simplex loop: an expiring entry degrades to an explained UNKNOWN
+  // instead of blocking the battery.
+  entry_config.assume_guarantee.verifier.run_control = config.run_control;
 
   // One encoding cache shared across the worker pool: entries with the
   // same abstraction reuse the frozen tail and only append their own
@@ -114,34 +231,139 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   if (pool == nullptr) pool = std::make_shared<CounterexamplePool>();
   CampaignReport report;
 
+  // Checkpoint identity: the network fingerprint pins the weights, the
+  // config hash pins every semantics-affecting option. Only the first
+  // pass is recorded — the retry pass is a pure function of first-pass
+  // results, so a resumed run re-derives it bit-identically.
+  const bool checkpointing = !config.checkpoint_path.empty();
+  std::size_t fingerprint = 0;
+  std::size_t config_hash = 0;
+  if (checkpointing) {
+    fingerprint = verify::tail_fingerprint(perception, 0);
+    config_hash = campaign_config_hash(entries, config);
+  }
+
   // Entries are independent (each workflow run seeds its own RNGs from
   // the config), so they fan out over a worker pool; results land in
   // their entry slot, keeping report ordering deterministic regardless
   // of thread count or completion order. A pass runs a job list of
   // (entry index, node-budget override — 0 keeps entry_config's); the
   // retry pass below reuses it with per-entry grants.
+  //
+  // `settled[i]` marks a first-pass result that is final for resume
+  // purposes: the entry completed without a deadline expiring inside it.
+  // A deadlined entry is honestly UNKNOWN in *this* report but stays
+  // unsettled so a resume run re-verifies it with a fresh budget.
   std::vector<WorkflowReport> results(entries.size());
+  std::vector<char> settled(entries.size(), 0);
+
+  if (config.resume && checkpointing) {
+    CampaignCheckpoint ckpt;
+    if (load_campaign_checkpoint(config.checkpoint_path, ckpt)) {
+      check(ckpt.fingerprint == fingerprint,
+            "run_campaign: checkpoint was written for a different network "
+            "(fingerprint mismatch) — delete it or rerun from scratch");
+      check(ckpt.config_hash == config_hash,
+            "run_campaign: checkpoint was written under different "
+            "semantics-affecting options (config hash mismatch)");
+      check(ckpt.entry_count == entries.size(), "run_campaign: checkpoint entry count mismatch");
+      for (const CampaignEntryRecord& rec : ckpt.records) {
+        check(rec.index < entries.size(), "run_campaign: checkpoint entry index out of range");
+        check(rec.property_name == entries[rec.index].property_name &&
+                  rec.risk_name == entries[rec.index].risk.name(),
+              "run_campaign: checkpoint entry identity mismatch");
+        results[rec.index] = restore_entry_record(rec);
+        settled[rec.index] = 1;
+      }
+      report.resume_entries_restored = ckpt.records.size();
+    }
+  }
+
+  // `job_done[j]` is set by the worker as its job's last action; the
+  // pass join gives the happens-before, so after a pass (even one cut
+  // short by a deadline or a fault) the main thread knows exactly which
+  // slots hold finished results.
+  std::vector<char> job_done;
   const auto run_pass = [&](const std::vector<std::pair<std::size_t, std::size_t>>& jobs) {
-    run_parallel_pass(jobs.size(), config.campaign_threads, [&](std::size_t j) {
-      const std::size_t i = jobs[j].first;
-      WorkflowConfig job_config = entry_config;
-      if (jobs[j].second > 0)
-        job_config.assume_guarantee.verifier.milp.max_nodes = jobs[j].second;
-      // Per-entry deterministic attack seeding: derived from the
-      // configured falsify seed and the entry index (never thread or
-      // schedule state), plus recycled start points for this risk.
-      verify::FalsifyOptions& falsify = job_config.assume_guarantee.verifier.falsify;
-      falsify.seed += 0x9e3779b97f4a7c15ULL * (i + 1);
-      falsify.seed_points = pool->snapshot(entries[i].risk.name());
-      results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
-                                entries[i].property_val, entries[i].risk, job_config);
-    });
+    job_done.assign(jobs.size(), 0);
+    ParallelPassOptions pass_options;
+    pass_options.run_control = config.run_control;
+    pass_options.job_label = [&jobs, &entries](std::size_t j) {
+      return "entry " + std::to_string(jobs[j].first) + " (" +
+             entries[jobs[j].first].property_name + ")";
+    };
+    run_parallel_pass(
+        jobs.size(), config.campaign_threads,
+        [&](std::size_t j) {
+          const std::size_t i = jobs[j].first;
+          WorkflowConfig job_config = entry_config;
+          if (jobs[j].second > 0)
+            job_config.assume_guarantee.verifier.milp.max_nodes = jobs[j].second;
+          // Per-entry deterministic attack seeding: derived from the
+          // configured falsify seed and the entry index (never thread or
+          // schedule state), plus recycled start points for this risk.
+          verify::FalsifyOptions& falsify = job_config.assume_guarantee.verifier.falsify;
+          falsify.seed += 0x9e3779b97f4a7c15ULL * (i + 1);
+          falsify.seed_points = pool->snapshot(entries[i].risk.name());
+          results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
+                                    entries[i].property_val, entries[i].risk, job_config);
+          job_done[j] = 1;
+        },
+        pass_options);
+  };
+
+  const auto write_checkpoint = [&] {
+    if (!checkpointing) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    CampaignCheckpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    ckpt.config_hash = config_hash;
+    ckpt.entry_count = entries.size();
+    for (std::size_t i = 0; i < entries.size(); ++i)
+      if (settled[i]) ckpt.records.push_back(make_entry_record(i, results[i]));
+    save_campaign_checkpoint(config.checkpoint_path, ckpt);
+    report.checkpoint_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   };
 
   std::vector<std::pair<std::size_t, std::size_t>> first_pass;
   first_pass.reserve(entries.size());
-  for (std::size_t i = 0; i < entries.size(); ++i) first_pass.emplace_back(i, 0);
-  run_pass(first_pass);
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    if (!settled[i]) first_pass.emplace_back(i, 0);
+  try {
+    run_pass(first_pass);
+  } catch (const ParallelPassError&) {
+    // A worker died. Salvage every job that did finish cleanly into the
+    // checkpoint before propagating — the rerun resumes from there.
+    for (std::size_t j = 0; j < first_pass.size(); ++j) {
+      const std::size_t i = first_pass[j].first;
+      if (job_done[j] && !results[i].safety.verification.hit_deadline) settled[i] = 1;
+    }
+    write_checkpoint();
+    throw;
+  }
+  for (std::size_t j = 0; j < first_pass.size(); ++j) {
+    const std::size_t i = first_pass[j].first;
+    if (job_done[j] && !results[i].safety.verification.hit_deadline) settled[i] = 1;
+  }
+  write_checkpoint();
+
+  // Deadline honesty: if anything is left unsettled the run was
+  // interrupted. Unclaimed or mid-flight-abandoned entries get a marked
+  // UNKNOWN row; entries that *did* run but expired internally keep
+  // their own (already honest) UNKNOWN report and are marked too, since
+  // a resume run will redo them. The pool contribution, budget retry and
+  // their determinism contracts assume complete first-pass results, so
+  // an interrupted run skips straight to aggregation.
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (settled[i]) continue;
+    report.interrupted = true;
+    results[i].deadline_skipped = true;
+    if (results[i].property_name.empty()) {
+      results[i].property_name = entries[i].property_name;
+      results[i].risk_name = entries[i].risk.name();
+    }
+  }
 
   // Recycle this pass's discoveries into the pool, in entry order: a
   // validated layer-l witness is a proven risk point for its risk
@@ -165,7 +387,7 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   };
   std::vector<std::size_t> all_indices(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) all_indices[i] = i;
-  contribute_results(all_indices);
+  if (!report.interrupted) contribute_results(all_indices);
 
   // Budget re-allocation: unused nodes of early finishers form a pool
   // that node-limit UNKNOWN entries draw from in one retry pass, split
@@ -176,7 +398,7 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   double retry_attack_seconds = 0.0, retry_zonotope_seconds = 0.0;
   std::size_t retry_nodes = 0;
   solver::SolverStats retry_stats;
-  if (config.entry_node_budget > 0 && config.reallocate_node_budget) {
+  if (config.entry_node_budget > 0 && config.reallocate_node_budget && !report.interrupted) {
     std::size_t pool_nodes = 0;
     std::vector<std::size_t> starved;
     for (std::size_t i = 0; i < entries.size(); ++i) {
@@ -252,7 +474,12 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
     report.attack_seeds_tried += v.attack_seeds_tried;
     report.milp_nodes += v.milp_nodes;
     report.solver_totals.merge(v.solver_stats);
-    if (!wr.characterizer_usable) {
+    if (wr.deadline_skipped) {
+      // Deadline honesty: an entry the deadline skipped (or interrupted
+      // mid-verification) is UNKNOWN, never "uncharacterizable" — we
+      // simply did not get to find out.
+      ++report.unknown_count;
+    } else if (!wr.characterizer_usable) {
       ++report.uncharacterizable_count;
     } else {
       switch (wr.safety.verdict) {

@@ -53,6 +53,17 @@ struct CampaignReport {
   std::size_t budget_entries_retried = 0;
   std::size_t budget_entries_rescued = 0;
 
+  /// Run-control / checkpoint accounting. `interrupted` is set when the
+  /// configured deadline expired before every entry settled: the report
+  /// then tallies deadline-skipped entries as UNKNOWN (marked in the
+  /// table) and, when a checkpoint path is configured, the settled
+  /// entries are on disk for a `resume` run. `resume_entries_restored`
+  /// counts entries skipped on this run because a checkpoint settled
+  /// them earlier.
+  bool interrupted = false;
+  std::size_t resume_entries_restored = 0;
+  double checkpoint_seconds = 0.0;  ///< wall time writing checkpoints
+
   /// Staged-pipeline funnel (all zero when `falsify_first` is off):
   /// how many usable entries each stage settled, and what the cheap
   /// stages cost in wall seconds. Counts partition the decided entries —

@@ -19,6 +19,15 @@ std::vector<Tensor> CounterexamplePool::snapshot(const std::string& key) const {
   return out;
 }
 
+std::vector<CounterexamplePool::Entry> CounterexamplePool::export_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Entry> out;
+  for (const auto& [key, by_order] : points_)
+    for (const auto& [order, pts] : by_order)
+      for (const Tensor& p : pts) out.push_back({key, order, p});
+  return out;
+}
+
 std::size_t CounterexamplePool::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;

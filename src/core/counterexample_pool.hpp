@@ -28,6 +28,13 @@ namespace dpv::core {
 
 class CounterexamplePool {
  public:
+  /// One stored point with its full placement, for checkpointing.
+  struct Entry {
+    std::string key;
+    std::size_t order = 0;
+    Tensor point;
+  };
+
   /// Adds a layer-l activation-space start point under `key`. `order`
   /// fixes the point's position in snapshots (lower = tried earlier);
   /// points sharing an order keep their contribution sequence.
@@ -35,6 +42,11 @@ class CounterexamplePool {
 
   /// All points under `key`, ordered by (order, contribution sequence).
   std::vector<Tensor> snapshot(const std::string& key) const;
+
+  /// Every stored point in deterministic (key, order, contribution
+  /// sequence) order — replaying these through contribute() on a fresh
+  /// pool reproduces identical snapshots. The checkpoint writer's view.
+  std::vector<Entry> export_entries() const;
 
   /// Total stored points across all keys.
   std::size_t size() const;

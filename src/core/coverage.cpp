@@ -8,8 +8,10 @@
 
 #include "absint/box_domain.hpp"
 #include "common/check.hpp"
+#include "core/checkpoint.hpp"
 #include "core/parallel_pass.hpp"
 #include "monitor/activation_recorder.hpp"
+#include "verify/encoding_cache.hpp"
 #include "verify/falsifier.hpp"
 
 namespace dpv::core {
@@ -297,6 +299,100 @@ std::size_t choose_split_dimension(const data::ScenarioBox& cell_box,
 
 namespace {
 
+/// Hash of every semantics-affecting coverage option plus the domain and
+/// risk identity — what a checkpoint must match before its state may be
+/// trusted. Thread count is deliberately excluded (wall time only).
+std::size_t coverage_config_hash(const verify::RiskSpec& risk, const OperationalDomain& domain,
+                                 const CoverageOptions& options) {
+  ConfigHasher h;
+  h.add(std::string("coverage"));
+  h.add(risk.name());
+  for (std::size_t d = 0; d < data::ScenarioBox::kDimensions; ++d) {
+    h.add(domain.box.dim(d).lo);
+    h.add(domain.box.dim(d).hi);
+    h.add(static_cast<std::uint64_t>(domain.initial_grid[d]));
+  }
+  h.add(domain.box.traffic_adjacent);
+  h.add(static_cast<std::uint64_t>(options.render.width));
+  h.add(static_cast<std::uint64_t>(options.render.height));
+  h.add(options.render.noise_stddev);
+  h.add(static_cast<std::uint64_t>(options.samples_per_cell));
+  h.add(static_cast<std::uint64_t>(options.seed));
+  h.add(static_cast<std::uint64_t>(options.max_rounds));
+  h.add(static_cast<std::uint64_t>(options.max_depth));
+  h.add(static_cast<std::uint64_t>(options.cell_node_budget));
+  h.add(options.reallocate_node_budget);
+  h.add(options.static_prepass);
+  h.add(options.falsify_first);
+  h.add(options.monitor_margin);
+  h.add(static_cast<std::uint64_t>(options.bounds));
+  h.add(options.require_margin);
+  h.add(static_cast<std::uint64_t>(options.verifier.milp.max_nodes));
+  h.add(options.verifier.validation_tolerance);
+  h.add(options.verifier.risk_margin_objective);
+  h.add(static_cast<std::uint64_t>(options.verifier.falsify.restarts));
+  h.add(static_cast<std::uint64_t>(options.verifier.falsify.steps));
+  h.add(options.verifier.falsify.step_scale);
+  h.add(static_cast<std::uint64_t>(options.verifier.falsify.seed));
+  return h.hash();
+}
+
+CoverageCellRecord make_cell_record(const CoverageCell& c) {
+  CoverageCellRecord rec;
+  rec.id = c.id;
+  rec.parent = c.parent;
+  rec.depth = c.depth;
+  rec.path_hash = c.path_hash;
+  rec.box = c.box;
+  rec.volume_fraction = c.volume_fraction;
+  rec.status = c.status;
+  rec.verdict = c.verdict;
+  rec.decided_by = c.decided_by;
+  rec.decided_round = c.decided_round;
+  rec.has_counterexample_scenario = c.has_counterexample_scenario;
+  rec.counterexample_scenario = c.counterexample_scenario;
+  rec.has_seed_scenario = c.has_seed_scenario;
+  rec.seed_scenario = c.seed_scenario;
+  rec.split_dim = c.split_dim;
+  rec.children = c.children;
+  return rec;
+}
+
+/// Rebuilds the refinement tree from checkpoint records: replay every
+/// split in id order (original splits also happened in ascending parent
+/// id order, so child ids come out identical), then overwrite each
+/// cell's decision fields from its record. Restored cells carry an empty
+/// SafetyCase — nothing later rounds read lives there.
+void restore_map_from_records(CoverageMap& map, const std::vector<CoverageCellRecord>& recs) {
+  check(recs.size() >= map.cells().size(),
+        "run_coverage: checkpoint has fewer cells than the initial grid");
+  for (const CoverageCellRecord& rec : recs) {
+    if (rec.children[0] == CoverageCell::kNone) continue;
+    check(rec.id < map.cells().size(), "run_coverage: checkpoint split parent out of order");
+    const auto [lo_child, hi_child] = map.split_cell(rec.id, rec.split_dim);
+    check(lo_child == rec.children[0] && hi_child == rec.children[1],
+          "run_coverage: checkpoint split replay produced different child ids");
+  }
+  check(map.cells().size() == recs.size(),
+        "run_coverage: checkpoint split replay produced a different cell count");
+  for (const CoverageCellRecord& rec : recs) {
+    CoverageCell& cell = map.cell_mutable(rec.id);
+    check(cell.path_hash == rec.path_hash && cell.parent == rec.parent &&
+              cell.depth == rec.depth,
+          "run_coverage: checkpoint cell lineage mismatch after split replay");
+    cell.box = rec.box;
+    cell.volume_fraction = rec.volume_fraction;
+    cell.status = rec.status;
+    cell.verdict = rec.verdict;
+    cell.decided_by = rec.decided_by;
+    cell.decided_round = rec.decided_round;
+    cell.has_counterexample_scenario = rec.has_counterexample_scenario;
+    cell.counterexample_scenario = rec.counterexample_scenario;
+    cell.has_seed_scenario = rec.has_seed_scenario;
+    cell.seed_scenario = rec.seed_scenario;
+  }
+}
+
 /// One cell's processing result, written into a per-pass slot by a
 /// worker and applied to the map sequentially between passes.
 struct CellOutcome {
@@ -339,6 +435,9 @@ CoverageReport run_coverage(const nn::Network& network, std::size_t attach_layer
   ag_base.verifier.falsify.enabled = options.falsify_first;
   if (options.cell_node_budget > 0)
     ag_base.verifier.milp.max_nodes = options.cell_node_budget;
+  // The run deadline reaches into every cell's falsifier, B&B and
+  // simplex loop: an expiring cell degrades to an explained UNKNOWN.
+  ag_base.verifier.run_control = options.run_control;
 
   // The decision ladder for one cell. Everything it reads (cell fields,
   // pool snapshots, options) is frozen for the duration of a pass, so
@@ -501,17 +600,130 @@ CoverageReport run_coverage(const nn::Network& network, std::size_t attach_layer
     }
   };
 
-  std::vector<std::size_t> pending = map.leaves();
-  for (std::size_t round = 0; round < options.max_rounds && !pending.empty(); ++round) {
+  // Checkpoint identity and resume. The resume restores the map (split
+  // replay), the completed round stats and the pool, then continues at
+  // the first unfinished round: everything downstream is a pure function
+  // of that state, so the final tables match an uninterrupted run bit
+  // for bit.
+  const bool checkpointing = !options.checkpoint_path.empty();
+  std::size_t fingerprint = 0;
+  std::size_t config_hash = 0;
+  if (checkpointing) {
+    fingerprint = verify::tail_fingerprint(network, 0);
+    config_hash = coverage_config_hash(risk, domain, options);
+  }
+  std::size_t start_round = 0;
+  if (options.resume && checkpointing) {
+    CoverageCheckpoint ckpt;
+    if (load_coverage_checkpoint(options.checkpoint_path, ckpt)) {
+      check(ckpt.fingerprint == fingerprint,
+            "run_coverage: checkpoint was written for a different network "
+            "(fingerprint mismatch) — delete it or rerun from scratch");
+      check(ckpt.config_hash == config_hash,
+            "run_coverage: checkpoint was written under different "
+            "semantics-affecting options (config hash mismatch)");
+      restore_map_from_records(map, ckpt.cells);
+      report.rounds = ckpt.rounds;
+      for (const PoolPointRecord& p : ckpt.pool) pool->contribute(p.key, p.order, p.point);
+      report.pool_points_contributed = ckpt.pool_points_contributed;
+      report.resume_rounds_restored = ckpt.rounds.size();
+      start_round = ckpt.rounds.size();
+    }
+  }
+
+  const auto write_checkpoint = [&] {
+    if (!checkpointing) return;
+    const auto t0 = std::chrono::steady_clock::now();
+    CoverageCheckpoint ckpt;
+    ckpt.fingerprint = fingerprint;
+    ckpt.config_hash = config_hash;
+    ckpt.rounds = report.rounds;
+    ckpt.cells.reserve(map.cells().size());
+    for (const CoverageCell& c : map.cells()) ckpt.cells.push_back(make_cell_record(c));
+    for (const CounterexamplePool::Entry& e : pool->export_entries())
+      ckpt.pool.push_back({e.key, e.order, e.point});
+    ckpt.pool_points_contributed = report.pool_points_contributed;
+    save_coverage_checkpoint(options.checkpoint_path, ckpt);
+    report.checkpoint_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  };
+
+  // A pass is "clean" when every job finished and none degraded to a
+  // deadline UNKNOWN internally — only then may its outcomes become
+  // settled (checkpointed) state. An unclean pass still reports what it
+  // computed (deadline honesty), but the resume restarts its round from
+  // the round-start checkpoint, so nothing schedule-dependent leaks in.
+  const auto pass_interrupted = [&](const std::vector<CellOutcome>& outs,
+                                    const std::vector<char>& done) {
+    if (run_expired(options.run_control)) return true;
+    for (std::size_t k = 0; k < done.size(); ++k)
+      if (!done[k] || outs[k].safety.verification.hit_deadline) return true;
+    return false;
+  };
+  ParallelPassOptions pass_options;
+  pass_options.run_control = options.run_control;
+
+  // The work list: unprocessed leaves. On a fresh run that is every
+  // grid cell; on a resume it is exactly the interrupted round's pending
+  // children (decided UNSAFE/UNKNOWN leaves are settled, not pending).
+  std::vector<std::size_t> pending;
+  for (const CoverageCell& c : map.cells())
+    if (c.is_leaf() && c.status == CellStatus::kPending) pending.push_back(c.id);
+  for (std::size_t round = start_round; round < options.max_rounds && !pending.empty();
+       ++round) {
+    // Round-start checkpoint: the resume point for a round cut short by
+    // a deadline or killed by a fault mid-pass.
+    write_checkpoint();
     const auto round_start = std::chrono::steady_clock::now();
     CoverageRound stats;
     stats.round = round;
     stats.cells_processed = pending.size();
 
     std::vector<CellOutcome> outcomes(pending.size());
-    run_parallel_pass(pending.size(), options.threads, [&](std::size_t k) {
-      outcomes[k] = process_cell(map.cell(pending[k]), 0);
-    });
+    std::vector<char> done(pending.size(), 0);
+    pass_options.job_label = [&pending](std::size_t k) {
+      return "cell " + std::to_string(pending[k]);
+    };
+    run_parallel_pass(
+        pending.size(), options.threads,
+        [&](std::size_t k) {
+          outcomes[k] = process_cell(map.cell(pending[k]), 0);
+          done[k] = 1;
+        },
+        pass_options);
+    if (pass_interrupted(outcomes, done)) {
+      // Deadline honesty: completed outcomes enter this report's map,
+      // undone cells stay pending (tallied as unknown). No pool
+      // contribution, no retry, no refinement — the resumed run redoes
+      // the whole round from the checkpoint written above.
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        if (!done[k]) continue;
+        stats.milp_nodes += outcomes[k].safety.verification.milp_nodes;
+        apply_outcome(pending[k], std::move(outcomes[k]), round);
+      }
+      for (const std::size_t id : pending) {
+        const CoverageCell& cell = map.cell(id);
+        stats.max_depth = std::max(stats.max_depth, cell.depth);
+        switch (cell.status) {
+          case CellStatus::kCertified:
+            ++stats.cells_certified;
+            break;
+          case CellStatus::kUnsafe:
+            ++stats.cells_unsafe;
+            break;
+          default:
+            ++stats.cells_unknown;
+            break;
+        }
+      }
+      stats.certified_volume_fraction = map.certified_volume_fraction();
+      stats.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start)
+              .count();
+      report.rounds.push_back(stats);
+      report.interrupted = true;
+      break;
+    }
     contribute(pending, outcomes);
     for (std::size_t k = 0; k < pending.size(); ++k) {
       stats.milp_nodes += outcomes[k].safety.verification.milp_nodes;
@@ -548,15 +760,35 @@ CoverageReport run_coverage(const nn::Network& network, std::size_t attach_layer
           stats.budget_nodes_granted += grant;
         }
         std::vector<CellOutcome> retry_outcomes(retry_ids.size());
-        run_parallel_pass(retry_ids.size(), options.threads, [&](std::size_t k) {
-          retry_outcomes[k] = process_cell(map.cell(retry_ids[k]), retry_budgets[k]);
-        });
-        contribute(retry_ids, retry_outcomes);
-        stats.budget_cells_retried = retry_ids.size();
-        for (std::size_t k = 0; k < retry_ids.size(); ++k) {
-          stats.milp_nodes += retry_outcomes[k].safety.verification.milp_nodes;
-          if (retry_outcomes[k].status != CellStatus::kUnknown) ++stats.budget_cells_rescued;
-          apply_outcome(retry_ids[k], std::move(retry_outcomes[k]), round);
+        std::vector<char> retry_done(retry_ids.size(), 0);
+        pass_options.job_label = [&retry_ids](std::size_t k) {
+          return "cell " + std::to_string(retry_ids[k]) + " (budget retry)";
+        };
+        run_parallel_pass(
+            retry_ids.size(), options.threads,
+            [&](std::size_t k) {
+              retry_outcomes[k] = process_cell(map.cell(retry_ids[k]), retry_budgets[k]);
+              retry_done[k] = 1;
+            },
+            pass_options);
+        if (pass_interrupted(retry_outcomes, retry_done)) {
+          // Same honesty/purity split as the first pass: completed
+          // retries show in this report, the resume redoes the round.
+          for (std::size_t k = 0; k < retry_ids.size(); ++k) {
+            if (!retry_done[k]) continue;
+            stats.milp_nodes += retry_outcomes[k].safety.verification.milp_nodes;
+            apply_outcome(retry_ids[k], std::move(retry_outcomes[k]), round);
+          }
+          report.interrupted = true;
+        } else {
+          contribute(retry_ids, retry_outcomes);
+          stats.budget_cells_retried = retry_ids.size();
+          for (std::size_t k = 0; k < retry_ids.size(); ++k) {
+            stats.milp_nodes += retry_outcomes[k].safety.verification.milp_nodes;
+            if (retry_outcomes[k].status != CellStatus::kUnknown)
+              ++stats.budget_cells_rescued;
+            apply_outcome(retry_ids[k], std::move(retry_outcomes[k]), round);
+          }
         }
       }
     }
@@ -579,9 +811,11 @@ CoverageReport run_coverage(const nn::Network& network, std::size_t attach_layer
 
     // Counterexample-guided refinement: UNSAFE and UNKNOWN cells split
     // for the next round (certified cells never do). No splits on the
-    // final round — children would never be processed.
+    // final round — children would never be processed — and none after
+    // a deadline interrupt (the resume redoes this round and decides
+    // the splits itself).
     std::vector<std::size_t> next_pending;
-    if (round + 1 < options.max_rounds) {
+    if (!report.interrupted && round + 1 < options.max_rounds) {
       for (const std::size_t id : pending) {
         const CoverageCell& cell = map.cell(id);
         if (cell.status != CellStatus::kUnsafe && cell.status != CellStatus::kUnknown)
@@ -602,8 +836,13 @@ CoverageReport run_coverage(const nn::Network& network, std::size_t attach_layer
         std::chrono::duration<double>(std::chrono::steady_clock::now() - round_start)
             .count();
     report.rounds.push_back(stats);
+    if (report.interrupted) break;
     pending = std::move(next_pending);
   }
+  // Final checkpoint so a resume of a completed (or cleanly exhausted)
+  // run is a no-op instead of redoing the last round. An interrupted
+  // run keeps its round-start checkpoint as the resume point.
+  if (!report.interrupted) write_checkpoint();
 
   // Decision funnel over every decided cell (split parents included —
   // their decisions drove the refinement even though leaves carry the
@@ -663,6 +902,9 @@ std::string CoverageReport::format_table() const {
       << " static-proved / " << attack_falsified << " attack-falsified / "
       << zonotope_proved << " zonotope-proved / " << milp_proved << " milp-proved / "
       << milp_falsified << " milp-falsified / " << unknown_cells << " unknown\n";
+  if (interrupted)
+    out << "(run interrupted by deadline: pending cells are tallied as unknown; resume from"
+        << " the checkpoint to continue refinement)\n";
   const std::vector<std::size_t> frontier_ids = map.frontier();
   if (frontier_ids.empty()) {
     out << "frontier: empty (whole domain decided)";
@@ -696,6 +938,9 @@ std::string CoverageReport::format_summary() const {
         << " granted over " << retried << " retries (" << rescued << " rescued)";
   if (pool_points_contributed > 0)
     out << "; recycling: " << pool_points_contributed << " points pooled";
+  if (checkpoint_seconds > 0.0 || resume_rounds_restored > 0)
+    out << "; checkpoint: " << checkpoint_seconds << "s writing, " << resume_rounds_restored
+        << " rounds restored on resume";
   out << "; per-round wall:";
   for (const CoverageRound& r : rounds) out << " " << r.wall_seconds << "s";
   return out.str();

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "core/assume_guarantee.hpp"
 #include "core/counterexample_pool.hpp"
 #include "data/renderer.hpp"
@@ -184,7 +185,26 @@ struct CoverageOptions {
   double require_margin = 1e-9;
   verify::TailVerifierOptions verifier = {};
   /// Start-point pool shared with other campaigns (private when null).
+  /// With `checkpoint_path` + `resume`, keep the pool private (the
+  /// default): a resume replays the checkpointed pool state, which
+  /// would duplicate points in a pool shared across runs.
   std::shared_ptr<CounterexamplePool> counterexample_pool;
+  /// Run-wide cooperative cancellation: threaded into every cell's
+  /// verifier and polled before each cell claim. On expiry the round is
+  /// cut short — outcomes already computed are reported honestly, the
+  /// report is marked `interrupted`, and refinement stops. Not owned.
+  const RunControl* run_control = nullptr;
+  /// Checkpoint file (empty = no checkpointing): the full map, round
+  /// stats and pool state are written atomically at the start of every
+  /// refinement round, so a killed or deadline-cut run resumes from the
+  /// last round boundary without re-verifying settled cells.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` (when it exists) and continue from the
+  /// round it froze. The file must match this run (network fingerprint
+  /// + config hash) or run_coverage throws ContractViolation. A resumed
+  /// run reproduces the uninterrupted run's map and tables
+  /// bit-identically.
+  bool resume = false;
 };
 
 /// Per-round accounting (perf numbers only in wall_seconds; everything
@@ -222,6 +242,14 @@ struct CoverageReport {
 
   std::size_t pool_points_contributed = 0;
   double wall_seconds = 0.0;
+
+  /// Deadline accounting: `interrupted` is set when the run-control
+  /// deadline cut a round short (cells processed before the cut keep
+  /// their honest outcomes; the rest stay pending/unknown). A resume
+  /// restarts from the interrupted round's start checkpoint.
+  bool interrupted = false;
+  std::size_t resume_rounds_restored = 0;  ///< completed rounds loaded on resume
+  double checkpoint_seconds = 0.0;         ///< wall time writing checkpoints
 
   /// Headline + per-round table + uncertified frontier. Deterministic:
   /// bit-identical across thread counts and falsify modes for cells

@@ -15,6 +15,7 @@
 #include <memory>
 #include <string>
 
+#include "common/run_control.hpp"
 #include "core/assume_guarantee.hpp"
 #include "core/characterizer.hpp"
 #include "core/statistical.hpp"
@@ -81,6 +82,22 @@ struct WorkflowConfig {
   /// each entry's stage-0 attack from the snapshot under its risk name.
   /// Null = run_campaign uses a private per-campaign pool.
   std::shared_ptr<CounterexamplePool> counterexample_pool;
+  /// Campaign-wide cooperative cancellation (run_campaign only):
+  /// threaded into every entry's verifier, polled before each entry
+  /// claim. On expiry the campaign stops gracefully — settled entries
+  /// keep their verdicts, interrupted/unclaimed entries are reported as
+  /// deadline-skipped UNKNOWNs, and a checkpoint (when configured)
+  /// preserves the settled work for --resume. Not owned.
+  const RunControl* run_control = nullptr;
+  /// Checkpoint file for run_campaign (empty = no checkpointing):
+  /// written after the first pass — and, on a mid-pass fault, from the
+  /// error path before rethrowing — holding every settled entry.
+  std::string checkpoint_path;
+  /// Load `checkpoint_path` before running and skip the settled entries
+  /// it holds. The file must match this campaign (network fingerprint +
+  /// config hash) or run_campaign throws ContractViolation. A resumed
+  /// run reproduces the uninterrupted run's tables bit-identically.
+  bool resume = false;
 };
 
 struct WorkflowReport {
@@ -101,6 +118,12 @@ struct WorkflowReport {
   bool have_input_witness = false;
   Tensor input_witness;
   double input_witness_distance = 0.0;
+
+  /// True when a campaign deadline expired before this entry ran (or
+  /// while it ran, leaving it undecided): the entry is tallied as
+  /// UNKNOWN and its table row is marked. Only interrupted campaign
+  /// reports ever carry this; a resumed run re-runs these entries.
+  bool deadline_skipped = false;
 
   /// Human-readable multi-line report.
   std::string to_string() const;

@@ -374,6 +374,13 @@ void BasisLu::btran(std::vector<double>& x) const {
 
 bool BasisLu::update(std::size_t r, const std::vector<double>& w) {
   if (!valid_ || r >= m_) return false;
+  // Non-finite entries in the FTRAN'd column mean the factors (or the
+  // input data) have degraded past repair-by-update: refuse before any
+  // state is mutated so the caller refactorizes from clean data. NaN in
+  // particular would sail through the magnitude tests below (every
+  // comparison on it is false) and poison U permanently.
+  for (const double v : w)
+    if (!std::isfinite(v)) return false;
   return active_kind_ == BasisUpdateKind::kForrestTomlin
              ? update_forrest_tomlin(r, w)
              : update_product_form(r, w);
@@ -460,8 +467,12 @@ bool BasisLu::update_forrest_tomlin(std::size_t r, const std::vector<double>& w)
     spike_vals_[r] -= mu * vstep_[t];
     ft.entries.push(prow_[t], mu);
   }
+  // The new diagonal folds in existing U entries, so it can go non-finite
+  // even when w itself was clean (NaN would sail through the magnitude
+  // test — every comparison on it is false).
   const double d = spike_vals_[r];
-  if (std::abs(d) < kEtaPivotTol) return false;  // caller refactorizes
+  if (!std::isfinite(d) || std::abs(d) < kEtaPivotTol)
+    return false;  // caller refactorizes
 
   // ---- commit ----
   // Old column-r entries live in rows with step < tr (U is triangular in

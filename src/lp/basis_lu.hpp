@@ -81,6 +81,10 @@ struct BasisFactorStats {
   std::size_t eta_updates = 0;          ///< ... of which product-form eta
   std::size_t eta_nonzeros = 0;         ///< nnz appended to the update file
   std::size_t singular_recoveries = 0;  ///< crash-basis fallbacks
+  /// Non-finite FTRAN/BTRAN/update results caught before they could
+  /// poison a verdict; each one forced a refactorization (falling back
+  /// to the crash basis when even that failed).
+  std::size_t nonfinite_recoveries = 0;
   std::size_t refactor_cadence = 0;     ///< adaptive update cap chosen for the basis dimension
   double factor_seconds = 0.0;          ///< wall time inside factorize/refactorize
   double pivot_seconds = 0.0;           ///< wall time pivoting (solve loop minus factor)

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "common/fault_inject.hpp"
 #include "common/simd.hpp"
 
 namespace dpv::lp {
@@ -222,8 +223,9 @@ void RevisedSimplex::reset_to_logical_basis() {
   for (std::size_t j = 0; j < n_; ++j)
     status_[j] = cost_[j] < 0.0 ? kAtUpper : kAtLower;
   if (sparse()) {
-    // All-logical B factors as m column singletons; never singular.
-    const bool ok = refactorize();
+    // All-logical B factors as m column singletons; never singular. The
+    // injection probe is suppressed here: this is the recovery path.
+    const bool ok = refactorize(/*allow_fault=*/false);
     internal_check(ok, "RevisedSimplex: logical basis must factorize");
   } else {
     // B = -I is its own inverse.
@@ -310,7 +312,7 @@ SimplexBasis RevisedSimplex::capture_basis() const {
   return basis;
 }
 
-bool RevisedSimplex::refactorize() {
+bool RevisedSimplex::refactorize(bool allow_fault) {
   const auto start = std::chrono::steady_clock::now();
   // Fresh factors get fresh reduced costs: the incremental d updates
   // accumulate the same kind of drift the factorization does, so the
@@ -366,6 +368,9 @@ bool RevisedSimplex::refactorize() {
         for (std::size_t c = 0; c < m_; ++c) binv_[r * m_ + c] = work[r * w + m_ + c];
     }
   }
+  // Chaos probe: simulate the factorization discovering a singular basis
+  // so the crash-basis fallback is exercised, not assumed.
+  if (ok && allow_fault && fault::should_fire("lp.refactor_singular")) ok = false;
   factor_stats_.factor_seconds += seconds_since(start);
   if (ok) {
     ++factor_stats_.factorizations;
@@ -463,10 +468,30 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
   const bool incr_d = options_.incremental_reduced_costs;
   std::vector<double> duals;
   if (!incr_d) dval_valid_ = false;  // dval_ is not maintained on this path
+  // Non-finite recovery strikes: reset on every clean pivot, and after
+  // three back-to-back recoveries the data is judged poisoned beyond
+  // refactorization — bail with a no-verdict status instead of looping.
+  std::size_t consecutive_recoveries = 0;
+  const auto nonfinite_recover = [&] {
+    ++consecutive_recoveries;
+    ++factor_stats_.nonfinite_recoveries;
+    if (!refactorize()) recover_singular_basis();
+    recompute_basic_values();
+    ++iterations;
+  };
 
   while (true) {
     if (iterations >= options_.max_iterations) {
       solution.status = SolveStatus::kIterationLimit;
+      solution.iterations = iterations;
+      return;
+    }
+    // Cooperative deadline, polled every 64 pivots (and on entry): stop
+    // at the iteration boundary — a safe point by construction — and
+    // report the distinct no-verdict status (resolve() must not burn a
+    // cold retry on it the way it does for kIterationLimit).
+    if ((iterations & 63) == 0 && run_expired(options_.run_control)) {
+      solution.status = SolveStatus::kDeadline;
       solution.iterations = iterations;
       return;
     }
@@ -510,13 +535,29 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
       if (leave_row < m_) below = xb_[leave_row] < blo_[leave_row] - kPrimalTol;
     }
     if (leave_row == m_) {
-      solution.status = SolveStatus::kOptimal;
+      // NaN basic values never register as violated (every comparison on
+      // NaN is false), so certify finiteness before declaring optimality:
+      // poisoned values get a clean-data retry, never a bogus OPTIMAL.
+      bool finite = true;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (std::isfinite(xb_[r])) continue;
+        finite = false;
+        break;
+      }
+      if (!finite && consecutive_recoveries < 3) {
+        nonfinite_recover();
+        continue;
+      }
+      solution.status =
+          finite ? SolveStatus::kOptimal : SolveStatus::kIterationLimit;
       solution.iterations = iterations;
       return;
     }
 
     // Pivot row rho^T A scattered over the BTRAN nonzeros only.
     btran_unit(leave_row, rho);
+    if (fault::should_fire("lp.btran_nonfinite"))
+      rho[leave_row] = std::numeric_limits<double>::quiet_NaN();
     compute_pivot_row(rho, use_bland);
     const double dir = below ? 1.0 : -1.0;  // wanted sign of d(xB_r)
 
@@ -527,10 +568,18 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     std::size_t entering = total_;
     double best_ratio = std::numeric_limits<double>::infinity();
     double best_alpha = 0.0;
+    // A poisoned pivot row makes its columns silently ineligible (NaN
+    // fails every comparison), which would misread "no entering column"
+    // as a Farkas infeasibility proof. Track it and recover instead.
+    bool saw_nonfinite = false;
     for (const std::size_t j : touched_) {
       if (status_[j] == kBasic) continue;
       if (up_[j] - lo_[j] < kZeroTol) continue;  // fixed: can never move
       const double alpha = alpha_[j];
+      if (!std::isfinite(alpha)) {
+        saw_nonfinite = true;
+        continue;
+      }
       const double signed_alpha = dir * alpha;
       if (status_[j] == kAtLower ? signed_alpha >= -kPivotTol
                                  : signed_alpha <= kPivotTol)
@@ -539,6 +588,10 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
                        : all_costs_zero_
                            ? 0.0
                            : cost_[j] - row_dot_column(duals.data(), j);
+      if (!std::isfinite(d)) {
+        saw_nonfinite = true;
+        continue;
+      }
       const double ratio = std::abs(d) / std::abs(alpha);
       const bool take =
           use_bland
@@ -554,6 +607,17 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
       }
     }
     if (entering == total_) {
+      if (saw_nonfinite) {
+        // Not a certificate — the pivot row was poisoned. Retry from
+        // refactorized data; after three strikes report no-verdict.
+        if (consecutive_recoveries < 3) {
+          nonfinite_recover();
+          continue;
+        }
+        solution.status = SolveStatus::kIterationLimit;
+        solution.iterations = iterations;
+        return;
+      }
       // The violated row cannot be repaired by any movable column: the
       // primal is infeasible (a Farkas certificate in basis terms).
       solution.status = SolveStatus::kInfeasible;
@@ -564,6 +628,20 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
     // Pivot column w = B^{-1} A_q.
     const std::size_t q = entering;
     ftran_column(q, w);
+    if (fault::should_fire("lp.ftran_nonfinite"))
+      w[leave_row] = std::numeric_limits<double>::quiet_NaN();
+    // The drift and tiny-pivot tests below are magnitude comparisons a
+    // NaN silently passes; catch a non-finite pivot element explicitly
+    // and take the same refactorize-and-retry path.
+    if (!std::isfinite(w[leave_row])) {
+      if (consecutive_recoveries < 3) {
+        nonfinite_recover();
+        continue;
+      }
+      solution.status = SolveStatus::kIterationLimit;
+      solution.iterations = iterations;
+      return;
+    }
     // Numerical-stability trigger: the FTRAN'd pivot element must agree
     // with the BTRAN'd pivot row's view of the same entry. Drift means
     // the factors (or the eta file) have degraded — refactorize and
@@ -662,6 +740,7 @@ void RevisedSimplex::run_dual(LpSolution& solution) {
 
     ++iterations;
     ++pivots_since_refactor_;
+    consecutive_recoveries = 0;
     const bool want_refactor =
         sparse() ? lu_.should_refactorize()
                  : pivots_since_refactor_ >= dense_refactor_interval(m_);

@@ -135,7 +135,10 @@ class RevisedSimplex {
   void reset_to_logical_basis();
   bool install_basis(const SimplexBasis& basis);
   /// Rebuilds the factorization from basic_; false when singular.
-  bool refactorize();
+  /// `allow_fault` gates the lp.refactor_singular injection probe so the
+  /// singular-recovery crash refactorization (all-logical, provably
+  /// nonsingular) cannot be failed by the harness it is recovering from.
+  bool refactorize(bool allow_fault = true);
   /// Singular-basis recovery: crash to the all-logical basis (always
   /// factorizable) and count it in factor_stats().
   void recover_singular_basis();

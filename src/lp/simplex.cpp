@@ -18,6 +18,8 @@ const char* solve_status_name(SolveStatus status) {
       return "unbounded";
     case SolveStatus::kIterationLimit:
       return "iteration-limit";
+    case SolveStatus::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }

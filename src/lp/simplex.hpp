@@ -10,12 +10,23 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "lp/basis_lu.hpp"
 #include "lp/lp_problem.hpp"
 
 namespace dpv::lp {
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+/// kDeadline is a cooperative-cancellation stop (SimplexOptions::
+/// run_control expired mid-solve): like kIterationLimit it carries no
+/// verdict, but it is a distinct status so warm-restart retry logic can
+/// tell "this basis led nowhere" (retry cold) from "time is up" (do not).
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kDeadline,
+};
 
 /// Human-readable status name.
 const char* solve_status_name(SolveStatus status);
@@ -86,6 +97,12 @@ struct SimplexOptions {
   /// dot. Off reproduces the historical per-iteration recomputation,
   /// which the bench uses to isolate this optimization's delta.
   bool incremental_reduced_costs = true;
+  /// Cooperative cancellation: the revised simplex polls this every 64
+  /// iterations and returns kDeadline when it has expired (partial state
+  /// is discarded; no solution fields beyond iterations are valid).
+  /// Ignored by the dense-tableau SimplexSolver, which only runs as a
+  /// differential oracle on small instances. Not owned.
+  const RunControl* run_control = nullptr;
 };
 
 /// Stateless solver; each call converts, runs both phases and extracts.

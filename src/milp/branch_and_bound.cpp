@@ -47,6 +47,7 @@ struct SharedSearch {
   bool found_first_feasible = false;
   bool node_budget_exhausted = false;
   bool lp_iteration_limit_hit = false;
+  bool deadline_expired = false;
   /// Best fractional relaxation point expanded so far (frontier seed for
   /// counterexample recycling on node-limit stops). Guarded by `mutex`.
   bool have_frontier_point = false;
@@ -104,6 +105,22 @@ class Worker {
       SearchNode node;
       if (frontier_.acquire(index_, node) != search::ParallelFrontier::Acquire::kGot)
         return;
+
+      // ---- Cooperative deadline ------------------------------------
+      // Checked at the pop — a safe point: the node goes back to the
+      // frontier unexplored, so the node-budget post-mortem (best open
+      // bound, gap, frontier seed) explains the partial result exactly
+      // as it would a budget stop.
+      if (run_expired(options_.run_control)) {
+        {
+          std::lock_guard<std::mutex> lock(shared_.mutex);
+          shared_.deadline_expired = true;
+          shared_.node_budget_exhausted = true;
+        }
+        frontier_.abandon(index_, std::move(node));
+        frontier_.request_stop();
+        return;
+      }
 
       // ---- Node budget ---------------------------------------------
       if (shared_.nodes_explored.fetch_add(1) >= options_.max_nodes) {
@@ -262,9 +279,13 @@ class Worker {
       }
       if (lp.status != lp::SolveStatus::kOptimal) {
         // A node whose relaxation could not be solved (iteration limit /
-        // numerical trouble) cannot be pruned soundly; the search result
-        // is inconclusive. Report resource exhaustion rather than guess.
-        shared_.lp_iteration_limit_hit = true;
+        // numerical trouble / deadline) cannot be pruned soundly; the
+        // search result is inconclusive. Report the resource that ran
+        // out rather than guess.
+        if (lp.status == lp::SolveStatus::kDeadline)
+          shared_.deadline_expired = true;
+        else
+          shared_.lp_iteration_limit_hit = true;
         shared_.node_budget_exhausted = true;
         lock.unlock();
         frontier_.abandon(index_, std::move(node));
@@ -465,32 +486,39 @@ class Worker {
 }  // namespace
 
 MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
+  // Node relaxations inherit the search's run control unless the caller
+  // pinned a different one on the LP layer explicitly, so the deadline
+  // reaches mid-solve pivot loops, not just node boundaries.
+  BranchAndBoundOptions options = options_;
+  if (options.run_control != nullptr && options.lp_options.run_control == nullptr)
+    options.lp_options.run_control = options.run_control;
+
   // Root cutting-plane rounds run on a working copy appended through
   // MilpProblem::add_rows, so the caller's problem — possibly a frozen
   // cache base's stamp-out — is never mutated.
   // (Local-only separation needs no copy: node cuts land in per-worker
   // relaxation copies, never in the shared problem.)
   const bool root_cuts_enabled =
-      options_.cuts.root_rounds > 0 && !problem.binary_variables().empty();
+      options.cuts.root_rounds > 0 && !problem.binary_variables().empty();
   MilpProblem working;
   const MilpProblem* active = &problem;
   cuts::RootCutReport root_cuts;
   if (root_cuts_enabled) {
     working = problem;
-    root_cuts = cuts::run_root_cuts(working, options_.cuts, options_.backend,
-                                    options_.lp_options, options_.integrality_tolerance);
+    root_cuts = cuts::run_root_cuts(working, options.cuts, options.backend,
+                                    options.lp_options, options.integrality_tolerance);
     active = &working;
   }
 
   const bool minimize =
       active->relaxation().objective_direction() == lp::Objective::kMinimize;
-  const std::size_t thread_count = std::max<std::size_t>(options_.threads, 1);
+  const std::size_t thread_count = std::max<std::size_t>(options.threads, 1);
 
   SharedSearch shared;
-  search::ParallelFrontier frontier(thread_count, options_.search.node_store,
-                                    minimize, options_.search);
+  search::ParallelFrontier frontier(thread_count, options.search.node_store,
+                                    minimize, options.search);
   frontier.push(0, SearchNode{});  // root: id 0, no fixings, no bound yet
-  if (options_.cuts.local && root_cuts.cuts_live > 0) {
+  if (options.cuts.local && root_cuts.cuts_live > 0) {
     // Seed dedup so node-local separation cannot re-add a root cut.
     // (cuts_live, not cuts_added: aging may have removed some again.)
     const std::vector<lp::Row>& rows = active->relaxation().rows();
@@ -502,13 +530,13 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   // allocation): every worker's child re-solves feed it, so learning
   // crosses worker boundaries.
   std::unique_ptr<search::PseudocostTable> pseudocosts;
-  if (options_.search.branching != search::BranchingRuleKind::kMostFractional)
+  if (options.search.branching != search::BranchingRuleKind::kMostFractional)
     pseudocosts = std::make_unique<search::PseudocostTable>(problem.variable_count());
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(thread_count);
   for (std::size_t t = 0; t < thread_count; ++t)
-    workers.push_back(std::make_unique<Worker>(t, *active, options_, shared, frontier,
+    workers.push_back(std::make_unique<Worker>(t, *active, options, shared, frontier,
                                                pseudocosts.get()));
 
   if (thread_count == 1) {
@@ -533,6 +561,7 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   result.solver_stats.peak_open_nodes = frontier.peak_open();
   result.lp_iterations = result.solver_stats.lp_iterations;
   result.lp_iteration_limit_hit = shared.lp_iteration_limit_hit;
+  result.deadline_expired = shared.deadline_expired || root_cuts.deadline_expired;
   if (shared.have_incumbent) {
     result.objective = shared.incumbent_objective;
     result.values = std::move(shared.incumbent_values);
@@ -556,8 +585,8 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
       double reference = std::numeric_limits<double>::quiet_NaN();
       if (shared.have_incumbent)
         reference = shared.incumbent_objective;
-      else if (!std::isnan(options_.bound_target))
-        reference = options_.bound_target;
+      else if (!std::isnan(options.bound_target))
+        reference = options.bound_target;
       if (!std::isnan(reference)) {
         // Directional, clamped at zero: an open bound the reference
         // already dominates (queued nodes not yet pop-pruned) leaves

@@ -75,6 +75,12 @@ struct MilpResult {
   /// search is then inconclusive for a resource reason distinct from the
   /// node budget (surfaced by the verifier as an explained UNKNOWN).
   bool lp_iteration_limit_hit = false;
+  /// True when the search stopped because `options.run_control` expired
+  /// (at a node pop or inside a node relaxation). The stop is graceful:
+  /// the node-limit post-mortem still runs, so `best_bound`
+  /// / `best_bound_gap` / `frontier_values` are populated exactly as for
+  /// a node-budget stop, and any incumbent found before expiry stands.
+  bool deadline_expired = false;
   /// Warm-start and iteration accounting, merged across workers; also
   /// carries the cutting-plane counters (`cuts_added`, `cut_rounds`)
   /// when the engine ran, and the search-layer counters
@@ -132,6 +138,11 @@ struct BranchAndBoundOptions {
   /// the risk threshold of its margin objective, so an UNKNOWN reports
   /// how much objective headroom the surviving frontier still admits.
   double bound_target = std::numeric_limits<double>::quiet_NaN();
+  /// Cooperative cancellation: polled at every node pop (and inherited
+  /// by `lp_options.run_control` when that is unset, so node relaxations
+  /// stop mid-solve too). Expiry degrades to a node-budget-style stop
+  /// with `MilpResult::deadline_expired` set. Not owned.
+  const RunControl* run_control = nullptr;
 };
 
 class BranchAndBoundSolver {

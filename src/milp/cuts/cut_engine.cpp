@@ -165,9 +165,20 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
   std::vector<std::size_t> ages;
 
   for (std::size_t round = 0; round < options.root_rounds; ++round) {
+    // Cooperative deadline between rounds: every appended cut is already
+    // sound, so stopping here simply hands the search a less-tightened
+    // root. (A mid-solve expiry surfaces as kDeadline below.)
+    if (run_expired(lp_options.run_control)) {
+      report.deadline_expired = true;
+      break;
+    }
     backend->load(problem.relaxation());
     const bool try_warm = options.warm_root && !basis.empty();
     const lp::LpSolution lp = try_warm ? backend->resolve(basis) : backend->solve();
+    if (lp.status == lp::SolveStatus::kDeadline) {
+      report.deadline_expired = true;
+      break;
+    }
     if (lp.status != lp::SolveStatus::kOptimal) break;  // infeasible/limit: search decides
     bool fractional = false;
     for (const std::size_t b : problem.binary_variables()) {

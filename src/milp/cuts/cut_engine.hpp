@@ -24,6 +24,11 @@ struct RootCutReport {
   /// Warm re-solves of the separation loop itself (resolve calls that
   /// actually ran from the padded incumbent basis).
   std::size_t warm_rounds = 0;
+  /// True when `lp_options.run_control` expired during separation: the
+  /// loop stopped between rounds (or mid-solve), keeping every cut
+  /// already appended — all sound — and the search carries on under
+  /// whatever deadline budget remains.
+  bool deadline_expired = false;
   /// LP work spent separating (merged into the search's stats).
   solver::SolverStats solver_stats;
 };

@@ -30,6 +30,7 @@ void SolverStats::merge(const SolverStats& other) {
   eta_updates += other.eta_updates;
   eta_nonzeros += other.eta_nonzeros;
   singular_recoveries += other.singular_recoveries;
+  nonfinite_recoveries += other.nonfinite_recoveries;
   pricing_resets += other.pricing_resets;
   sibling_batches += other.sibling_batches;
   factor_seconds += other.factor_seconds;
@@ -168,6 +169,7 @@ class RevisedBoundedBackend final : public LpBackend {
     stats_.eta_updates += now.eta_updates - seen_.eta_updates;
     stats_.eta_nonzeros += now.eta_nonzeros - seen_.eta_nonzeros;
     stats_.singular_recoveries += now.singular_recoveries - seen_.singular_recoveries;
+    stats_.nonfinite_recoveries += now.nonfinite_recoveries - seen_.nonfinite_recoveries;
     stats_.factor_seconds += now.factor_seconds - seen_.factor_seconds;
     stats_.pivot_seconds += now.pivot_seconds - seen_.pivot_seconds;
     seen_ = now;

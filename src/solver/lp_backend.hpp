@@ -62,6 +62,10 @@ struct SolverStats {
   std::size_t eta_updates = 0;
   std::size_t eta_nonzeros = 0;
   std::size_t singular_recoveries = 0;
+  /// Non-finite FTRAN/BTRAN/pivot values caught by the revised simplex
+  /// before they could poison a verdict; each forced a refactorization
+  /// (see lp::BasisFactorStats::nonfinite_recoveries).
+  std::size_t nonfinite_recoveries = 0;
   /// Devex reference-framework restarts (lp::PricingRule::kDevex only;
   /// weights reset to 1 after growing past trust — a pricing-quality
   /// signal: frequent resets mean the steepest-edge estimates keep

@@ -194,6 +194,7 @@ FalsifyReport falsify_query(const VerificationQuery& query, const FalsifyOptions
   // validated witness here.
   const std::size_t seed_count = std::min(options.seed_points.size(), options.max_seed_points);
   for (std::size_t s = 0; s < seed_count && !report.falsified; ++s) {
+    if (run_expired(options.run_control)) return report;  // sound: just "not falsified"
     if (options.seed_points[s].numel() != n) continue;
     Tensor x = options.seed_points[s];
     clamp_to_box(x, query.input_box);
@@ -205,6 +206,7 @@ FalsifyReport falsify_query(const VerificationQuery& query, const FalsifyOptions
   // Box midpoint, then deterministic random starts.
   Rng rng(options.seed);
   for (std::size_t r = 0; r < std::max<std::size_t>(options.restarts, 1); ++r) {
+    if (run_expired(options.run_control)) return report;
     Tensor x(Shape{n});
     if (r == 0) {
       for (std::size_t i = 0; i < n; ++i) x[i] = query.input_box[i].midpoint();

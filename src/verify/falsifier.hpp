@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "common/run_control.hpp"
 #include "verify/encoder.hpp"
 
 namespace dpv::verify {
@@ -73,6 +74,11 @@ struct FalsifyOptions {
   bool zonotope_prove = true;
   /// Generator budget for that sweep (0 = unlimited).
   std::size_t zonotope_generator_budget = 256;
+  /// Cooperative cancellation: polled between PGD starts. Expiry makes
+  /// the attack return early as "not falsified" — sound, the query just
+  /// falls through to whatever stage the remaining budget allows. Not
+  /// owned.
+  const RunControl* run_control = nullptr;
 };
 
 /// Outcome of the stage-0 attack.

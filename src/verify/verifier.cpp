@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <new>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fault_inject.hpp"
 
 namespace dpv::verify {
 
@@ -57,6 +59,8 @@ std::string VerificationResult::summary() const {
       out << ", eta-nnz=" << solver_stats.avg_eta_nonzeros();
     if (solver_stats.singular_recoveries > 0)
       out << ", singular-recoveries=" << solver_stats.singular_recoveries;
+    if (solver_stats.nonfinite_recoveries > 0)
+      out << ", nonfinite-recoveries=" << solver_stats.nonfinite_recoveries;
   }
   if (solver_stats.pricing_resets > 0)
     out << ", pricing-resets=" << solver_stats.pricing_resets;
@@ -81,6 +85,24 @@ TailVerifier::TailVerifier(TailVerifierOptions options) : options_(std::move(opt
 VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   VerificationResult result;
 
+  // ---- Run control --------------------------------------------------
+  // A per-query time budget chains a stack-local child deadline onto the
+  // caller's token; `control` is what every stage below polls (and what
+  // gets threaded into the falsifier and the MILP stack). Either source
+  // alone works; together, whichever expires first stops the query.
+  RunControl query_budget(options_.run_control);
+  const RunControl* control = options_.run_control;
+  if (options_.time_budget_seconds > 0) {
+    query_budget.set_deadline_after(options_.time_budget_seconds);
+    control = &query_budget;
+  }
+  if (run_expired(control)) {
+    result.verdict = Verdict::kUnknown;
+    result.hit_deadline = true;
+    result.note = "deadline expired before verification started";
+    return result;
+  }
+
   // ---- Staged pipeline, stages 0 and 1 ------------------------------
   // Stage 0 settles UNSAFE with a validated concrete witness (skipping
   // the encoding entirely); stage 1 settles SAFE from a sound output-
@@ -88,8 +110,10 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   // decide, the MILP below would have decided the same way, so verdicts
   // stay compatible with a pipeline-off run — only UNKNOWNs can change.
   if (options_.falsify.enabled) {
+    FalsifyOptions falsify = options_.falsify;
+    falsify.run_control = control;
     const auto attack_start = std::chrono::steady_clock::now();
-    const FalsifyReport attack = falsify_query(query, options_.falsify);
+    const FalsifyReport attack = falsify_query(query, falsify);
     result.attack_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - attack_start).count();
     result.attack_starts = attack.starts;
@@ -105,9 +129,9 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
       result.counterexample_validated = true;
       return result;
     }
-    if (options_.falsify.zonotope_prove) {
+    if (falsify.zonotope_prove) {
       const auto zono_start = std::chrono::steady_clock::now();
-      const BoundProofReport proof = prove_by_bounds(query, options_.falsify);
+      const BoundProofReport proof = prove_by_bounds(query, falsify);
       result.zonotope_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() - zono_start).count();
       if (proof.proved_safe) {
@@ -119,18 +143,43 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
     }
   }
 
+  // Cheap stages are done; the expensive encode + search starts here.
+  // Check the deadline once more so an already-expired run never pays
+  // for an encoding it cannot use.
+  if (run_expired(control)) {
+    result.verdict = Verdict::kUnknown;
+    result.hit_deadline = true;
+    result.note = "deadline expired before encoding";
+    return result;
+  }
+
   // Encode (or stamp out from the shared base) and time it separately
   // from the solve, so encode-vs-solve cost is visible per query. On a
   // cache miss the measured time includes the one-time base encode; on
-  // a hit it is just the stamp-out.
+  // a hit it is just the stamp-out. Allocation failure while stamping is
+  // a recoverable per-query fault, not a crash: nothing is half-mutated
+  // (the encoding is a local), so the query degrades to an explained
+  // UNKNOWN and the campaign carries on.
   const auto encode_start = std::chrono::steady_clock::now();
   TailEncoding encoding;
-  if (options_.encoding_cache != nullptr) {
-    const std::shared_ptr<const SharedTailEncoding> base =
-        options_.encoding_cache->get_or_build(query, options_.encode);
-    encoding = base->instantiate(query);
-  } else {
-    encoding = encode_tail_query(query, options_.encode);
+  try {
+    if (fault::should_fire("verify.encode_alloc")) throw std::bad_alloc();
+    if (options_.encoding_cache != nullptr) {
+      const std::shared_ptr<const SharedTailEncoding> base =
+          options_.encoding_cache->get_or_build(query, options_.encode);
+      encoding = base->instantiate(query);
+    } else {
+      encoding = encode_tail_query(query, options_.encode);
+    }
+  } catch (const std::bad_alloc&) {
+    result.encode_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - encode_start)
+            .count();
+    result.verdict = Verdict::kUnknown;
+    result.note =
+        "encoding allocation failure; query degraded to UNKNOWN (shrink the "
+        "encoding or free memory and retry)";
+    return result;
   }
   result.encode_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - encode_start).count();
@@ -145,6 +194,7 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   // constrain — but the strategy layer gains an ordering signal and a
   // node-limit stop can report the remaining margin headroom as a gap.
   milp::BranchAndBoundOptions milp_options = options_.milp;
+  milp_options.run_control = control;  // B&B inherits it into lp_options too
   if (options_.risk_margin_objective && !query.risk.inequalities().empty()) {
     const OutputInequality& lead = query.risk.inequalities().front();
     if (lead.sense != lp::RowSense::kEqual) {
@@ -198,12 +248,24 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
     }
     case milp::MilpStatus::kNodeLimit: {
       result.verdict = Verdict::kUnknown;
-      // Distinguish "some node relaxation hit the LP iteration limit"
-      // from an exhausted node budget: the former is a per-LP resource
-      // failure the caller may fix by raising lp_options.max_iterations.
-      result.hit_node_limit = !milp_result.lp_iteration_limit_hit;
+      // Three distinct resource stories, in priority order: the deadline
+      // (run control expired — checkpoint/resume territory, never a
+      // retry-budget signal), a per-LP iteration limit (fix by raising
+      // lp_options.max_iterations), or the node budget proper (the
+      // signal campaign budget re-allocation keys on).
+      result.hit_deadline = milp_result.deadline_expired;
+      result.hit_node_limit =
+          !milp_result.deadline_expired && !milp_result.lp_iteration_limit_hit;
       std::ostringstream note;
-      if (milp_result.lp_iteration_limit_hit) {
+      if (milp_result.deadline_expired) {
+        note << "deadline expired before a proof";
+        if (milp_result.have_best_bound && !std::isnan(milp_options.bound_target)) {
+          result.have_best_bound_gap = true;
+          result.best_bound_gap = milp_result.best_bound_gap;
+          note << "; best-bound gap " << milp_result.best_bound_gap
+               << " (open relaxation margin beyond the risk threshold)";
+        }
+      } else if (milp_result.lp_iteration_limit_hit) {
         note << "LP iteration limit hit before a proof; raise "
                 "lp_options.max_iterations or simplify the query";
       } else {

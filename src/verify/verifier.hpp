@@ -69,6 +69,14 @@ struct VerificationResult {
   /// out (as opposed to an LP iteration limit) — the signal campaign
   /// budget re-allocation keys on.
   bool hit_node_limit = false;
+  /// True when the verdict is kUnknown because the run control expired
+  /// (campaign deadline, per-query time budget, or external cancel).
+  /// Deliberately distinct from `hit_node_limit`: budget re-allocation
+  /// must not burn retry budget on entries a deadline interrupted —
+  /// checkpoint/resume re-runs those instead. When the expiry struck
+  /// mid-search, `best_bound_gap` / `frontier_activation` are populated
+  /// exactly as for a node-budget stop.
+  bool hit_deadline = false;
   /// Remaining risk-margin headroom over the unexplored frontier when
   /// `hit_node_limit` (see TailVerifierOptions::risk_margin_objective):
   /// open relaxation points can exceed the risk threshold by at most
@@ -144,6 +152,17 @@ struct TailVerifierOptions {
   /// survivors pay for the MILP. Off by default at this level; the
   /// workflow's `falsify_first` flag turns it on for campaigns.
   FalsifyOptions falsify = {};
+  /// Cooperative cancellation for the whole query: polled between
+  /// pipeline stages and threaded into the falsifier, the root cut loop,
+  /// the B&B node pops and the simplex iterations. Expiry degrades the
+  /// query to an explained UNKNOWN with `hit_deadline` set; decided
+  /// verdicts are never affected. Not owned.
+  const RunControl* run_control = nullptr;
+  /// Per-query wall-clock budget in seconds (0 = none). Implemented as a
+  /// stack-local child RunControl chained onto `run_control`, so a query
+  /// budget and a campaign-wide deadline compose: whichever expires
+  /// first stops the query.
+  double time_budget_seconds = 0.0;
 };
 
 class TailVerifier {

@@ -14,7 +14,13 @@ Three bench shapes are understood, dispatched on the file's "bench" field:
     "coverage"): per-config cell/funnel counters, the cross-thread
     determinism flag, and the headline certified-volume fraction
     (floors: baseline - 5 points absolute, and the file's
-    min_certified_fraction acceptance bar).
+    min_certified_fraction acceptance bar), and
+  * the fault-tolerance axis (BENCH_resume.json, "bench": "resume"):
+    per-config cell counters across clean / checkpointed / interrupted
+    / resumed runs, the resume-fidelity flag (checkpointed and resumed
+    tables bit-identical to the clean run), a salvage floor (the
+    maximal-salvage resume must restore at least one completed round)
+    and the checkpoint-overhead ceiling the file carries.
 
 CI machines are heterogeneous, so absolute wall-clock seconds are NOT
 compared.  The contract is on machine-independent quantities: counters
@@ -58,6 +64,12 @@ COVERAGE_COUNTED = ("cells_total", "cells_certified", "cells_unsafe",
                     "scenario_falsified", "static_proved",
                     "attack_falsified", "zonotope_proved", "milp_proved",
                     "milp_falsified")
+
+# Resume counters: refinement/round shape per run flavour. The chosen
+# poll budget is deliberately NOT compared (the sweep steps x4, so any
+# behavioural shift jumps it past every tolerance).
+RESUME_COUNTED = ("cells_total", "cells_certified", "cells_unsafe",
+                  "cells_unknown", "rounds", "rounds_restored", "nodes")
 
 
 def fail(msg):
@@ -169,6 +181,63 @@ def compare_coverage(cur, base, args):
     return rc
 
 
+def compare_resume(cur, base, args):
+    """Drift-check BENCH_resume.json: the resume-fidelity flag, per-config
+    cell/round counters, the salvage floor and the checkpoint-overhead
+    ceiling."""
+    rc = 0
+
+    if not cur.get("determinism_ok", False):
+        rc |= fail("determinism_ok is false in the current run (a "
+                   "checkpointed or resumed table diverged from the clean "
+                   "run's bytes)")
+
+    cur_cfgs = {c["config"]: c for c in cur.get("configs", [])}
+    base_cfgs = {c["config"]: c for c in base.get("configs", [])}
+    missing = sorted(set(base_cfgs) - set(cur_cfgs))
+    if missing:
+        rc |= fail(f"configs missing from current run: {', '.join(missing)}")
+
+    for name, b in base_cfgs.items():
+        c = cur_cfgs.get(name)
+        if c is None:
+            continue
+        for key in RESUME_COUNTED:
+            bv, cv = b.get(key, 0), c.get(key, 0)
+            drift = abs(cv - bv) / max(bv, 1)
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            print(f"  {name:>14s} {key:>18s}: {bv:>6} -> {cv:>6} "
+                  f"({drift:+.1%}) {status}")
+            if drift > args.tolerance:
+                rc |= fail(f"{name}: {key} drifted {drift:.1%} "
+                           f"(> {args.tolerance:.0%})")
+
+    head = cur.get("headline", {})
+    restored = head.get("rounds_restored", 0)
+    total = head.get("total_rounds", 0)
+    print(f"  headline rounds_restored: {restored} of {total}")
+    if restored < 1:
+        rc |= fail("maximal-salvage resume restored no completed rounds "
+                   "(checkpoints are not saving settled work)")
+
+    # Overhead is a wall-clock *fraction*, so the machine constant divides
+    # out; the ceiling travels in the file like min_certified_fraction.
+    overhead = head.get("checkpoint_overhead_fraction", 0.0)
+    ceiling = head.get("max_checkpoint_overhead_fraction", 0.50)
+    print(f"  headline checkpoint_overhead_fraction: {overhead:.2%} "
+          f"(ceiling {ceiling:.0%})")
+    if overhead > ceiling:
+        rc |= fail(f"checkpoint overhead {overhead:.2%} exceeds the "
+                   f"{ceiling:.0%} ceiling")
+
+    if rc == 0:
+        print("bench_compare: OK (resume counters within "
+              f"{args.tolerance:.0%} of baseline; resume restored "
+              f"{restored} round(s) and reproduced the clean tables; "
+              f"checkpoint overhead {overhead:.2%} <= {ceiling:.0%})")
+    return rc
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("current", help="freshly generated BENCH_simplex.json")
@@ -188,6 +257,8 @@ def main():
         return compare_funnel(cur, base, args)
     if cur.get("bench") == "coverage":
         return compare_coverage(cur, base, args)
+    if cur.get("bench") == "resume":
+        return compare_resume(cur, base, args)
 
     rc = 0
 

@@ -159,6 +159,24 @@ check_symbol src/data    "scenario_domain"
 check_symbol src/data    "sample_scenario_in"
 check_symbol src/data    "render_road_image_bounds"
 check_symbol src/data    "RenderBoundsOptions"
+check_symbol src/common  "RunControl"
+check_symbol src/common  "run_expired"
+check_symbol src/common  "set_poll_budget"
+check_symbol src/common  "should_fire"
+check_symbol src/common  "arm_from_spec"
+check_symbol src/lp      "kDeadline"
+check_symbol src/lp      "nonfinite_recoveries"
+check_symbol src/milp    "deadline_expired"
+check_symbol src/verify  "hit_deadline"
+check_symbol src/verify  "time_budget_seconds"
+check_symbol src/core    "ParallelPassError"
+check_symbol src/core    "ConfigHasher"
+check_symbol src/core    "CampaignEntryRecord"
+check_symbol src/core    "save_campaign_checkpoint"
+check_symbol src/core    "load_coverage_checkpoint"
+check_symbol src/core    "checkpoint_path"
+check_symbol src/core    "resume_entries_restored"
+check_symbol src/core    "resume_rounds_restored"
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"

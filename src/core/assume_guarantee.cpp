@@ -98,8 +98,48 @@ SafetyCase AssumeGuaranteeVerifier::verify_with_monitor(const nn::Network& netwo
 SafetyCase AssumeGuaranteeVerifier::finish(verify::VerificationQuery& query) const {
   SafetyCase result;
   result.bounds_source = config_.bounds;
-  const verify::TailVerifier verifier(config_.verifier);
+
+  // Delta re-certification: plan artifact reuse against the base
+  // version's bundle and apply the surviving classes to a per-query
+  // options copy. The plan owns the widened trace / recycled cuts /
+  // priors that apply() wires in by pointer, so it must live until
+  // verify() returns.
+  verify::TailVerifierOptions options = config_.verifier;
+  verify::DeltaPlan plan;
+  if (config_.delta_base != nullptr && config_.delta_artifacts != nullptr &&
+      query.network != nullptr) {
+    const verify::QueryArtifacts* entry =
+        config_.delta_artifacts->find(config_.delta_query_key);
+    if (entry != nullptr) {
+      plan = verify::plan_delta_reuse(*config_.delta_artifacts, *entry, *config_.delta_base,
+                                      *query.network, query, config_.delta_plan);
+      if (plan.usable) {
+        plan.apply(options);
+        result.delta_trace = plan.trace;
+        result.delta_widening = plan.widening;
+        result.delta_cuts_dropped = plan.cuts_dropped;
+        // A widened trace over a *drifted* abstraction leaves the
+        // query's entry boxes loose; the selective refresh recovers
+        // per-query tightness with a few LPs instead of a full bound
+        // pre-pass. With an unchanged box the entry bounds cannot be
+        // stale and the refresh would be pure overhead.
+        if (plan.trace == verify::TraceReuse::kWidened && plan.abstraction_changed)
+          options.refresh_query_bounds = true;
+      }
+    }
+  }
+
+  // Harvest for the NEXT delta generation: route the MILP artifacts into
+  // a stack-local slot and package them after the verdict.
+  verify::DeltaHarvest harvest;
+  if (config_.delta_harvest != nullptr) options.harvest = &harvest;
+
+  const verify::TailVerifier verifier(options);
   result.verification = verifier.verify(query);
+  result.delta_cuts_recycled = result.verification.cuts_recycled;
+  if (config_.delta_harvest != nullptr && harvest.captured)
+    *config_.delta_harvest = verify::harvest_to_artifacts(
+        config_.delta_query_key, query, result.verification, std::move(harvest));
 
   // Trace which pipeline stages ran and what each cost, so campaign
   // reports can aggregate a per-stage funnel. A stage that did not

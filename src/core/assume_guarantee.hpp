@@ -21,6 +21,7 @@
 
 #include "monitor/diff_monitor.hpp"
 #include "nn/network.hpp"
+#include "verify/delta.hpp"
 #include "verify/verifier.hpp"
 
 namespace dpv::core {
@@ -43,6 +44,22 @@ struct AssumeGuaranteeConfig {
   /// Fractional margin applied to monitor hulls (0 = exact hull).
   double monitor_margin = 0.0;
   verify::TailVerifierOptions verifier = {};
+
+  /// Delta re-certification (src/verify/delta.hpp). When `delta_base`
+  /// and `delta_artifacts` are both set and the artifact bundle has an
+  /// entry under `delta_query_key`, finish() plans the reuse against the
+  /// network under verification, applies the surviving classes to a
+  /// per-query copy of `verifier`, and records the reuse accounting in
+  /// the SafetyCase. All pointers are borrowed and must outlive verify().
+  const nn::Network* delta_base = nullptr;                   ///< exact base version
+  const verify::DeltaArtifacts* delta_artifacts = nullptr;   ///< base's bundle
+  std::size_t delta_query_key = 0;                           ///< entry to look up
+  verify::DeltaPlanOptions delta_plan = {};
+  /// Out-slot: when set, the MILP stage harvests artifacts and finish()
+  /// packages them here (keyed by `delta_query_key`) for the caller to
+  /// upsert into the next bundle. Left untouched when a cheap pipeline
+  /// stage decided and the MILP never ran.
+  verify::QueryArtifacts* delta_harvest = nullptr;
 };
 
 /// One attempted step of a verification ladder — an escalation rung
@@ -68,6 +85,14 @@ struct SafetyCase {
   std::vector<EscalationStep> pipeline;
   /// The monitor to deploy alongside a conditional proof.
   std::optional<monitor::DiffMonitor> deployed_monitor;
+
+  /// Delta-reuse accounting (meaningful when the config carried delta
+  /// artifacts): how the bound trace was reused, the max widening radius
+  /// applied, and the recycled/dropped cut split from planning.
+  verify::TraceReuse delta_trace = verify::TraceReuse::kNone;
+  double delta_widening = 0.0;
+  std::size_t delta_cuts_recycled = 0;
+  std::size_t delta_cuts_dropped = 0;
 
   std::string summary() const;
 };

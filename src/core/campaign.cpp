@@ -10,6 +10,7 @@
 #include "core/checkpoint.hpp"
 #include "core/counterexample_pool.hpp"
 #include "core/parallel_pass.hpp"
+#include "verify/delta.hpp"
 #include "verify/encoding_cache.hpp"
 
 namespace dpv::core {
@@ -19,7 +20,10 @@ namespace {
 /// Hash of every semantics-affecting campaign option plus the entry
 /// identities — what a checkpoint must match before its records may be
 /// trusted. Thread counts and caching flags are deliberately excluded:
-/// they change wall time, never verdicts.
+/// they change wall time, never verdicts. The delta-reuse fields are
+/// excluded for the same reason — every reuse class is
+/// verdict-preserving by construction, so a delta run may resume a cold
+/// run's checkpoint and vice versa.
 std::size_t campaign_config_hash(const std::vector<CampaignEntry>& entries,
                                  const WorkflowConfig& config) {
   ConfigHasher h;
@@ -194,6 +198,15 @@ std::string CampaignReport::format_encoding_summary() const {
     out << "; checkpoint: " << checkpoint_seconds << "s writing, "
         << resume_entries_restored << " entries restored on resume";
   }
+  if (delta_entries_exact + delta_entries_widened + delta_entries_cold > 0) {
+    out << "; delta: " << delta_entries_exact << " exact / " << delta_entries_widened
+        << " widened / " << delta_entries_cold << " cold trace reuse, "
+        << delta_cuts_recycled << " cuts recycled (" << delta_cuts_dropped << " dropped)";
+    if (delta_bounds_refreshed > 0)
+      out << ", " << delta_bounds_refreshed << " bounds refreshed in "
+          << delta_refresh_seconds << "s";
+  }
+  if (delta_artifacts_saved) out << "; delta artifact bundle saved";
   return out.str();
 }
 
@@ -230,6 +243,29 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
   std::shared_ptr<CounterexamplePool> pool = config.counterexample_pool;
   if (pool == nullptr) pool = std::make_shared<CounterexamplePool>();
   CampaignReport report;
+
+  // Delta re-certification: load the base version's artifact bundle (if
+  // configured and present) and key each entry by its (property, risk)
+  // identity — the same pair the checkpoint trusts. A bundle built at a
+  // different attach layer shares nothing and is ignored wholesale.
+  verify::DeltaArtifacts previous_artifacts;
+  bool have_previous = false;
+  if (config.delta_base != nullptr && !config.delta_artifacts_path.empty() &&
+      verify::load_delta_artifacts(config.delta_artifacts_path, previous_artifacts))
+    have_previous = previous_artifacts.attach_layer == attach_layer;
+  const auto entry_query_key = [&entries](std::size_t i) {
+    ConfigHasher h;
+    h.add(entries[i].property_name);
+    h.add(entries[i].risk.name());
+    const std::size_t key = h.hash();
+    // Zero is QueryArtifacts' "empty slot" sentinel; never collide with it.
+    return key != 0 ? key : std::size_t{1};
+  };
+  // One harvest slot per entry: workers fill only their own slot, so no
+  // synchronization is needed, and a slot left with query_key == 0 means
+  // the entry never reached the MILP (or never ran).
+  const bool harvesting = !config.delta_artifacts_out_path.empty();
+  std::vector<verify::QueryArtifacts> harvests(harvesting ? entries.size() : 0);
 
   // Checkpoint identity: the network fingerprint pins the weights, the
   // config hash pins every semantics-affecting option. Only the first
@@ -305,6 +341,15 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
           verify::FalsifyOptions& falsify = job_config.assume_guarantee.verifier.falsify;
           falsify.seed += 0x9e3779b97f4a7c15ULL * (i + 1);
           falsify.seed_points = pool->snapshot(entries[i].risk.name());
+          // Delta reuse in, harvest out. Planning happens inside the
+          // assume-guarantee finish step, where the query is fully built.
+          AssumeGuaranteeConfig& ag = job_config.assume_guarantee;
+          if (have_previous) {
+            ag.delta_base = config.delta_base;
+            ag.delta_artifacts = &previous_artifacts;
+          }
+          if (have_previous || harvesting) ag.delta_query_key = entry_query_key(i);
+          if (harvesting) ag.delta_harvest = &harvests[i];
           results[i] = workflow.run(entries[i].property_name, entries[i].property_train,
                                     entries[i].property_val, entries[i].risk, job_config);
           job_done[j] = 1;
@@ -457,6 +502,21 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
       contribute_results(retried_indices);
     }
   }
+  // Persist the next-generation artifact bundle: chain extended when
+  // this run reused a previous bundle, fresh base bundle otherwise.
+  // Skipped on an interrupted run — a partial harvest would silently
+  // degrade the next version's reuse to cold on the missing entries, so
+  // the old bundle (if any) is left in place for the resume run.
+  if (harvesting && !report.interrupted) {
+    verify::DeltaArtifacts next =
+        have_previous ? verify::advance_artifacts(previous_artifacts, perception)
+                      : verify::make_base_artifacts(perception, attach_layer);
+    for (verify::QueryArtifacts& harvest : harvests)
+      if (harvest.query_key != 0) next.upsert(std::move(harvest));
+    verify::save_delta_artifacts(config.delta_artifacts_out_path, next);
+    report.delta_artifacts_saved = true;
+  }
+
   if (cache != nullptr) {
     const verify::EncodingCache::Stats cs = cache->stats();
     report.encoding_cache_hits = cs.hits;
@@ -474,6 +534,23 @@ CampaignReport run_campaign(const nn::Network& perception, std::size_t attach_la
     report.attack_seeds_tried += v.attack_seeds_tried;
     report.milp_nodes += v.milp_nodes;
     report.solver_totals.merge(v.solver_stats);
+    report.delta_bounds_refreshed += v.refreshed_bounds;
+    report.delta_refresh_seconds += v.refresh_seconds;
+    if (have_previous) {
+      switch (wr.safety.delta_trace) {
+        case verify::TraceReuse::kExact:
+          ++report.delta_entries_exact;
+          break;
+        case verify::TraceReuse::kWidened:
+          ++report.delta_entries_widened;
+          break;
+        case verify::TraceReuse::kNone:
+          ++report.delta_entries_cold;
+          break;
+      }
+      report.delta_cuts_recycled += wr.safety.delta_cuts_recycled;
+      report.delta_cuts_dropped += wr.safety.delta_cuts_dropped;
+    }
     if (wr.deadline_skipped) {
       // Deadline honesty: an entry the deadline skipped (or interrupted
       // mid-verification) is UNKNOWN, never "uncharacterizable" — we

@@ -1,14 +1,10 @@
 #include "core/checkpoint.hpp"
 
-#include <cctype>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/record_io.hpp"
 
 namespace dpv::core {
 
@@ -38,108 +34,15 @@ namespace {
 constexpr const char* kMagic = "dpv-checkpoint";
 constexpr std::size_t kVersion = 1;
 
-/// Token-stream writer. Doubles go through printf %a (hexfloat): the
-/// round-trip back through strtod is bit-exact, which is what makes
-/// resumed tables byte-identical — decimal formatting would not be.
-class Writer {
- public:
-  void tag(const char* t) { out_ << t << ' '; }
-  void size_value(std::size_t v) { out_ << v << ' '; }
-  void u64(std::uint64_t v) { out_ << v << ' '; }
-  void dbl(double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%a", v);
-    out_ << buf << ' ';
-  }
-  void boolean(bool v) { out_ << (v ? 1 : 0) << ' '; }
-  /// Length-prefixed so names with spaces survive: `s<len> <bytes>`.
-  void str(const std::string& s) { out_ << 's' << s.size() << ' ' << s << ' '; }
-  void newline() { out_ << '\n'; }
+// The token-stream classes live in common/record_io (shared with the
+// verify delta-artifact store); checkpoint keeps only its own record
+// shapes on top of them.
+using Writer = common::RecordWriter;
+using Reader = common::RecordReader;
 
-  std::string take() { return out_.str(); }
-
- private:
-  std::ostringstream out_;
-};
-
-class Reader {
- public:
-  Reader(std::string text, std::string path)
-      : text_(std::move(text)), path_(std::move(path)) {}
-
-  std::string token() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of file");
-    const std::size_t start = pos_;
-    while (pos_ < text_.size() && !std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-    return text_.substr(start, pos_ - start);
-  }
-
-  void expect_tag(const char* t) {
-    const std::string got = token();
-    if (got != t) fail(std::string("expected '") + t + "', got '" + got + "'");
-  }
-
-  std::size_t size_value() {
-    const std::string t = token();
-    try {
-      return static_cast<std::size_t>(std::stoull(t));
-    } catch (...) {
-      fail("bad integer '" + t + "'");
-    }
-  }
-
-  std::uint64_t u64() { return static_cast<std::uint64_t>(size_value()); }
-
-  double dbl() {
-    const std::string t = token();
-    char* end = nullptr;
-    const double v = std::strtod(t.c_str(), &end);
-    if (end == nullptr || *end != '\0' || end == t.c_str())
-      fail("bad double '" + t + "'");
-    return v;
-  }
-
-  bool boolean() {
-    const std::string t = token();
-    if (t == "0") return false;
-    if (t == "1") return true;
-    fail("bad bool '" + t + "'");
-  }
-
-  std::string str() {
-    const std::string t = token();
-    if (t.empty() || t[0] != 's') fail("bad string token '" + t + "'");
-    std::size_t len = 0;
-    try {
-      len = static_cast<std::size_t>(std::stoull(t.substr(1)));
-    } catch (...) {
-      fail("bad string length '" + t + "'");
-    }
-    if (pos_ >= text_.size() || text_[pos_] != ' ') fail("malformed string payload");
-    ++pos_;  // the single separator space
-    if (pos_ + len > text_.size()) fail("truncated string payload");
-    std::string s = text_.substr(pos_, len);
-    pos_ += len;
-    return s;
-  }
-
-  [[noreturn]] void fail(const std::string& why) {
-    check(false, "checkpoint " + path_ + ": " + why);
-    std::abort();  // unreachable; check throws
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-
-  std::string text_;
-  std::size_t pos_ = 0;
-  std::string path_;
-};
+Reader make_reader(std::string text, const std::string& path) {
+  return Reader(std::move(text), "checkpoint " + path);
+}
 
 void write_tensor(Writer& w, const Tensor& t) {
   // Element count leads and zero short-circuits: a default-constructed
@@ -252,29 +155,8 @@ void read_header(Reader& r, const char* kind, std::size_t& fingerprint,
   config_hash = r.size_value();
 }
 
-/// Atomic commit: a fault mid-write leaves the previous checkpoint (or
-/// no file) in place, never a torn one.
 void write_file_atomic(const std::string& path, const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    check(out.is_open(), "checkpoint: cannot open " + tmp + " for writing");
-    out << contents;
-    out.flush();
-    check(out.good(), "checkpoint: write to " + tmp + " failed");
-  }
-  check(std::rename(tmp.c_str(), path.c_str()) == 0,
-        "checkpoint: cannot rename " + tmp + " to " + path);
-}
-
-/// Whole-file read; false when the file does not exist.
-bool read_file(const std::string& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  out = buf.str();
-  return true;
+  common::write_file_atomic(path, contents, "checkpoint");
 }
 
 void write_round(Writer& w, const CoverageRound& s) {
@@ -355,8 +237,8 @@ void save_campaign_checkpoint(const std::string& path, const CampaignCheckpoint&
 
 bool load_campaign_checkpoint(const std::string& path, CampaignCheckpoint& out) {
   std::string text;
-  if (!read_file(path, text)) return false;
-  Reader r(std::move(text), path);
+  if (!common::read_file(path, text)) return false;
+  Reader r = make_reader(std::move(text), path);
   out = CampaignCheckpoint{};
   read_header(r, "campaign", out.fingerprint, out.config_hash);
   r.expect_tag("entries");
@@ -445,8 +327,8 @@ void save_coverage_checkpoint(const std::string& path, const CoverageCheckpoint&
 
 bool load_coverage_checkpoint(const std::string& path, CoverageCheckpoint& out) {
   std::string text;
-  if (!read_file(path, text)) return false;
-  Reader r(std::move(text), path);
+  if (!common::read_file(path, text)) return false;
+  Reader r = make_reader(std::move(text), path);
   out = CoverageCheckpoint{};
   read_header(r, "coverage", out.fingerprint, out.config_hash);
   r.expect_tag("rounds");

@@ -98,6 +98,23 @@ struct WorkflowConfig {
   /// config hash) or run_campaign throws ContractViolation. A resumed
   /// run reproduces the uninterrupted run's tables bit-identically.
   bool resume = false;
+
+  /// Delta re-certification across model versions (run_campaign only;
+  /// see src/verify/delta.hpp). `delta_base` is the exact network
+  /// version whose campaign produced the artifact bundle at
+  /// `delta_artifacts_path`; when both are set and the bundle loads,
+  /// each entry's verification plans artifact reuse (bound trace,
+  /// root-cut pool, pseudocost priors) against it — every class gated by
+  /// its own soundness argument, so verdicts match a cold run. Not
+  /// owned; must outlive run_campaign.
+  const nn::Network* delta_base = nullptr;
+  std::string delta_artifacts_path;
+  /// When non-empty, run_campaign harvests this campaign's artifacts and
+  /// saves the next-generation bundle here (chain extended when the run
+  /// itself was a delta run, fresh base bundle otherwise). May equal
+  /// `delta_artifacts_path` — the save is atomic and happens after all
+  /// entries settle.
+  std::string delta_artifacts_out_path;
 };
 
 struct WorkflowReport {

@@ -500,13 +500,38 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   // relaxation copies, never in the shared problem.)
   const bool root_cuts_enabled =
       options.cuts.root_rounds > 0 && !problem.binary_variables().empty();
+  const bool inject_cuts =
+      options.cuts.initial_cuts != nullptr && !options.cuts.initial_cuts->empty();
   MilpProblem working;
   const MilpProblem* active = &problem;
   cuts::RootCutReport root_cuts;
-  if (root_cuts_enabled) {
+  std::size_t cuts_recycled = 0;
+  if (root_cuts_enabled || inject_cuts) {
     working = problem;
-    root_cuts = cuts::run_root_cuts(working, options.cuts, options.backend,
-                                    options.lp_options, options.integrality_tolerance);
+    if (inject_cuts) {
+      // Recycled pool first, so separation rounds see (and dedup
+      // against) the injected rows instead of re-deriving them.
+      std::vector<lp::Row> injected;
+      injected.reserve(options.cuts.initial_cuts->size());
+      for (const cuts::Cut& cut : *options.cuts.initial_cuts) injected.push_back(cut.row);
+      working.add_rows(std::move(injected));
+      cuts_recycled = options.cuts.initial_cuts->size();
+    }
+    if (root_cuts_enabled)
+      root_cuts = cuts::run_root_cuts(working, options.cuts, options.backend,
+                                      options.lp_options, options.integrality_tolerance);
+    // Injected rows count as live cuts from here on: the local-cut
+    // dedup seed, the harvest window below, and the provenance list all
+    // cover them (injected sources first — row order in the problem).
+    root_cuts.cuts_live += cuts_recycled;
+    if (inject_cuts) {
+      std::vector<const char*> merged;
+      merged.reserve(root_cuts.cuts_live);
+      for (const cuts::Cut& cut : *options.cuts.initial_cuts) merged.push_back(cut.source);
+      merged.insert(merged.end(), root_cuts.live_sources.begin(),
+                    root_cuts.live_sources.end());
+      root_cuts.live_sources = std::move(merged);
+    }
     active = &working;
   }
 
@@ -530,8 +555,11 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   // allocation): every worker's child re-solves feed it, so learning
   // crosses worker boundaries.
   std::unique_ptr<search::PseudocostTable> pseudocosts;
-  if (options.search.branching != search::BranchingRuleKind::kMostFractional)
+  if (options.search.branching != search::BranchingRuleKind::kMostFractional) {
     pseudocosts = std::make_unique<search::PseudocostTable>(problem.variable_count());
+    if (options.pseudocost_priors != nullptr)
+      pseudocosts->seed(*options.pseudocost_priors, options.pseudocost_prior_weight);
+  }
 
   std::vector<std::unique_ptr<Worker>> workers;
   workers.reserve(thread_count);
@@ -562,6 +590,19 @@ MilpResult BranchAndBoundSolver::solve(const MilpProblem& problem) const {
   result.lp_iterations = result.solver_stats.lp_iterations;
   result.lp_iteration_limit_hit = shared.lp_iteration_limit_hit;
   result.deadline_expired = shared.deadline_expired || root_cuts.deadline_expired;
+  result.cuts_recycled = cuts_recycled;
+  if (options.cuts.harvest_root_cuts && root_cuts.cuts_live > 0) {
+    const std::vector<lp::Row>& rows = active->relaxation().rows();
+    const std::size_t first = rows.size() - root_cuts.cuts_live;
+    result.root_cut_rows.reserve(root_cuts.cuts_live);
+    for (std::size_t k = 0; k < root_cuts.cuts_live; ++k) {
+      const char* source =
+          k < root_cuts.live_sources.size() ? root_cuts.live_sources[k] : "";
+      result.root_cut_rows.push_back({rows[first + k], 0.0, source});
+    }
+  }
+  if (options.export_pseudocosts && pseudocosts != nullptr)
+    result.pseudocost_snapshot = pseudocosts->snapshot_all();
   if (shared.have_incumbent) {
     result.objective = shared.incumbent_objective;
     result.values = std::move(shared.incumbent_values);

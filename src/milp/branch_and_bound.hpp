@@ -50,6 +50,7 @@
 #include "lp/simplex.hpp"
 #include "milp/cuts/cut_generator.hpp"
 #include "milp/milp_problem.hpp"
+#include "milp/search/branching_rule.hpp"
 #include "milp/search/strategy.hpp"
 #include "solver/lp_backend.hpp"
 
@@ -101,6 +102,22 @@ struct MilpResult {
   /// attack seed material — the staged falsifier's start-point pool.
   bool have_frontier_point = false;
   std::vector<double> frontier_values;
+  /// Rows injected from options.cuts.initial_cuts (the recycled pool).
+  std::size_t cuts_recycled = 0;
+  /// Live root cuts on return (injected + separated, post aging);
+  /// populated when options.cuts.harvest_root_cuts. Rows reference the
+  /// solved problem's variable indices; `source` carries the generator
+  /// provenance ("relu-split", "gomory-mi", or the source an injected
+  /// cut arrived with), which delta re-certification needs to decide
+  /// recyclability. `violation` is not meaningful here.
+  std::vector<cuts::Cut> root_cut_rows;
+  /// Final pseudocost table in variable order (element [var] =
+  /// (down, up)); populated when options.export_pseudocosts and the
+  /// branching rule kept a table. Persisted by delta re-certification
+  /// as warm priors for the next model version's searches.
+  std::vector<std::pair<search::PseudocostTable::DirectionStats,
+                        search::PseudocostTable::DirectionStats>>
+      pseudocost_snapshot;
 };
 
 struct BranchAndBoundOptions {
@@ -143,6 +160,20 @@ struct BranchAndBoundOptions {
   /// stop mid-solve too). Expiry degrades to a node-budget-style stop
   /// with `MilpResult::deadline_expired` set. Not owned.
   const RunControl* run_control = nullptr;
+  /// Warm-start priors for the pseudocost table (element [var] =
+  /// (down, up) statistics exported by a previous solve of a
+  /// structurally identical problem), demoted by
+  /// `pseudocost_prior_weight` before the search starts — see
+  /// search::PseudocostTable::seed. Read only when the branching rule
+  /// uses pseudocosts; priors bias node order, never verdicts. Not
+  /// owned.
+  const std::vector<std::pair<search::PseudocostTable::DirectionStats,
+                              search::PseudocostTable::DirectionStats>>*
+      pseudocost_priors = nullptr;
+  /// Demotion factor in (0, 1] applied to prior observation counts.
+  double pseudocost_prior_weight = 0.25;
+  /// Export the final table into MilpResult::pseudocost_snapshot.
+  bool export_pseudocosts = false;
 };
 
 class BranchAndBoundSolver {

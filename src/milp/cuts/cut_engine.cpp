@@ -161,8 +161,10 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
   // and dual feasible — the dual simplex only repairs the violated cuts.
   solver::WarmBasis basis;
   // Consecutive non-binding rounds per live cut row (problem row
-  // base_rows + k), for aging.
+  // base_rows + k), for aging, and each live row's generator — kept in
+  // lockstep so the final report can attribute every surviving cut.
   std::vector<std::size_t> ages;
+  std::vector<const char*> sources;
 
   for (std::size_t round = 0; round < options.root_rounds; ++round) {
     // Cooperative deadline between rounds: every appended cut is already
@@ -277,9 +279,14 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
         basis = std::move(fixed);
       }
       std::vector<std::size_t> survivors;
-      for (std::size_t k = 0; k < ages.size(); ++k)
-        if (!removed[k]) survivors.push_back(ages[k]);
+      std::vector<const char*> surviving_sources;
+      for (std::size_t k = 0; k < ages.size(); ++k) {
+        if (removed[k]) continue;
+        survivors.push_back(ages[k]);
+        surviving_sources.push_back(sources[k]);
+      }
       ages = std::move(survivors);
+      sources = std::move(surviving_sources);
     }
 
     if (!kept.empty()) {
@@ -288,7 +295,10 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
       if (kept.size() > options.max_cuts_per_round) kept.resize(options.max_cuts_per_round);
       std::vector<lp::Row> rows;
       rows.reserve(kept.size());
-      for (Cut& cut : kept) rows.push_back(std::move(cut.row));
+      for (Cut& cut : kept) {
+        rows.push_back(std::move(cut.row));
+        sources.push_back(cut.source);
+      }
       if (!basis.empty()) {
         // Pad the snapshot: each appended row's logical enters basic.
         const std::size_t m_before = basis.basic.size();
@@ -302,6 +312,7 @@ RootCutReport run_root_cuts(MilpProblem& problem, const CutOptions& options,
     }
   }
   report.cuts_live = ages.size();
+  report.live_sources = std::move(sources);
   report.solver_stats = backend->stats();
   report.warm_rounds = report.solver_stats.warm_hits;
   return report;

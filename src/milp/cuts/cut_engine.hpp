@@ -31,6 +31,11 @@ struct RootCutReport {
   bool deadline_expired = false;
   /// LP work spent separating (merged into the search's stats).
   solver::SolverStats solver_stats;
+  /// Generator provenance of each live cut, aligned with the last
+  /// `cuts_live` rows of the problem on return ("relu-split" or
+  /// "gomory-mi"). Harvesting reads this so delta re-certification can
+  /// recycle only cut families whose validity survives a weight change.
+  std::vector<const char*> live_sources;
 };
 
 /// Runs up to `options.root_rounds` rounds of root-node separation on

@@ -29,6 +29,14 @@
 
 namespace dpv::milp::cuts {
 
+/// One candidate cut. `violation` is measured at the separated point
+/// after sanitize_cut normalized the row (see cut_engine.hpp).
+struct Cut {
+  lp::Row row;
+  double violation = 0.0;
+  const char* source = "";
+};
+
 /// Knobs of the cutting-plane engine; lives in BranchAndBoundOptions as
 /// `cuts`. All defaults keep the engine off (`root_rounds = 0`).
 struct CutOptions {
@@ -62,14 +70,20 @@ struct CutOptions {
   double min_fraction = 0.02;
   /// Reject cuts whose max/min absolute coefficient ratio exceeds this.
   double max_dynamism = 1e7;
-};
-
-/// One candidate cut. `violation` is measured at the separated point
-/// after sanitize_cut normalized the row (see cut_engine.hpp).
-struct Cut {
-  lp::Row row;
-  double violation = 0.0;
-  const char* source = "";
+  /// Pre-validated, globally valid cuts appended to the working copy
+  /// before the first separation round (delta re-certification
+  /// recycles a previous run's harvested root pool here, after
+  /// re-validating it against the new weights). The injector owns the
+  /// validity proof: every row must hold for EVERY mixed-integer
+  /// feasible point of the problem, or verdicts break. Sources are
+  /// carried through to the next harvest so provenance survives chains
+  /// of recycling. Injection works with `root_rounds == 0` too (inject
+  /// without separating). Not owned; must outlive the solve.
+  const std::vector<Cut>* initial_cuts = nullptr;
+  /// Copy the live root-cut rows (injected + separated, post aging)
+  /// into MilpResult::root_cut_rows on return — the pool a delta
+  /// re-certification run persists for the next model version.
+  bool harvest_root_cuts = false;
 };
 
 /// Everything a generator may look at. `relaxation` is the LP optimum

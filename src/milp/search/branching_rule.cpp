@@ -55,6 +55,43 @@ PseudocostTable::snapshot(const std::vector<std::size_t>& vars) const {
   return out;
 }
 
+std::vector<std::pair<PseudocostTable::DirectionStats, PseudocostTable::DirectionStats>>
+PseudocostTable::snapshot_all() const {
+  std::vector<std::pair<DirectionStats, DirectionStats>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out.reserve(entries_.size() / 2);
+  for (std::size_t var = 0; var * 2 + 1 < entries_.size(); ++var)
+    out.emplace_back(entries_[var * 2], entries_[var * 2 + 1]);
+  return out;
+}
+
+void PseudocostTable::seed(
+    const std::vector<std::pair<DirectionStats, DirectionStats>>& priors, double weight) {
+  const auto demote = [weight](const DirectionStats& s) {
+    DirectionStats d;
+    d.solved = s.solved == 0 ? 0
+                             : std::max<std::size_t>(
+                                   1, static_cast<std::size_t>(
+                                          std::llround(static_cast<double>(s.solved) * weight)));
+    d.infeasible =
+        s.infeasible == 0
+            ? 0
+            : std::max<std::size_t>(1, static_cast<std::size_t>(std::llround(
+                                           static_cast<double>(s.infeasible) * weight)));
+    d.gain_sum = s.average_gain() * static_cast<double>(d.solved);
+    return d;
+  };
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t var = 0; var < priors.size() && var * 2 + 1 < entries_.size(); ++var) {
+    const DirectionStats down = demote(priors[var].first);
+    const DirectionStats up = demote(priors[var].second);
+    entries_[var * 2] = down;
+    entries_[var * 2 + 1] = up;
+    global_gain_sum_ += down.gain_sum + up.gain_sum;
+    global_solved_ += down.solved + up.solved;
+  }
+}
+
 std::size_t PseudocostTable::observations(std::size_t var, bool up) const {
   return stats(var, up).observations();
 }

@@ -87,6 +87,21 @@ class PseudocostTable {
   std::vector<std::pair<DirectionStats, DirectionStats>> snapshot(
       const std::vector<std::size_t>& vars) const;
 
+  /// The whole table in variable order (element [var] = (down, up)) —
+  /// the export delta re-certification persists as warm priors.
+  std::vector<std::pair<DirectionStats, DirectionStats>> snapshot_all() const;
+
+  /// Seeds the table with demoted prior statistics (the delta warm
+  /// start): observation counts are scaled by `weight` (keeping at
+  /// least one observation for any observed direction) and gain sums
+  /// rescaled to preserve the average gain, so priors steer early
+  /// branching like real history but with less confidence — the
+  /// reliability probes re-earn trust on the new problem. Priors past
+  /// the table width are ignored. Seeding only biases node order;
+  /// verdicts of searches run to completion are unaffected.
+  void seed(const std::vector<std::pair<DirectionStats, DirectionStats>>& priors,
+            double weight);
+
   /// Observations (solved + infeasible children) of (var, direction).
   std::size_t observations(std::size_t var, bool up) const;
   /// Mean recorded gain of (var, direction); 0 with no solved child.

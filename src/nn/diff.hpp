@@ -1,0 +1,67 @@
+// Layer-by-layer weight diff between two network versions.
+//
+// The delta-verification layer (src/verify/delta) re-certifies a
+// retrained model by reusing artifacts from the base model's run, and
+// every reuse decision starts from the same question: *where* did the
+// weights change, and *by how much*? `diff_networks` answers it with a
+// structural comparison (layer kinds and shapes must match exactly —
+// anything else is a different architecture and nothing carries over)
+// plus per-layer perturbation norms:
+//
+//   * `first_changed_layer` — every layer strictly above it is
+//     bit-identical, so artifacts scoped to the unchanged prefix
+//     (realized bound boxes, the frozen encoding prefix, prefix-local
+//     cuts) are sound verbatim.
+//   * per-layer `weight_row_sum` / `bias_abs` — the ∞-operator-norm
+//     ingredients the Lipschitz-style widening in absint/perturbation
+//     consumes to bound how far the changed layers can move any
+//     neuron's pre-activation.
+//
+// Comparisons are bitwise (==) on doubles: the fingerprint chain keyed
+// off this diff must agree with verify::tail_fingerprint, which hashes
+// bit patterns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/network.hpp"
+
+namespace dpv::nn {
+
+/// Perturbation summary for one layer position.
+struct LayerDelta {
+  std::size_t layer = 0;
+  bool changed = false;  ///< any parameter bit differs
+  /// Largest elementwise |Δ| over all parameter tensors of the layer.
+  double max_abs = 0.0;
+  /// Dense: max_i Σ_j |ΔW_ij| (∞-operator norm of the weight delta).
+  /// BatchNorm: max_i |Δ effective_scale_i|. Zero for stateless layers.
+  double weight_row_sum = 0.0;
+  /// Dense: max_i |Δb_i|. BatchNorm: max_i |Δ effective_shift_i|.
+  double bias_abs = 0.0;
+};
+
+/// Result of diffing a base network against a retrained variant.
+struct NetworkDiff {
+  /// Same layer count, kinds, shapes, and structural hyperparameters
+  /// (activation alpha, BatchNorm eps, conv geometry). False means no
+  /// artifact of any class can be reused.
+  bool structurally_identical = false;
+  /// Index of the first layer with any parameter change; equals the
+  /// layer count when the networks are bit-identical.
+  std::size_t first_changed_layer = 0;
+  std::size_t changed_layers = 0;
+  double max_abs = 0.0;  ///< global max of per-layer max_abs
+  std::vector<LayerDelta> layers;
+
+  bool identical() const { return structurally_identical && changed_layers == 0; }
+};
+
+/// Diffs two networks layer by layer. Never throws on mismatched
+/// architectures — it reports structurally_identical = false and leaves
+/// the per-layer data empty, so callers can treat "can't reuse" and
+/// "nothing changed above layer k" through one code path.
+NetworkDiff diff_networks(const Network& base, const Network& updated);
+
+}  // namespace dpv::nn

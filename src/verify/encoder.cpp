@@ -58,6 +58,21 @@ class NetworkEncoder {
     affine_.assign(vars_.size(), std::nullopt);
   }
 
+  /// Replaces the bound pre-pass (and disables LP tightening) with an
+  /// externally supplied sound per-layer trace; element k must cover
+  /// the layer from_layer + k of the next encode_range call.
+  void set_external_trace(const std::vector<absint::Box>* trace) {
+    external_trace_ = trace;
+  }
+
+  /// Captures the realized (post-intersection, post-tightening) box and
+  /// variable list after every layer of the next encode_range call.
+  void set_capture(std::vector<absint::Box>* boxes,
+                   std::vector<std::vector<std::size_t>>* vars) {
+    capture_boxes_ = boxes;
+    capture_vars_ = vars;
+  }
+
   void encode_range(const nn::Network& net, std::size_t from_layer, std::size_t to_layer,
                     const std::string& prefix) {
     // The symbolic / zonotope pre-passes compute per-layer bounds over
@@ -65,13 +80,22 @@ class NetworkEncoder {
     // each layer, so neither can ever be looser than plain intervals.
     // Zonotopes fall back to intervals where the domain does not apply
     // (pooling layers; dense/relu/leakyrelu/batchnorm tails are covered).
+    // An injected external trace replaces the pre-pass entirely — the
+    // delta-reuse path pays interval propagation only.
     std::vector<absint::Box> trace;
-    if (options_.bounds == BoundMethod::kSymbolic)
+    const std::vector<absint::Box>* trace_ptr = external_trace_;
+    if (trace_ptr != nullptr) {
+      internal_check(trace_ptr->size() == to_layer - from_layer,
+                     "encoder: external trace length mismatch");
+    } else if (options_.bounds == BoundMethod::kSymbolic) {
       trace = absint::symbolic_bounds_trace(net, bounds_, from_layer, to_layer);
-    else if (options_.bounds == BoundMethod::kZonotope &&
-             absint::zonotope_supported(net, from_layer, to_layer))
+      trace_ptr = &trace;
+    } else if (options_.bounds == BoundMethod::kZonotope &&
+               absint::zonotope_supported(net, from_layer, to_layer)) {
       trace = absint::propagate_zonotope_trace(net, bounds_, from_layer, to_layer,
                                                options_.zonotope_generator_budget);
+      trace_ptr = &trace;
+    }
 
     for (std::size_t i = from_layer; i < to_layer; ++i) {
       const nn::Layer& layer = net.layer(i);
@@ -97,7 +121,10 @@ class NetworkEncoder {
               nn::layer_kind_name(layer.kind()) +
               "' in verified tail; cut the network after the convolutional stack (Lemma 1)");
       }
-      if (!trace.empty()) apply_external_bounds(trace[i - from_layer]);
+      if (trace_ptr != nullptr && !trace_ptr->empty())
+        apply_external_bounds((*trace_ptr)[i - from_layer]);
+      if (capture_boxes_ != nullptr) capture_boxes_->push_back(bounds_);
+      if (capture_vars_ != nullptr) capture_vars_->push_back(vars_);
     }
   }
 
@@ -134,6 +161,9 @@ class NetworkEncoder {
   /// partial relaxation built so far.
   absint::Interval tighten(std::size_t var, absint::Interval bounds) {
     if (options_.bounds != BoundMethod::kLpTightening) return bounds;
+    // An injected trace already carries the realized (tightened) boxes;
+    // skipping the per-neuron LPs is the whole speedup of trace reuse.
+    if (external_trace_ != nullptr) return bounds;
     const lp::SimplexSolver solver(options_.lp_options);
     lp::LpProblem& relaxation = problem_.relaxation();
     double lo = bounds.lo, hi = bounds.hi;
@@ -327,6 +357,9 @@ class NetworkEncoder {
   milp::MilpProblem& problem_;
   const EncodeOptions& options_;
   EncodingStats& stats_;
+  const std::vector<absint::Box>* external_trace_ = nullptr;
+  std::vector<absint::Box>* capture_boxes_ = nullptr;
+  std::vector<std::vector<std::size_t>>* capture_vars_ = nullptr;
   std::vector<std::size_t> vars_;
   absint::Box bounds_;
   /// Per current variable: affine expansion over the previous layer
@@ -381,6 +414,12 @@ TailEncoding encode_tail_base(const VerificationQuery& query, const EncodeOption
   // Verified tail of the perception network.
   NetworkEncoder tail(enc.problem, options, enc.stats);
   tail.start(enc.input_vars, query.input_box);
+  if (options.tail_bound_trace != nullptr) {
+    check(options.tail_bound_trace_key != 0,
+          "encode_tail_base: tail_bound_trace requires a nonzero trace key");
+    tail.set_external_trace(options.tail_bound_trace);
+  }
+  tail.set_capture(&enc.realized_tail_boxes, &enc.realized_tail_vars);
   tail.encode_range(net, query.attach_layer, net.layer_count(), "tail");
   enc.output_vars = tail.vars();
 

@@ -54,6 +54,22 @@ struct EncodeOptions {
   /// reduction. 0 = unlimited. Reduction preserves per-neuron radii, so
   /// bounds stay sound (and never looser than interval) at any budget.
   std::size_t zonotope_generator_budget = 256;
+  /// Externally supplied sound per-layer boxes for the verified tail
+  /// (delta-reuse injection): element k bounds the activations after
+  /// layer attach_layer + k. When set, the encoder skips its own
+  /// zonotope/symbolic pre-pass and per-neuron LP tightening over the
+  /// tail and intersects these boxes instead (plain interval
+  /// propagation still runs, so a loose trace can never make bounds
+  /// unsound — only wide). Injecting the realized_tail_boxes exported
+  /// by a previous encode of the same tail reproduces that encoding
+  /// bit-identically. Characterizer encodes are unaffected. The caller
+  /// owns the trace; it must outlive every encoding built from it.
+  const std::vector<absint::Box>* tail_bound_trace = nullptr;
+  /// Content identity of the injected trace. Part of the encoding-cache
+  /// key (see SharedTailEncoding::matches), so bases built from
+  /// different traces — e.g. different base-model versions — never
+  /// alias. Must be nonzero whenever tail_bound_trace is set.
+  std::size_t tail_bound_trace_key = 0;
   lp::SimplexOptions lp_options = {};
 };
 
@@ -82,6 +98,18 @@ struct TailEncoding {
   std::vector<std::size_t> output_vars;  ///< network output variables
   /// Logit variable of the characterizer (only when one was encoded).
   std::size_t characterizer_logit_var = static_cast<std::size_t>(-1);
+  /// Realized per-layer boxes of the verified tail: element k is the
+  /// *final* bound box after layer attach_layer + k, post pre-pass
+  /// intersection and LP tightening — exactly the bounds the big-M
+  /// rows were built from. Re-injecting them through
+  /// EncodeOptions::tail_bound_trace reproduces this encoding
+  /// bit-identically; widening them (absint/perturbation) yields sound
+  /// bounds for a small-delta retrained tail.
+  std::vector<absint::Box> realized_tail_boxes;
+  /// Problem variables per tail layer: realized_tail_vars[k][i] is the
+  /// variable carrying neuron i after layer attach_layer + k — the
+  /// address map delta reuse and per-query bound refresh use.
+  std::vector<std::vector<std::size_t>> realized_tail_vars;
   EncodingStats stats;
 };
 

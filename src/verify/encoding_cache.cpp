@@ -60,12 +60,28 @@ std::size_t tail_fingerprint(const nn::Network& net, std::size_t from_layer) {
   return h;
 }
 
+std::size_t versioned_cache_key(std::size_t base_fingerprint,
+                                const std::vector<std::size_t>& delta_chain) {
+  std::size_t h = 14695981039346656037ull;
+  hash_bytes(h, static_cast<std::uint64_t>(base_fingerprint));
+  hash_bytes(h, static_cast<std::uint64_t>(delta_chain.size()));
+  for (std::size_t link : delta_chain) hash_bytes(h, static_cast<std::uint64_t>(link));
+  if (h == 0) h = 14695981039346656037ull;  // reserve 0 for "no trace key"
+  return h;
+}
+
 namespace {
 
 bool same_options(const EncodeOptions& a, const EncodeOptions& b) {
+  // Injected bound traces are compared by content key, not pointer: two
+  // traces with the same key are the same artifact (the delta layer
+  // derives the key from the versioned cache identity), while a base
+  // built from version A's trace must never serve version B's queries.
   return a.bounds == b.bounds && a.eliminate_stable_relus == b.eliminate_stable_relus &&
          a.triangle_relaxation == b.triangle_relaxation &&
          a.zonotope_generator_budget == b.zonotope_generator_budget &&
+         (a.tail_bound_trace == nullptr) == (b.tail_bound_trace == nullptr) &&
+         a.tail_bound_trace_key == b.tail_bound_trace_key &&
          a.lp_options.max_iterations == b.lp_options.max_iterations &&
          a.lp_options.bland_after == b.lp_options.bland_after &&
          a.lp_options.tolerance == b.lp_options.tolerance;
@@ -141,6 +157,8 @@ TailEncoding SharedTailEncoding::instantiate(const VerificationQuery& query) con
   enc.problem = base_.problem;  // copy of the frozen base
   enc.input_vars = base_.input_vars;
   enc.output_vars = base_.output_vars;
+  enc.realized_tail_boxes = base_.realized_tail_boxes;
+  enc.realized_tail_vars = base_.realized_tail_vars;
   enc.stats = base_.stats;
   enc.stats.from_cache = true;
   enc.stats.reused_variables = base_.stats.variables;

@@ -88,6 +88,18 @@ class SharedTailEncoding {
 /// verdict into a cache miss.
 std::size_t tail_fingerprint(const nn::Network& net, std::size_t from_layer);
 
+/// Versioned cache identity for delta re-certification: the base
+/// model's tail fingerprint folded with the tail fingerprint of every
+/// retrained version since (the "delta chain", oldest first). Chain
+/// order matters — certifying v2-from-v1-from-v0 and v2-from-v0
+/// produce different keys, because the reused artifacts (widened
+/// traces, recycled cuts) differ even when the final weights agree.
+/// The result is never zero, so it can serve directly as
+/// EncodeOptions::tail_bound_trace_key and as the identity stamped
+/// into persisted delta artifacts (verify::DeltaArtifacts).
+std::size_t versioned_cache_key(std::size_t base_fingerprint,
+                                const std::vector<std::size_t>& delta_chain);
+
 /// Lock-free cache of SharedTailEncodings, shared across a campaign's
 /// worker pool. Lookup walks an immutable persistent list; insertion is
 /// a compare-exchange on the head pointer.

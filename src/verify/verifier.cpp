@@ -5,6 +5,7 @@
 #include <cmath>
 #include <new>
 #include <sstream>
+#include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/fault_inject.hpp"
@@ -186,6 +187,43 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
   encoding.stats.encode_seconds = result.encode_seconds;
   result.encoding = encoding.stats;
 
+  // ---- Selective per-query bound refresh ----------------------------
+  // Re-tighten only the layer-l feature variables' column bounds with
+  // min/max LPs over the stamped per-query relaxation (characterizer +
+  // risk rows included, so the refresh sees exactly what this query
+  // constrains). The relaxation over-approximates the integer-feasible
+  // set, so the LP range covers every counterexample's value: shrinking
+  // column bounds preserves all integral points and verdicts. This is
+  // the cheap counterpart of full kLpTightening when a delta-reused
+  // (possibly widened) trace left the entry bounds stale.
+  if (options_.refresh_query_bounds && !encoding.input_vars.empty()) {
+    const auto refresh_start = std::chrono::steady_clock::now();
+    lp::SimplexOptions refresh_lp = options_.encode.lp_options;
+    refresh_lp.run_control = control;
+    const lp::SimplexSolver refresh_solver(refresh_lp);
+    lp::LpProblem& relaxation = encoding.problem.relaxation();
+    for (const std::size_t var : encoding.input_vars) {
+      if (run_expired(control)) break;
+      double lo = relaxation.lower_bound(var), hi = relaxation.upper_bound(var);
+      const double old_width = hi - lo;
+      relaxation.set_objective({{var, 1.0}}, lp::Objective::kMinimize);
+      const lp::LpSolution min_sol = refresh_solver.solve(relaxation);
+      if (min_sol.status == lp::SolveStatus::kOptimal)
+        lo = std::max(lo, min_sol.objective - 1e-9);
+      relaxation.set_objective({{var, 1.0}}, lp::Objective::kMaximize);
+      const lp::LpSolution max_sol = refresh_solver.solve(relaxation);
+      if (max_sol.status == lp::SolveStatus::kOptimal)
+        hi = std::min(hi, max_sol.objective + 1e-9);
+      if (lo > hi) lo = hi;  // numerical guard; keeps the box non-empty
+      relaxation.set_bounds(var, lo, hi);
+      if (hi - lo < old_width) ++result.refreshed_bounds;
+    }
+    relaxation.set_objective({}, lp::Objective::kMinimize);
+    result.refresh_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - refresh_start)
+            .count();
+  }
+
   const auto start = std::chrono::steady_clock::now();
   // Risk-margin objective: the per-query problem (a private copy, even
   // when stamped from a frozen cache base) gets "maximize the leading
@@ -213,12 +251,55 @@ VerificationResult TailVerifier::verify(const VerificationQuery& query) const {
       }
     }
   }
+  // ---- Delta re-certification plumbing ------------------------------
+  // Name-keyed priors translate to this problem's variable indices here,
+  // after encoding: the encoder's deterministic names survive the index
+  // shifts a weight delta causes, so a prior can never land on the wrong
+  // variable. Unmatched names are simply dropped.
+  std::vector<std::pair<milp::search::PseudocostTable::DirectionStats,
+                        milp::search::PseudocostTable::DirectionStats>>
+      prior_table;
+  if (options_.pseudocost_priors != nullptr && !options_.pseudocost_priors->empty()) {
+    const lp::LpProblem& relaxation = encoding.problem.relaxation();
+    std::unordered_map<std::string, std::size_t> index;
+    index.reserve(relaxation.variable_count());
+    for (std::size_t var = 0; var < relaxation.variable_count(); ++var)
+      index.emplace(relaxation.variable_name(var), var);
+    prior_table.assign(relaxation.variable_count(), {});
+    for (const NamedPseudocost& prior : *options_.pseudocost_priors) {
+      const auto it = index.find(prior.var);
+      if (it != index.end()) prior_table[it->second] = {prior.down, prior.up};
+    }
+    milp_options.pseudocost_priors = &prior_table;
+  }
+  if (options_.harvest != nullptr) {
+    milp_options.cuts.harvest_root_cuts = true;
+    milp_options.export_pseudocosts = true;
+  }
+
   const milp::BranchAndBoundSolver solver(milp_options);
   const milp::MilpResult milp_result = solver.solve(encoding.problem);
   result.milp_nodes = milp_result.nodes_explored;
   result.lp_iterations = milp_result.lp_iterations;
   result.backend = options_.milp.backend;
   result.solver_stats = milp_result.solver_stats;
+  result.cuts_recycled = milp_result.cuts_recycled;
+
+  if (options_.harvest != nullptr) {
+    DeltaHarvest& harvest = *options_.harvest;
+    harvest.captured = true;
+    harvest.tail_boxes = encoding.realized_tail_boxes;
+    harvest.tail_vars = encoding.realized_tail_vars;
+    harvest.root_cuts = milp_result.root_cut_rows;
+    harvest.pseudocosts.clear();
+    const lp::LpProblem& relaxation = encoding.problem.relaxation();
+    for (std::size_t var = 0; var < milp_result.pseudocost_snapshot.size(); ++var) {
+      const auto& stats = milp_result.pseudocost_snapshot[var];
+      if (stats.first.observations() == 0 && stats.second.observations() == 0) continue;
+      harvest.pseudocosts.push_back(
+          {relaxation.variable_name(var), stats.first, stats.second});
+    }
+  }
 
   switch (milp_result.status) {
     case milp::MilpStatus::kInfeasible:

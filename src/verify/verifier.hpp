@@ -38,6 +38,32 @@ enum class DecisionStage {
 
 const char* decision_stage_name(DecisionStage stage);
 
+/// One variable's pseudocost history keyed by its problem variable
+/// *name* instead of its index. Delta re-certification persists these
+/// across model versions: weight changes can flip ReLU stability and
+/// shift every later variable index, but the encoder's deterministic
+/// naming (layer + neuron) survives, so name-keyed priors can never be
+/// re-applied to the wrong variable.
+struct NamedPseudocost {
+  std::string var;
+  milp::search::PseudocostTable::DirectionStats down;
+  milp::search::PseudocostTable::DirectionStats up;
+};
+
+/// Everything the MILP stage of one verified query can hand to delta
+/// re-certification (see src/verify/delta.hpp): the realized tail
+/// bounds and their variable address map, the surviving root-cut pool
+/// with generator provenance, and the learned pseudocost table. Only
+/// populated when the query actually reached the MILP stage —
+/// attack/zonotope-decided queries leave `captured` false.
+struct DeltaHarvest {
+  bool captured = false;
+  std::vector<absint::Box> tail_boxes;
+  std::vector<std::vector<std::size_t>> tail_vars;
+  std::vector<milp::cuts::Cut> root_cuts;
+  std::vector<NamedPseudocost> pseudocosts;
+};
+
 struct VerificationResult {
   Verdict verdict = Verdict::kUnknown;
 
@@ -102,6 +128,15 @@ struct VerificationResult {
   bool have_frontier_activation = false;
   Tensor frontier_activation;
 
+  /// Per-query bound refresh accounting (see
+  /// TailVerifierOptions::refresh_query_bounds): feature variables whose
+  /// box actually shrank, and the wall seconds the refresh LPs took.
+  std::size_t refreshed_bounds = 0;
+  double refresh_seconds = 0.0;
+  /// Recycled cut rows injected into this query's search (mirrors
+  /// milp::MilpResult::cuts_recycled).
+  std::size_t cuts_recycled = 0;
+
   std::string summary() const;
 };
 
@@ -163,6 +198,31 @@ struct TailVerifierOptions {
   /// budget and a campaign-wide deadline compose: whichever expires
   /// first stops the query.
   double time_budget_seconds = 0.0;
+  /// Name-keyed pseudocost priors (a previous model version's learned
+  /// table, exported via `harvest`). Translated to this query's variable
+  /// indices *after* encoding — names survive the index shifts a weight
+  /// delta causes through flipped ReLU stability — then seeded into the
+  /// search demoted by `milp.pseudocost_prior_weight`. Priors bias node
+  /// order only, never verdicts. Not owned; must outlive verify().
+  const std::vector<NamedPseudocost>* pseudocost_priors = nullptr;
+  /// Out-slot for delta re-certification: when set, the MILP stage runs
+  /// with root-cut harvesting + pseudocost export enabled and fills this
+  /// with the artifacts of src/verify/delta.hpp. Overwritten per query;
+  /// left `captured == false` when a cheap pipeline stage decided. Not
+  /// owned.
+  DeltaHarvest* harvest = nullptr;
+  /// Selective per-query bound refresh: after the problem is stamped
+  /// out (typically from a delta-reused trace), re-tighten only the
+  /// layer-l feature variables — the neurons the characterizer and
+  /// abstraction rows actually constrain — with one min/max LP pair
+  /// each over the full per-query relaxation. Sound because the
+  /// relaxation over-approximates the integer-feasible set, so the LP
+  /// range contains every counterexample's value and shrinking the
+  /// *column* bounds (rows are never touched) preserves all integral
+  /// points: verdicts are unchanged, but stale widened boxes at the
+  /// query's entry recover per-query tightness without re-running the
+  /// full bound pre-pass.
+  bool refresh_query_bounds = false;
 };
 
 class TailVerifier {

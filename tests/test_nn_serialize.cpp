@@ -1,5 +1,7 @@
 // Serialization round-trip tests for every layer kind and malformed-input
-// rejection.
+// rejection, plus fingerprint stability across the round trip — the
+// delta-reuse layer keys persisted artifacts by network fingerprint, so
+// a save/load cycle must neither change it nor collide after a retrain.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -16,6 +18,7 @@
 #include "nn/pool2d.hpp"
 #include "nn/serialize.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "verify/encoding_cache.hpp"
 
 namespace dpv::nn {
 namespace {
@@ -96,6 +99,52 @@ TEST(Serialize, FileRoundTrip) {
   Network restored = load_file(path);
   const Tensor x = Tensor::vector1d({0.1, -0.2, 0.3});
   EXPECT_EQ(max_abs_diff(net.forward(x), restored.forward(x)), 0.0);
+}
+
+// ------------------------------------------------ fingerprint stability
+
+TEST(Fingerprint, StableAcrossSerializationRoundTrip) {
+  Rng rng(31);
+  Network original = make_mixed_network(rng);
+  std::stringstream buffer;
+  save(original, buffer);
+  Network restored = load(buffer);
+
+  // The fingerprint hashes architecture + parameter bits, both of which
+  // the hexfloat stream preserves exactly — so the persisted model must
+  // key the same artifact bundle as the in-memory one, from any layer.
+  for (std::size_t from = 0; from < original.layer_count(); ++from)
+    EXPECT_EQ(verify::tail_fingerprint(original, from),
+              verify::tail_fingerprint(restored, from))
+        << "from layer " << from;
+}
+
+TEST(Fingerprint, EpsilonWeightChangeAltersFingerprintAndVersionedKey) {
+  Rng rng(31);
+  Network original = make_mixed_network(rng);
+  Network nudged = original.clone();
+  EXPECT_EQ(verify::tail_fingerprint(original, 0), verify::tail_fingerprint(nudged, 0));
+
+  // The smallest representable retrain: one weight, one ulp-scale nudge.
+  auto& dense = dynamic_cast<Dense&>(nudged.layer(4));
+  Tensor w = dense.weight();
+  Tensor b = dense.bias();
+  w[0] += 1e-12;
+  dense.set_parameters(std::move(w), std::move(b));
+
+  const std::size_t base_fp = verify::tail_fingerprint(original, 0);
+  const std::size_t nudged_fp = verify::tail_fingerprint(nudged, 0);
+  EXPECT_NE(base_fp, nudged_fp);
+  // Layers strictly after the edit still fingerprint identically.
+  EXPECT_EQ(verify::tail_fingerprint(original, 5), verify::tail_fingerprint(nudged, 5));
+
+  // The versioned cache identity separates base, retrained, and
+  // chain-of-retrains — and never degenerates to the reserved 0.
+  const std::size_t base_key = verify::versioned_cache_key(base_fp, {});
+  const std::size_t delta_key = verify::versioned_cache_key(base_fp, {nudged_fp});
+  EXPECT_NE(base_key, 0u);
+  EXPECT_NE(delta_key, 0u);
+  EXPECT_NE(base_key, delta_key);
 }
 
 TEST(Serialize, RejectsBadMagic) {

@@ -2,10 +2,12 @@
 """Compare a freshly generated bench JSON against its committed baseline
 snapshot in bench/baselines/.
 
-Three bench shapes are understood, dispatched on the file's "bench" field:
+Five bench shapes are understood, dispatched on the file's "bench" field
+(a missing or unrecognized kind is a hard error — never a silent
+fallback to the wrong comparison):
 
-  * the LP-core chain (BENCH_simplex.json, the default): per-config
-    pivot/node counters plus the headline speedup ratios,
+  * the LP-core chain (BENCH_simplex.json, "bench": "e5_lp_core"):
+    per-config pivot/node counters plus the headline speedup ratios,
   * the staged-pipeline funnel (BENCH_funnel.json, "bench": "e2_funnel"):
     per-config funnel counters (attack-falsified / zonotope-proved /
     milp-decided / unknown), the verdict-compatibility and
@@ -20,7 +22,12 @@ Three bench shapes are understood, dispatched on the file's "bench" field:
     / resumed runs, the resume-fidelity flag (checkpointed and resumed
     tables bit-identical to the clean run), a salvage floor (the
     maximal-salvage resume must restore at least one completed round)
-    and the checkpoint-overhead ceiling the file carries.
+    and the checkpoint-overhead ceiling the file carries, and
+  * delta re-certification (BENCH_delta.json, "bench": "delta"):
+    per-config reuse/cut counters and verdict strings across retrain
+    magnitudes, the cold-vs-delta verdict-compatibility flag, the
+    artifact-reuse floor and the re-certification wall-fraction ceiling
+    the file carries (both ratios, so the machine constant divides out).
 
 CI machines are heterogeneous, so absolute wall-clock seconds are NOT
 compared.  The contract is on machine-independent quantities: counters
@@ -70,6 +77,13 @@ COVERAGE_COUNTED = ("cells_total", "cells_certified", "cells_unsafe",
 # behavioural shift jumps it past every tolerance).
 RESUME_COUNTED = ("cells_total", "cells_certified", "cells_unsafe",
                   "cells_unknown", "rounds", "rounds_restored", "nodes")
+
+# Delta re-certification counters: how each retrain magnitude's entries
+# partitioned by trace reuse, what the cut recycler kept/dropped, and
+# the search-tree sizes. All deterministic for fixed seeds.
+DELTA_COUNTED = ("entries_exact", "entries_widened", "entries_cold",
+                 "cuts_recycled", "cuts_dropped", "bounds_refreshed",
+                 "cold_nodes", "delta_nodes")
 
 
 def fail(msg):
@@ -238,28 +252,75 @@ def compare_resume(cur, base, args):
     return rc
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("current", help="freshly generated BENCH_simplex.json")
-    ap.add_argument("--baseline", default="bench/baselines/BENCH_simplex.json")
-    ap.add_argument("--tolerance", type=float, default=0.20,
-                    help="allowed relative drift on counters and ratios")
-    ap.add_argument("--min-speedup", type=float, default=1.5,
-                    help="hard floor on the headline widest-tail speedup")
-    args = ap.parse_args()
+def compare_delta(cur, base, args):
+    """Drift-check BENCH_delta.json: cold-vs-delta verdict compatibility,
+    per-config reuse/cut counters and verdict strings, the artifact-reuse
+    floor and the re-certification wall-fraction ceiling."""
+    rc = 0
 
-    with open(args.current) as f:
-        cur = json.load(f)
-    with open(args.baseline) as f:
-        base = json.load(f)
+    if not cur.get("verdict_compatibility", False):
+        rc |= fail("verdict_compatibility is false in the current run "
+                   "(a delta re-certification verdict diverged from the "
+                   "cold run — an artifact reuse class is unsound)")
 
-    if cur.get("bench") == "e2_funnel":
-        return compare_funnel(cur, base, args)
-    if cur.get("bench") == "coverage":
-        return compare_coverage(cur, base, args)
-    if cur.get("bench") == "resume":
-        return compare_resume(cur, base, args)
+    cur_cfgs = {c["config"]: c for c in cur.get("configs", [])}
+    base_cfgs = {c["config"]: c for c in base.get("configs", [])}
+    missing = sorted(set(base_cfgs) - set(cur_cfgs))
+    if missing:
+        rc |= fail(f"configs missing from current run: {', '.join(missing)}")
 
+    for name, b in base_cfgs.items():
+        c = cur_cfgs.get(name)
+        if c is None:
+            continue
+        for key in DELTA_COUNTED:
+            bv, cv = b.get(key, 0), c.get(key, 0)
+            drift = abs(cv - bv) / max(bv, 1)
+            status = "ok" if drift <= args.tolerance else "DRIFT"
+            print(f"  {name:>14s} {key:>18s}: {bv:>6} -> {cv:>6} "
+                  f"({drift:+.1%}) {status}")
+            if drift > args.tolerance:
+                rc |= fail(f"{name}: {key} drifted {drift:.1%} "
+                           f"(> {args.tolerance:.0%})")
+        for key in ("cold_verdicts", "delta_verdicts"):
+            bv, cv = b.get(key, ""), c.get(key, "")
+            if bv != cv:
+                rc |= fail(f"{name}: {key} changed: '{bv}' -> '{cv}'")
+
+    head = cur.get("headline", {})
+
+    # Reuse fraction: entries that got exact or widened trace reuse over
+    # all entries. The floor travels in the file (like
+    # min_certified_fraction); reusing MORE than baseline never fails.
+    reuse = head.get("reuse_fraction", 0.0)
+    reuse_floor = head.get("min_reuse_fraction", 1.0)
+    print(f"  headline reuse_fraction: {reuse:.1%} (floor {reuse_floor:.0%})")
+    if reuse < reuse_floor:
+        rc |= fail(f"reuse_fraction {reuse:.1%} is below the "
+                   f"{reuse_floor:.0%} floor (artifact reuse degraded)")
+
+    # Wall fraction: delta wall over cold wall, summed across configs.
+    # A ratio of walls on the same machine, so the machine constant
+    # divides out; the ceiling is the PR's <= 25% acceptance bar.
+    frac = head.get("wall_fraction", 1.0)
+    ceiling = head.get("max_wall_fraction", 0.25)
+    print(f"  headline wall_fraction: {frac:.1%} (ceiling {ceiling:.0%}, "
+          f"re-certification speedup {head.get('speedup_recert', 0.0):.2f}x)")
+    if frac > ceiling:
+        rc |= fail(f"delta re-certification wall fraction {frac:.1%} "
+                   f"exceeds the {ceiling:.0%} ceiling")
+
+    if rc == 0:
+        print("bench_compare: OK (delta counters and verdicts match "
+              f"baseline within {args.tolerance:.0%}; reuse "
+              f"{reuse:.1%} >= {reuse_floor:.0%}; re-certification wall "
+              f"{frac:.1%} <= {ceiling:.0%} of cold; verdicts compatible)")
+    return rc
+
+
+def compare_lp_core(cur, base, args):
+    """Drift-check BENCH_simplex.json: verdict parity, per-config
+    pivot-path counters and the headline speedup ratios."""
     rc = 0
 
     if not cur.get("verdict_parity", False):
@@ -310,6 +371,49 @@ def main():
               f"{args.tolerance:.0%} of baseline; widest-tail "
               f"{widest:.2f}x >= {args.min_speedup:.1f}x)")
     return rc
+
+
+# Dispatch table: the "bench" field of the current file names the
+# comparison. No default — a missing or unknown kind must fail, not
+# silently run the wrong comparison.
+COMPARATORS = {
+    "e5_lp_core": compare_lp_core,
+    "e2_funnel": compare_funnel,
+    "coverage": compare_coverage,
+    "resume": compare_resume,
+    "delta": compare_delta,
+}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="freshly generated bench JSON")
+    ap.add_argument("--baseline", default="bench/baselines/BENCH_simplex.json")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="allowed relative drift on counters and ratios")
+    ap.add_argument("--min-speedup", type=float, default=1.5,
+                    help="hard floor on the headline widest-tail speedup")
+    args = ap.parse_args()
+
+    with open(args.current) as f:
+        cur = json.load(f)
+    with open(args.baseline) as f:
+        base = json.load(f)
+
+    kind = cur.get("bench")
+    known = ", ".join(sorted(COMPARATORS))
+    if kind is None:
+        return fail(f"{args.current} has no 'bench' kind field; "
+                    f"expected one of: {known}")
+    if kind not in COMPARATORS:
+        return fail(f"{args.current} has unrecognized bench kind "
+                    f"'{kind}'; expected one of: {known}")
+    base_kind = base.get("bench")
+    if base_kind != kind:
+        return fail(f"bench kind mismatch: current is '{kind}' but "
+                    f"baseline {args.baseline} is '{base_kind}' — "
+                    "wrong --baseline file?")
+    return COMPARATORS[kind](cur, base, args)
 
 
 if __name__ == "__main__":

@@ -177,6 +177,24 @@ check_symbol src/core    "load_coverage_checkpoint"
 check_symbol src/core    "checkpoint_path"
 check_symbol src/core    "resume_entries_restored"
 check_symbol src/core    "resume_rounds_restored"
+check_symbol src/common  "RecordWriter"
+check_symbol src/common  "RecordReader"
+check_symbol src/nn      "diff_networks"
+check_symbol src/absint  "perturbation_radii"
+check_symbol src/verify  "versioned_cache_key"
+check_symbol src/verify  "tail_bound_trace_key"
+check_symbol src/verify  "DeltaArtifacts"
+check_symbol src/verify  "plan_delta_reuse"
+check_symbol src/verify  "delta_query_fingerprint"
+check_symbol src/verify  "advance_artifacts"
+check_symbol src/verify  "save_delta_artifacts"
+check_symbol src/verify  "NamedPseudocost"
+check_symbol src/verify  "refresh_query_bounds"
+check_symbol src/verify  "abstraction_changed"
+check_symbol src/milp    "initial_cuts"
+check_symbol src/milp    "cuts_recycled"
+check_symbol src/core    "delta_artifacts_out_path"
+check_symbol src/core    "delta_entries_widened"
 
 if [ "$fail" -ne 0 ]; then
   echo "docs check FAILED"
